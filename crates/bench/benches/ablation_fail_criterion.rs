@@ -1,0 +1,70 @@
+//! Ablation (DESIGN.md §2 note 2): the duplex fail criterion.
+//!
+//! The paper's brace condition requires BOTH words decodable (the
+//! default); the optimistic reading lets the arbiter survive while EITHER
+//! word decodes. This bench prints the Fig. 6/Fig. 9-style endpoints
+//! under both criteria — quantifying how much the interpretation matters
+//! (orders of magnitude under transient faults, nothing under pure
+//! permanent faults) — and benchmarks both model solves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsmem::units::{ErasureRate, SeuRate, Time};
+use rsmem::{
+    CodeParams, DuplexFailCriterion, DuplexOptions, MemorySystem,
+};
+use rsmem_bench::small_sample;
+use std::hint::black_box;
+
+fn with_criterion(fc: DuplexFailCriterion, seu: f64, erasure: f64) -> MemorySystem {
+    MemorySystem::duplex(CodeParams::rs18_16())
+        .with_seu_rate(SeuRate::per_bit_day(seu))
+        .with_erasure_rate(ErasureRate::per_symbol_day(erasure))
+        .with_duplex_options(DuplexOptions {
+            fail_criterion: fc,
+            ..Default::default()
+        })
+}
+
+fn bench(c: &mut Criterion) {
+    println!("duplex fail-criterion ablation (BER at horizon):\n");
+    println!(
+        "{:<34} {:>14} {:>14} {:>10}",
+        "scenario", "BothWords", "EitherWord", "ratio"
+    );
+    let scenarios: [(&str, f64, f64, Time); 3] = [
+        ("transient λ=1.7e-5, 48 h", 1.7e-5, 0.0, Time::from_hours(48.0)),
+        ("permanent λe=1e-6, 24 mo", 0.0, 1e-6, Time::from_months(24.0)),
+        ("mixed λ=1.7e-5 λe=1e-6, 48 h", 1.7e-5, 1e-6, Time::from_hours(48.0)),
+    ];
+    for (label, seu, erasure, t) in scenarios {
+        let both = with_criterion(DuplexFailCriterion::BothWords, seu, erasure)
+            .ber_curve(&[t])
+            .expect("solve")
+            .ber[0];
+        let either = with_criterion(DuplexFailCriterion::EitherWord, seu, erasure)
+            .ber_curve(&[t])
+            .expect("solve")
+            .ber[0];
+        let ratio = if either > 0.0 { both / either } else { f64::NAN };
+        println!("{label:<34} {both:>14.4e} {either:>14.4e} {ratio:>10.2e}");
+    }
+    println!();
+
+    let t = [Time::from_hours(48.0)];
+    for (name, fc) in [
+        ("both_words", DuplexFailCriterion::BothWords),
+        ("either_word", DuplexFailCriterion::EitherWord),
+    ] {
+        let system = with_criterion(fc, 1.7e-5, 1e-7);
+        c.bench_function(&format!("ablation_fail_criterion/{name}"), |b| {
+            b.iter(|| black_box(system.ber_curve(black_box(&t)).expect("solve")));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample();
+    targets = bench
+}
+criterion_main!(benches);

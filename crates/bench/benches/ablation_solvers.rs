@@ -1,0 +1,91 @@
+//! Ablation: the three transient solvers on the paper's models.
+//!
+//! Prints a cross-check row (the three solvers' fail probabilities on one
+//! Fig. 5 point and one Fig. 8 point) and benchmarks each solver —
+//! showing why uniformization is the default: similar speed to the
+//! adaptive ODE at small Λt, full relative accuracy in the deep tail
+//! where the ODE output is numerically zero, and no acyclicity
+//! requirement like the path solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsmem::units::{ErasureRate, SeuRate};
+use rsmem::{CodeParams, FaultRates, MemoryModel, Scrubbing, SimplexModel};
+use rsmem_bench::small_sample;
+use rsmem_ctmc::ode::{rkf45, Rkf45Options};
+use rsmem_ctmc::paths::{absorption_bounds, PathOptions};
+use rsmem_ctmc::uniformization::{transient, UniformizationOptions};
+use rsmem_ctmc::StateSpace;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cases = [
+        (
+            "fig5_point (λ=1.7e-5, 48 h)",
+            FaultRates {
+                seu: SeuRate::per_bit_day(1.7e-5),
+                erasure: ErasureRate::per_symbol_day(0.0),
+            },
+            2.0,
+        ),
+        (
+            "fig8_point (λe=1e-6, 24 mo)",
+            FaultRates {
+                seu: SeuRate::per_bit_day(0.0),
+                erasure: ErasureRate::per_symbol_day(1e-6),
+            },
+            730.0,
+        ),
+    ];
+
+    println!("solver cross-check on simplex RS(18,16) (P_fail):\n");
+    println!(
+        "{:<30} {:>14} {:>14} {:>14} {:>14}",
+        "case", "uniformization", "rkf45", "paths lower", "paths upper"
+    );
+    for (label, rates, t) in &cases {
+        let model = SimplexModel::new(CodeParams::rs18_16(), *rates, Scrubbing::None);
+        let space = StateSpace::explore(&model).expect("explore");
+        let fail = space.index_of(&model.fail_state()).expect("reachable");
+        let uni = transient(&space, *t, &UniformizationOptions::default()).expect("uni")[fail];
+        let ode = rkf45(&space, *t, &Rkf45Options::default()).expect("rkf45")[fail];
+        let bounds = absorption_bounds(&space, fail, *t, &PathOptions::default()).expect("paths");
+        println!(
+            "{label:<30} {uni:>14.6e} {ode:>14.6e} {:>14.6e} {:>14.6e}",
+            bounds.lower(),
+            bounds.upper()
+        );
+    }
+    println!();
+
+    for (label, rates, t) in cases {
+        let short = label.split_whitespace().next().expect("label");
+        let model = SimplexModel::new(CodeParams::rs18_16(), rates, Scrubbing::None);
+        let space = StateSpace::explore(&model).expect("explore");
+        let fail = space.index_of(&model.fail_state()).expect("reachable");
+        c.bench_function(&format!("ablation_solvers/{short}/uniformization"), |b| {
+            b.iter(|| {
+                black_box(
+                    transient(&space, t, &UniformizationOptions::default()).expect("uni"),
+                )
+            });
+        });
+        c.bench_function(&format!("ablation_solvers/{short}/rkf45"), |b| {
+            b.iter(|| black_box(rkf45(&space, t, &Rkf45Options::default()).expect("rkf45")));
+        });
+        c.bench_function(&format!("ablation_solvers/{short}/path_bounds"), |b| {
+            b.iter(|| {
+                black_box(
+                    absorption_bounds(&space, fail, t, &PathOptions::default())
+                        .expect("paths"),
+                )
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Reed–Solomon codec throughput: encode/decode bandwidth for the
+//! paper's codes and both decoder back-ends, in bytes of user data per
+//! second. Complements `decoder_complexity` (per-word latency) with the
+//! streaming view a storage system cares about.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rsmem::{DecoderBackend, RsCode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for (label, n, k) in [("rs18_16", 18usize, 16usize), ("rs36_16", 36, 16)] {
+        let code = RsCode::new(n, k, 8).expect("paper code");
+        let data: Vec<u16> = (0..k as u16).collect();
+        let clean = code.encode(&data).expect("encode");
+        let mut one_err = clean.clone();
+        one_err[n / 2] ^= 0x42;
+
+        let mut group = c.benchmark_group(format!("codec_throughput/{label}"));
+        group.throughput(Throughput::Bytes(k as u64)); // user bytes per op
+
+        group.bench_function("encode", |b| {
+            b.iter(|| black_box(code.encode(black_box(&data)).expect("encode")));
+        });
+        group.bench_function("decode_clean_sugiyama", |b| {
+            b.iter(|| {
+                black_box(
+                    code.decode_with(black_box(&clean), &[], DecoderBackend::Sugiyama)
+                        .expect("decode"),
+                )
+            });
+        });
+        group.bench_function("decode_one_error_sugiyama", |b| {
+            b.iter(|| {
+                black_box(
+                    code.decode_with(black_box(&one_err), &[], DecoderBackend::Sugiyama)
+                        .expect("decode"),
+                )
+            });
+        });
+        group.bench_function("decode_one_error_berlekamp", |b| {
+            b.iter(|| {
+                black_box(
+                    code.decode_with(
+                        black_box(&one_err),
+                        &[],
+                        DecoderBackend::BerlekampMassey,
+                    )
+                    .expect("decode"),
+                )
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Paper Section 6 decoder complexity: prints the closed-form comparison
+//! table (Td ≈ 3n + 10(n−k); 74 vs 308 cycles) and measures this
+//! workspace's *software* decoder on the same codes as an empirical
+//! analogue — the paper's ">4× decode latency" claim should reproduce in
+//! the worst-case software timing too.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsmem::experiments::ExperimentId;
+use rsmem::RsCode;
+use rsmem_bench::print_artifact;
+use std::hint::black_box;
+
+fn corrupted(code: &RsCode, errors: usize) -> Vec<u16> {
+    let data: Vec<u16> = (0..code.k() as u16).collect();
+    let mut word = code.encode(&data).expect("encode");
+    for i in 0..errors {
+        word[(i * 7) % code.n()] ^= 0x35;
+    }
+    word
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact(ExperimentId::Complexity);
+
+    let narrow = RsCode::new(18, 16, 8).expect("RS(18,16)");
+    let wide = RsCode::new(36, 16, 8).expect("RS(36,16)");
+
+    for (label, code) in [("rs18_16", &narrow), ("rs36_16", &wide)] {
+        let clean = corrupted(code, 0);
+        let worst = corrupted(code, code.max_random_errors());
+        c.bench_function(&format!("complexity/decode_clean/{label}"), |b| {
+            b.iter(|| black_box(code.decode(black_box(&clean), &[]).expect("decode")));
+        });
+        c.bench_function(&format!("complexity/decode_t_errors/{label}"), |b| {
+            b.iter(|| black_box(code.decode(black_box(&worst), &[]).expect("decode")));
+        });
+        let erased: Vec<usize> = (0..code.parity_symbols()).collect();
+        let mut erased_word = corrupted(code, 0);
+        for &p in &erased {
+            erased_word[p] ^= 0xff & (0xff >> (16 - code.symbol_bits()).min(8));
+        }
+        c.bench_function(&format!("complexity/decode_full_erasures/{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    code.decode(black_box(&erased_word), black_box(&erased))
+                        .expect("decode"),
+                )
+            });
+        });
+    }
+
+    c.bench_function("complexity/encode/rs18_16", |b| {
+        let data: Vec<u16> = (0..16).collect();
+        b.iter(|| black_box(narrow.encode(black_box(&data)).expect("encode")));
+    });
+    c.bench_function("complexity/encode/rs36_16", |b| {
+        let data: Vec<u16> = (0..16).collect();
+        b.iter(|| black_box(wide.encode(black_box(&data)).expect("encode")));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

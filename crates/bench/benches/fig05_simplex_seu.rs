@@ -1,0 +1,23 @@
+//! Paper Figure 5: BER of simplex RS(18,16) under three SEU rates over a
+//! 48-hour store — prints the regenerated series and benchmarks the
+//! end-to-end regeneration (model build → state exploration →
+//! uniformization over the full grid).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsmem::experiments::{run, ExperimentId};
+use rsmem_bench::{print_artifact, small_sample};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let label = print_artifact(ExperimentId::Fig5);
+    c.bench_function(&format!("{label}/regenerate"), |b| {
+        b.iter(|| black_box(run(ExperimentId::Fig5).expect("fig5")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Paper Figure 6: BER of duplex RS(18,16) under three SEU rates —
+//! prints the regenerated series and benchmarks the regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsmem::experiments::{run, ExperimentId};
+use rsmem_bench::{print_artifact, small_sample};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let label = print_artifact(ExperimentId::Fig6);
+    c.bench_function(&format!("{label}/regenerate"), |b| {
+        b.iter(|| black_box(run(ExperimentId::Fig6).expect("fig6")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample();
+    targets = bench
+}
+criterion_main!(benches);

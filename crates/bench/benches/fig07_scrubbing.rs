@@ -1,0 +1,36 @@
+//! Paper Figure 7: duplex RS(18,16) at the worst-case SEU rate under
+//! four scrubbing periods. The scrubbing transitions put ~10^2 events of
+//! Poisson mass on the uniformization series, so this is the heaviest
+//! transient-fault solve — benchmarked per scrub period as well as for
+//! the whole figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsmem::experiments::{run, ExperimentId, WORST_CASE_SEU};
+use rsmem::units::{SeuRate, Time, TimeGrid};
+use rsmem::{CodeParams, MemorySystem, Scrubbing};
+use rsmem_bench::{print_artifact, small_sample};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let label = print_artifact(ExperimentId::Fig7);
+    c.bench_function(&format!("{label}/regenerate"), |b| {
+        b.iter(|| black_box(run(ExperimentId::Fig7).expect("fig7")));
+    });
+
+    let grid = TimeGrid::linspace(Time::zero(), Time::from_hours(48.0), 25);
+    for period_s in [900.0, 3600.0] {
+        let system = MemorySystem::duplex(CodeParams::rs18_16())
+            .with_seu_rate(SeuRate::per_bit_day(WORST_CASE_SEU))
+            .with_scrubbing(Scrubbing::every_seconds(period_s));
+        c.bench_function(&format!("{label}/solve_tsc_{period_s}s"), |b| {
+            b.iter(|| black_box(system.ber_curve(grid.points()).expect("solve")));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample();
+    targets = bench
+}
+criterion_main!(benches);

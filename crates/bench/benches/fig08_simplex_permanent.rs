@@ -1,0 +1,21 @@
+//! Paper Figure 8: simplex RS(18,16) over 24 months under permanent-fault
+//! rates 1e-4 … 1e-10 per symbol per day.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsmem::experiments::{run, ExperimentId};
+use rsmem_bench::{print_artifact, small_sample};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let label = print_artifact(ExperimentId::Fig8);
+    c.bench_function(&format!("{label}/regenerate"), |b| {
+        b.iter(|| black_box(run(ExperimentId::Fig8).expect("fig8")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Paper Figure 9: duplex RS(18,16) over 24 months under permanent-fault
+//! rates 1e-4 … 1e-10 — the probabilities descend to ~1e-60, exercising
+//! the cancellation-free uniformization path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsmem::experiments::{run, ExperimentId};
+use rsmem_bench::{print_artifact, small_sample};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let label = print_artifact(ExperimentId::Fig9);
+    c.bench_function(&format!("{label}/regenerate"), |b| {
+        b.iter(|| black_box(run(ExperimentId::Fig9).expect("fig9")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Paper Figure 10: simplex RS(36,16) over 24 months under permanent-
+//! fault rates 1e-4 … 1e-10 — the paper's y-axis reaches 1e-200; the
+//! 122-state chain and deep-tail probabilities make this the heaviest
+//! permanent-fault solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsmem::experiments::{run, ExperimentId};
+use rsmem_bench::{print_artifact, small_sample};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let label = print_artifact(ExperimentId::Fig10);
+    c.bench_function(&format!("{label}/regenerate"), |b| {
+        b.iter(|| black_box(run(ExperimentId::Fig10).expect("fig10")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! State-space scaling: how large the paper's Markov chains get and how
+//! fast exploration is — simplex vs duplex, narrow vs wide code, with
+//! and without scrubbing. Prints the state counts DESIGN.md quotes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsmem::units::{ErasureRate, SeuRate, Time};
+use rsmem::{CodeParams, DuplexModel, FaultRates, Scrubbing, SimplexModel};
+use rsmem_bench::small_sample;
+use rsmem_ctmc::StateSpace;
+use std::hint::black_box;
+
+fn rates() -> FaultRates {
+    FaultRates {
+        seu: SeuRate::per_bit_day(1.7e-5),
+        erasure: ErasureRate::per_symbol_day(1e-6),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let scrub = Scrubbing::Periodic {
+        period: Time::from_seconds(900.0),
+    };
+    println!("explored state counts (mixed fault environment):\n");
+    let configs: Vec<(String, usize)> = vec![
+        (
+            "simplex RS(18,16)".into(),
+            StateSpace::explore(&SimplexModel::new(
+                CodeParams::rs18_16(),
+                rates(),
+                Scrubbing::None,
+            ))
+            .expect("explore")
+            .len(),
+        ),
+        (
+            "simplex RS(36,16)".into(),
+            StateSpace::explore(&SimplexModel::new(
+                CodeParams::rs36_16(),
+                rates(),
+                Scrubbing::None,
+            ))
+            .expect("explore")
+            .len(),
+        ),
+        (
+            "duplex RS(18,16)".into(),
+            StateSpace::explore(&DuplexModel::new(
+                CodeParams::rs18_16(),
+                rates(),
+                Scrubbing::None,
+            ))
+            .expect("explore")
+            .len(),
+        ),
+        (
+            "duplex RS(18,16) + scrub".into(),
+            StateSpace::explore(&DuplexModel::new(CodeParams::rs18_16(), rates(), scrub))
+                .expect("explore")
+                .len(),
+        ),
+    ];
+    for (label, count) in &configs {
+        println!("  {label:<28} {count:>8} states");
+    }
+    println!();
+
+    c.bench_function("statespace/simplex_rs18_16", |b| {
+        let model = SimplexModel::new(CodeParams::rs18_16(), rates(), Scrubbing::None);
+        b.iter(|| black_box(StateSpace::explore(&model).expect("explore")));
+    });
+    c.bench_function("statespace/simplex_rs36_16", |b| {
+        let model = SimplexModel::new(CodeParams::rs36_16(), rates(), Scrubbing::None);
+        b.iter(|| black_box(StateSpace::explore(&model).expect("explore")));
+    });
+    c.bench_function("statespace/duplex_rs18_16", |b| {
+        let model = DuplexModel::new(CodeParams::rs18_16(), rates(), Scrubbing::None);
+        b.iter(|| black_box(StateSpace::explore(&model).expect("explore")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample();
+    targets = bench
+}
+criterion_main!(benches);

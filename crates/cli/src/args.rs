@@ -1,0 +1,149 @@
+//! Minimal flag parser — no external dependency needed for a handful of
+//! flags.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional arguments plus `--flag [value]` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Parsed {
+    pub positional: Vec<String>,
+    flags: HashMap<String, Option<String>>,
+}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: [&str; 3] = ["--csv", "--duplex", "--plot"];
+
+/// Parses `argv` into positionals and flags.
+///
+/// # Errors
+///
+/// Returns a message for a value-taking flag with no value.
+pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut iter = argv.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(stripped) = arg.strip_prefix("--") {
+            let name = format!("--{stripped}");
+            if BOOLEAN_FLAGS.contains(&name.as_str()) {
+                parsed.flags.insert(name, None);
+            } else {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag {name} requires a value"))?;
+                parsed.flags.insert(name, Some(value.clone()));
+            }
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+impl Parsed {
+    /// True when a boolean flag is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// The raw value of a flag, if given.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).and_then(|v| v.as_deref())
+    }
+
+    /// Parses a flag as `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Message on an unparsable value.
+    pub fn f64_flag(&self, flag: &str, default: f64) -> Result<f64, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag {flag}: expected a number, got {v:?}")),
+        }
+    }
+
+    /// Parses a flag as `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Message on an unparsable value.
+    pub fn usize_flag(&self, flag: &str, default: usize) -> Result<usize, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag {flag}: expected an integer, got {v:?}")),
+        }
+    }
+
+    /// Parses `--code N,K,M`.
+    ///
+    /// # Errors
+    ///
+    /// Message on a malformed triple.
+    pub fn code_flag(&self) -> Result<(usize, usize, u32), String> {
+        match self.value("--code") {
+            None => Ok((18, 16, 8)),
+            Some(v) => {
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(format!("--code expects N,K,M — got {v:?}"));
+                }
+                let n = parts[0].trim().parse().map_err(|_| format!("bad N in {v:?}"))?;
+                let k = parts[1].trim().parse().map_err(|_| format!("bad K in {v:?}"))?;
+                let m = parts[2].trim().parse().map_err(|_| format!("bad M in {v:?}"))?;
+                Ok((n, k, m))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn positionals_and_flags_separate() {
+        let p = parse(&argv(&["ber", "--seu", "1e-5", "--csv"])).unwrap();
+        assert_eq!(p.positional, vec!["ber"]);
+        assert_eq!(p.value("--seu"), Some("1e-5"));
+        assert!(p.has("--csv"));
+        assert!(!p.has("--duplex"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&argv(&["ber", "--seu"])).is_err());
+    }
+
+    #[test]
+    fn numeric_flag_parsing() {
+        let p = parse(&argv(&["x", "--seu", "1.7e-5", "--points", "25"])).unwrap();
+        assert_eq!(p.f64_flag("--seu", 0.0).unwrap(), 1.7e-5);
+        assert_eq!(p.usize_flag("--points", 10).unwrap(), 25);
+        assert_eq!(p.f64_flag("--absent", 9.0).unwrap(), 9.0);
+        assert!(p.f64_flag("--points", 0.0).is_ok()); // "25" parses as f64
+    }
+
+    #[test]
+    fn bad_numbers_are_reported() {
+        let p = parse(&argv(&["x", "--seu", "abc"])).unwrap();
+        assert!(p.f64_flag("--seu", 0.0).is_err());
+    }
+
+    #[test]
+    fn code_triple() {
+        let p = parse(&argv(&["x", "--code", "36,16,8"])).unwrap();
+        assert_eq!(p.code_flag().unwrap(), (36, 16, 8));
+        let d = parse(&argv(&["x"])).unwrap();
+        assert_eq!(d.code_flag().unwrap(), (18, 16, 8));
+        let bad = parse(&argv(&["x", "--code", "36,16"])).unwrap();
+        assert!(bad.code_flag().is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! Command implementations. Each returns the text to print, so the whole
+//! CLI is unit-testable without spawning processes.
+
+use crate::args::{parse, Parsed};
+use rsmem::experiments::{run, ExperimentId};
+use rsmem::scrub::{minimum_scrub_period, ScrubRecommendation};
+use rsmem::units::{ErasureRate, SeuRate, Time, TimeGrid};
+use rsmem::{report, CodeParams, MemorySystem, ScrubTiming, Scrubbing};
+use std::fmt::Write as _;
+
+const HELP: &str = "\
+rsmem — Reed–Solomon memory reliability toolkit (DATE 2005 reproduction)
+
+USAGE:
+  rsmem experiment <id> [--csv|--plot] regenerate a paper artifact
+  rsmem ber [flags]                   analytic BER(t) curve
+  rsmem metrics [flags]               reliability, MTTF, expected uptime
+  rsmem simulate [flags]              Monte-Carlo campaign of the real system
+  rsmem array [flags]                 whole-memory simulation with MBUs
+  rsmem advise [flags]                slowest scrub period meeting a BER target
+  rsmem complexity                    Section-6 decoder comparison
+  rsmem list                          list experiment ids
+  rsmem help                          this message
+
+EXPERIMENT IDS: fig5 fig6 fig7 fig8 fig9 fig10 complexity
+
+SYSTEM FLAGS (ber/simulate/advise):
+  --duplex               duplex arrangement (default: simplex)
+  --code N,K,M           RS code (default: 18,16,8)
+  --seu RATE             SEU rate per bit per day (default: 0)
+  --erasure RATE         permanent-fault rate per symbol per day (default: 0)
+  --tsc SECONDS          scrub period; omitted = no scrubbing
+
+COMMAND FLAGS:
+  --hours H | --months M  horizon (default: 48 hours)
+  --points N              grid points for `ber` (default: 25)
+  --csv                   CSV output for `experiment`/`ber`
+  --trials N              Monte-Carlo trials (default: 1000)
+  --seed S                RNG seed (default: 42)
+  --days D                per-trial storage days for `simulate` (default: 2)
+  --target-ber B          BER target for `advise` (default: 1e-6)
+  --words N               array size for `array` (default: 32)
+  --mbu B                 bits flipped per SEU for `array` (default: 1)
+  --interleave D          interleaving depth for `array` (default: 1)
+";
+
+/// Dispatches a raw argv to a command, returning printable output.
+///
+/// # Errors
+///
+/// A human-readable message for unknown commands, malformed flags or
+/// underlying library errors.
+pub fn dispatch(argv: &[String]) -> Result<String, String> {
+    let parsed = parse(argv)?;
+    match parsed.positional.first().map(String::as_str) {
+        None | Some("help") => Ok(HELP.to_owned()),
+        Some("list") => Ok("fig5\nfig6\nfig7\nfig8\nfig9\nfig10\ncomplexity\n".to_owned()),
+        Some("experiment") => cmd_experiment(&parsed),
+        Some("ber") => cmd_ber(&parsed),
+        Some("metrics") => cmd_metrics(&parsed),
+        Some("simulate") => cmd_simulate(&parsed),
+        Some("array") => cmd_array(&parsed),
+        Some("advise") => cmd_advise(&parsed),
+        Some("complexity") => {
+            let rows = rsmem::complexity::section6_comparison();
+            Ok(report::render_complexity(&rows))
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn experiment_id(name: &str) -> Result<ExperimentId, String> {
+    ExperimentId::all()
+        .into_iter()
+        .find(|id| id.to_string() == name)
+        .ok_or_else(|| format!("unknown experiment {name:?}"))
+}
+
+fn cmd_experiment(parsed: &Parsed) -> Result<String, String> {
+    let name = parsed
+        .positional
+        .get(1)
+        .ok_or("experiment requires an id (see `rsmem list`)")?;
+    let id = experiment_id(name)?;
+    let output = run(id).map_err(|e| e.to_string())?;
+    match (output.figure(), output.table()) {
+        (Some(fig), _) if parsed.has("--csv") => Ok(report::figure_to_csv(fig)),
+        (Some(fig), _) if parsed.has("--plot") => Ok(rsmem::plot::ascii_plot(
+            fig,
+            &rsmem::plot::PlotOptions::default(),
+        )),
+        (Some(fig), _) => Ok(report::render_figure(fig)),
+        (_, Some(rows)) => Ok(report::render_complexity(rows)),
+        _ => unreachable!("experiment output is figure or table"),
+    }
+}
+
+fn system_from(parsed: &Parsed) -> Result<MemorySystem, String> {
+    let (n, k, m) = parsed.code_flag()?;
+    let code = CodeParams::new(n, k, m).map_err(|e| e.to_string())?;
+    let mut system = if parsed.has("--duplex") {
+        MemorySystem::duplex(code)
+    } else {
+        MemorySystem::simplex(code)
+    };
+    system = system
+        .with_seu_rate(SeuRate::per_bit_day(parsed.f64_flag("--seu", 0.0)?))
+        .with_erasure_rate(ErasureRate::per_symbol_day(
+            parsed.f64_flag("--erasure", 0.0)?,
+        ));
+    if parsed.value("--tsc").is_some() {
+        let tsc = parsed.f64_flag("--tsc", 0.0)?;
+        system = system.with_scrubbing(Scrubbing::every_seconds(tsc));
+    }
+    Ok(system)
+}
+
+fn horizon_from(parsed: &Parsed) -> Result<Time, String> {
+    if parsed.value("--months").is_some() {
+        Ok(Time::from_months(parsed.f64_flag("--months", 24.0)?))
+    } else {
+        Ok(Time::from_hours(parsed.f64_flag("--hours", 48.0)?))
+    }
+}
+
+fn cmd_ber(parsed: &Parsed) -> Result<String, String> {
+    let system = system_from(parsed)?;
+    let horizon = horizon_from(parsed)?;
+    let points = parsed.usize_flag("--points", 25)?.max(2);
+    let grid = TimeGrid::linspace(Time::zero(), horizon, points);
+    let curve = system.ber_curve(grid.points()).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    if parsed.has("--csv") {
+        let _ = writeln!(out, "hours,fail_probability,ber");
+        for (t, (p, b)) in grid
+            .points()
+            .iter()
+            .zip(curve.fail_probability.iter().zip(&curve.ber))
+        {
+            let _ = writeln!(out, "{},{p:e},{b:e}", t.as_hours());
+        }
+    } else {
+        let _ = writeln!(out, "{:>12} {:>14} {:>14}", "hours", "P_fail", "BER");
+        for (t, (p, b)) in grid
+            .points()
+            .iter()
+            .zip(curve.fail_probability.iter().zip(&curve.ber))
+        {
+            let _ = writeln!(out, "{:>12.3} {p:>14.4e} {b:>14.4e}", t.as_hours());
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_metrics(parsed: &Parsed) -> Result<String, String> {
+    let system = system_from(parsed)?;
+    let horizon = horizon_from(parsed)?;
+    let mut out = String::new();
+    let r = system.reliability(horizon).map_err(|e| e.to_string())?;
+    let uptime = system.expected_uptime(horizon).map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "horizon:          {horizon}");
+    let _ = writeln!(out, "reliability R(t): {r:.9}");
+    let _ = writeln!(out, "expected uptime:  {uptime}");
+    match system.mttf() {
+        Ok(mttf) => {
+            let _ = writeln!(out, "MTTF:             {mttf}");
+        }
+        Err(_) => {
+            let _ = writeln!(out, "MTTF:             unbounded (no failure reachable)");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_array(parsed: &Parsed) -> Result<String, String> {
+    let (n, k, m) = parsed.code_flag()?;
+    let words = parsed.usize_flag("--words", 32)?;
+    let mbu = parsed.usize_flag("--mbu", 1)? as u32;
+    let depth = parsed.usize_flag("--interleave", 1)?;
+    let trials = parsed.usize_flag("--trials", 200)?;
+    let seed = parsed.usize_flag("--seed", 42)? as u64;
+    let config = rsmem::array::ArrayConfig {
+        base: rsmem::SimConfig {
+            n,
+            k,
+            m,
+            seu_per_bit_day: parsed.f64_flag("--seu", 0.0)?,
+            erasure_per_symbol_day: parsed.f64_flag("--erasure", 0.0)?,
+            scrub: parsed
+                .value("--tsc")
+                .map(|_| -> Result<_, String> {
+                    let tsc = parsed.f64_flag("--tsc", 0.0)?;
+                    Ok((tsc / 86_400.0, rsmem::ScrubTiming::Periodic))
+                })
+                .transpose()?,
+            store_days: parsed.f64_flag("--days", 2.0)?,
+        },
+        words,
+        mbu_width_bits: mbu,
+        interleave_depth: depth,
+    };
+    let report = rsmem::array::run_simplex_array(&config, trials, seed)
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{} trials × {} words: {} failed words ({} silent); \
+         fraction {:.4e} (95% CI [{:.4e}, {:.4e}]), BER ≈ {:.4e}\n",
+        report.trials,
+        report.words,
+        report.failed_words,
+        report.silent_words,
+        report.word_failure_fraction,
+        report.wilson_95.0,
+        report.wilson_95.1,
+        report.ber_estimate
+    ))
+}
+
+fn cmd_simulate(parsed: &Parsed) -> Result<String, String> {
+    let system = system_from(parsed)?;
+    let days = parsed.f64_flag("--days", 2.0)?;
+    let trials = parsed.usize_flag("--trials", 1000)?;
+    let seed = parsed.usize_flag("--seed", 42)? as u64;
+    let report = system
+        .monte_carlo(
+            Time::from_days(days),
+            trials,
+            seed,
+            ScrubTiming::Periodic,
+        )
+        .map_err(|e| e.to_string())?;
+    Ok(format!("{report}\n"))
+}
+
+fn cmd_advise(parsed: &Parsed) -> Result<String, String> {
+    let system = system_from(parsed)?;
+    let horizon = horizon_from(parsed)?;
+    let target = parsed.f64_flag("--target-ber", 1e-6)?;
+    let rec = minimum_scrub_period(&system, target, horizon, Time::from_seconds(10.0))
+        .map_err(|e| e.to_string())?;
+    Ok(match rec {
+        ScrubRecommendation::NotNeeded => {
+            format!("target BER {target:e} met without scrubbing\n")
+        }
+        ScrubRecommendation::Period { period, achieved_ber } => format!(
+            "scrub every {:.0} s ({}) → BER {achieved_ber:.3e} ≤ {target:e}\n",
+            period.as_seconds(),
+            period
+        ),
+        ScrubRecommendation::Unachievable { best_ber } => format!(
+            "unachievable: even 10 s scrubbing gives BER {best_ber:.3e} > {target:e} \
+             (scrubbing cannot repair permanent faults)\n"
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(parts: &[&str]) -> Result<String, String> {
+        let argv: Vec<String> = parts.iter().map(ToString::to_string).collect();
+        dispatch(&argv)
+    }
+
+    #[test]
+    fn help_and_list() {
+        assert!(run_cli(&[]).unwrap().contains("USAGE"));
+        assert!(run_cli(&["help"]).unwrap().contains("rsmem"));
+        let list = run_cli(&["list"]).unwrap();
+        assert!(list.contains("fig9") && list.contains("complexity"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run_cli(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn experiment_complexity_table() {
+        let out = run_cli(&["experiment", "complexity"]).unwrap();
+        assert!(out.contains("308"));
+    }
+
+    #[test]
+    fn experiment_plot_renders_ascii_chart() {
+        let out = run_cli(&["experiment", "fig7", "--plot"]).unwrap();
+        assert!(out.contains("legend:"), "{out}");
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn experiment_requires_valid_id() {
+        assert!(run_cli(&["experiment"]).is_err());
+        assert!(run_cli(&["experiment", "fig99"]).is_err());
+    }
+
+    #[test]
+    fn ber_plain_and_csv() {
+        let plain = run_cli(&[
+            "ber", "--duplex", "--seu", "1.7e-5", "--hours", "48", "--points", "5",
+        ])
+        .unwrap();
+        assert!(plain.contains("BER"));
+        assert_eq!(plain.lines().count(), 6); // header + 5 points
+        let csv = run_cli(&[
+            "ber", "--seu", "1.7e-5", "--points", "3", "--csv",
+        ])
+        .unwrap();
+        assert!(csv.starts_with("hours,fail_probability,ber"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn ber_honors_code_flag() {
+        let out = run_cli(&[
+            "ber", "--code", "36,16,8", "--erasure", "1e-6", "--months", "24",
+            "--points", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("e-"));
+        assert!(run_cli(&["ber", "--code", "1,2"]).is_err());
+        assert!(run_cli(&["ber", "--code", "16,18,8"]).is_err()); // k > n
+    }
+
+    #[test]
+    fn simulate_reports_trials() {
+        let out = run_cli(&[
+            "simulate", "--seu", "1e-2", "--trials", "50", "--seed", "7", "--days", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("50 trials"));
+    }
+
+    #[test]
+    fn advise_recovers_paper_guidance() {
+        let out = run_cli(&[
+            "advise", "--duplex", "--seu", "1.7e-5", "--target-ber", "1e-6",
+            "--hours", "48",
+        ])
+        .unwrap();
+        assert!(out.contains("scrub every"), "{out}");
+    }
+
+    #[test]
+    fn metrics_command_reports_all_quantities() {
+        let out = run_cli(&[
+            "metrics", "--duplex", "--seu", "1e-4", "--hours", "48",
+        ])
+        .unwrap();
+        assert!(out.contains("reliability"));
+        assert!(out.contains("MTTF"));
+        assert!(out.contains("uptime"));
+        // A fault-free system has unbounded MTTF.
+        let free = run_cli(&["metrics"]).unwrap();
+        assert!(free.contains("unbounded"), "{free}");
+    }
+
+    #[test]
+    fn array_command_runs_mbu_campaign() {
+        let out = run_cli(&[
+            "array", "--seu", "1e-3", "--mbu", "4", "--interleave", "4", "--words",
+            "8", "--trials", "10", "--days", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("10 trials × 8 words"), "{out}");
+        // Bad interleave depth (does not divide words) is a typed error.
+        assert!(run_cli(&["array", "--interleave", "3", "--words", "8"]).is_err());
+    }
+
+    #[test]
+    fn advise_reports_unachievable_for_permanent_faults() {
+        let out = run_cli(&[
+            "advise", "--erasure", "1e-2", "--target-ber", "1e-12", "--hours", "720",
+        ])
+        .unwrap();
+        assert!(out.contains("unachievable"), "{out}");
+    }
+}

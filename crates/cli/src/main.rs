@@ -1,0 +1,35 @@
+//! `rsmem` — command-line interface to the Reed–Solomon memory
+//! reliability toolkit.
+//!
+//! ```text
+//! rsmem experiment <fig5|fig6|fig7|fig8|fig9|fig10|complexity> [--csv]
+//! rsmem ber       [system flags] [--hours H | --months M] [--points N] [--csv]
+//! rsmem simulate  [system flags] [--days D] [--trials N] [--seed S]
+//! rsmem advise    [system flags] [--target-ber B] [--hours H]
+//! rsmem complexity
+//! rsmem list
+//! ```
+//!
+//! System flags: `--duplex` (default simplex), `--code N,K,M`
+//! (default `18,16,8`), `--seu RATE` (/bit/day), `--erasure RATE`
+//! (/symbol/day), `--tsc SECONDS` (scrub period; omit to disable).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `rsmem help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Decode orchestration: syndromes → key equation → Chien → Forney →
+//! verification, with the flag semantics the duplex arbiter relies on.
+
+use crate::bm::berlekamp_massey;
+use crate::euclid::{modified_syndrome, solve_key_equation};
+use crate::forney::magnitude_at;
+use crate::locator::{erasure_locator, locator_positions};
+use crate::syndrome::{syndrome_poly, syndromes};
+use crate::{CodeError, RsCode};
+use rsmem_gf::Symbol;
+use std::fmt;
+
+/// Selects the key-equation solver.
+///
+/// Both back-ends implement the same contract and are cross-checked in the
+/// test-suite; [`DecoderBackend::Sugiyama`] is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DecoderBackend {
+    /// Extended-Euclidean (Sugiyama) solver.
+    #[default]
+    Sugiyama,
+    /// Berlekamp–Massey with erasure initialization.
+    BerlekampMassey,
+}
+
+impl fmt::Display for DecoderBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecoderBackend::Sugiyama => write!(f, "sugiyama"),
+            DecoderBackend::BerlekampMassey => write!(f, "berlekamp-massey"),
+        }
+    }
+}
+
+/// One applied symbol correction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Correction {
+    /// Codeword position that was modified.
+    pub position: usize,
+    /// The XOR-magnitude applied to the stored symbol.
+    pub magnitude: Symbol,
+    /// True when the position was declared as an erasure by the caller.
+    pub was_erasure: bool,
+}
+
+/// Why a decode attempt was *detected* as uncorrectable.
+///
+/// Note that an RS decoder can also *mis-correct* silently (produce a
+/// wrong codeword without noticing) when the corruption exceeds the code's
+/// capability; the duplex arbiter of the paper exists precisely to catch a
+/// subset of those cases by comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DecodeFailure {
+    /// More erasures than redundancy (`ρ > n − k`).
+    TooManyErasures {
+        /// Number of declared erasures.
+        erasures: usize,
+        /// The code's redundancy `n − k`.
+        redundancy: usize,
+    },
+    /// The key-equation solver produced no valid locator.
+    KeyEquation,
+    /// The claimed number of random errors exceeds the remaining
+    /// capability (`ρ + 2ν > n − k`).
+    CapabilityExceeded {
+        /// Declared erasures.
+        erasures: usize,
+        /// Locator-claimed random errors.
+        errors: usize,
+    },
+    /// The locator's root count over valid positions does not match its
+    /// degree (roots are repeated or fall outside the codeword).
+    RootCountMismatch,
+    /// The corrected word still has non-zero syndromes.
+    Unverified,
+}
+
+impl fmt::Display for DecodeFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeFailure::TooManyErasures { erasures, redundancy } => {
+                write!(f, "{erasures} erasures exceed redundancy {redundancy}")
+            }
+            DecodeFailure::KeyEquation => write!(f, "key equation has no valid solution"),
+            DecodeFailure::CapabilityExceeded { erasures, errors } => {
+                write!(f, "pattern ({erasures} erasures, {errors} errors) beyond capability")
+            }
+            DecodeFailure::RootCountMismatch => {
+                write!(f, "locator roots inconsistent with its degree")
+            }
+            DecodeFailure::Unverified => write!(f, "corrected word fails re-verification"),
+        }
+    }
+}
+
+/// The result of a decode attempt.
+///
+/// The *flag* terminology follows Section 3 of the paper: the duplex
+/// arbiter sets a per-word flag iff a correction was performed, which is
+/// exactly the [`DecodeOutcome::Corrected`] variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// The word was already a codeword; no correction performed
+    /// (flag **not** set).
+    Clean {
+        /// The decoded data symbols (`k` of them).
+        data: Vec<Symbol>,
+    },
+    /// Corrections were applied (flag **set**). If the corruption exceeded
+    /// the code's capability this may be a silent mis-correction — the
+    /// codeword is valid but not the one originally stored.
+    Corrected {
+        /// The decoded data symbols (`k` of them).
+        data: Vec<Symbol>,
+        /// The full corrected codeword (`n` symbols).
+        codeword: Vec<Symbol>,
+        /// The corrections applied, sorted by position.
+        corrections: Vec<Correction>,
+    },
+    /// Detected-uncorrectable word; no output produced.
+    Failure(DecodeFailure),
+}
+
+impl DecodeOutcome {
+    /// The arbiter flag: true iff a correction was performed.
+    pub fn is_flagged(&self) -> bool {
+        matches!(self, DecodeOutcome::Corrected { .. })
+    }
+
+    /// True for a detected decode failure.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, DecodeOutcome::Failure(_))
+    }
+
+    /// The decoded data, if any output was produced.
+    pub fn data(&self) -> Option<&[Symbol]> {
+        match self {
+            DecodeOutcome::Clean { data } | DecodeOutcome::Corrected { data, .. } => Some(data),
+            DecodeOutcome::Failure(_) => None,
+        }
+    }
+}
+
+fn validate_erasures(code: &RsCode, erasures: &[usize]) -> Result<(), CodeError> {
+    let mut seen = vec![false; code.n()];
+    for &pos in erasures {
+        if pos >= code.n() || seen[pos] {
+            return Err(CodeError::BadErasure {
+                position: pos,
+                n: code.n(),
+            });
+        }
+        seen[pos] = true;
+    }
+    Ok(())
+}
+
+pub(crate) fn decode_word(
+    code: &RsCode,
+    word: &[Symbol],
+    erasures: &[usize],
+    backend: DecoderBackend,
+) -> Result<DecodeOutcome, CodeError> {
+    if word.len() != code.n() {
+        return Err(CodeError::CodewordLength {
+            got: word.len(),
+            expected: code.n(),
+        });
+    }
+    code.check_symbols(word)?;
+    validate_erasures(code, erasures)?;
+
+    let rho = erasures.len();
+    let redundancy = code.parity_symbols();
+    if rho > redundancy {
+        return Ok(DecodeOutcome::Failure(DecodeFailure::TooManyErasures {
+            erasures: rho,
+            redundancy,
+        }));
+    }
+
+    let syn = syndromes(code, word);
+    if syn.iter().all(|&s| s == 0) {
+        // Already a codeword; erased positions evidently held valid data.
+        return Ok(DecodeOutcome::Clean {
+            data: code.data_of(word)?.to_vec(),
+        });
+    }
+
+    let field = code.field();
+    let s_poly = syndrome_poly(code, word);
+    let gamma = erasure_locator(code, erasures);
+
+    // Solve for the combined locator Ψ (errors × erasures).
+    let psi = match backend {
+        DecoderBackend::Sugiyama => {
+            let xi = modified_syndrome(code, &s_poly, &gamma);
+            let Some((lambda, _omega)) = solve_key_equation(code, &xi, rho) else {
+                return Ok(DecodeOutcome::Failure(DecodeFailure::KeyEquation));
+            };
+            let nu = lambda.degree_or_zero();
+            if rho + 2 * nu > redundancy {
+                return Ok(DecodeOutcome::Failure(DecodeFailure::CapabilityExceeded {
+                    erasures: rho,
+                    errors: nu,
+                }));
+            }
+            lambda.mul(&gamma, field)
+        }
+        DecoderBackend::BerlekampMassey => {
+            let Some(psi) = berlekamp_massey(code, &syn, &gamma, rho) else {
+                return Ok(DecodeOutcome::Failure(DecodeFailure::KeyEquation));
+            };
+            let nu = psi.degree_or_zero().saturating_sub(rho);
+            if rho + 2 * nu > redundancy {
+                return Ok(DecodeOutcome::Failure(DecodeFailure::CapabilityExceeded {
+                    erasures: rho,
+                    errors: nu,
+                }));
+            }
+            psi
+        }
+    };
+
+    // Evaluator for the combined key equation Ψ·S ≡ Ω (mod x^{2t}).
+    let omega = psi.mul(&s_poly, field).truncate_mod_xk(redundancy);
+
+    // Chien search over real codeword positions.
+    let positions = locator_positions(code, &psi);
+    if positions.len() != psi.degree_or_zero() {
+        return Ok(DecodeOutcome::Failure(DecodeFailure::RootCountMismatch));
+    }
+
+    // Forney magnitudes and correction.
+    let mut corrected = word.to_vec();
+    let mut corrections = Vec::with_capacity(positions.len());
+    for &pos in &positions {
+        let Ok(mag) = magnitude_at(code, &psi, &omega, pos) else {
+            return Ok(DecodeOutcome::Failure(DecodeFailure::RootCountMismatch));
+        };
+        if mag != 0 {
+            corrected[pos] ^= mag;
+            corrections.push(Correction {
+                position: pos,
+                magnitude: mag,
+                was_erasure: erasures.contains(&pos),
+            });
+        }
+    }
+
+    // Defensive re-verification: the corrected word must be a codeword.
+    if syndromes(code, &corrected).iter().any(|&s| s != 0) {
+        return Ok(DecodeOutcome::Failure(DecodeFailure::Unverified));
+    }
+    if corrections.is_empty() {
+        // Non-zero syndromes but zero net correction cannot verify; the
+        // branch above catches it, so reaching here means word == codeword.
+        return Ok(DecodeOutcome::Clean {
+            data: code.data_of(word)?.to_vec(),
+        });
+    }
+
+    let data = code.data_of(&corrected)?.to_vec();
+    Ok(DecodeOutcome::Corrected {
+        data,
+        codeword: corrected,
+        corrections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_15_9() -> RsCode {
+        RsCode::new(15, 9, 4).unwrap()
+    }
+
+    #[test]
+    fn clean_word_is_not_flagged() {
+        let code = code_15_9();
+        let data: Vec<Symbol> = (0..9).collect();
+        let word = code.encode(&data).unwrap();
+        let out = code.decode(&word, &[]).unwrap();
+        assert_eq!(out, DecodeOutcome::Clean { data });
+        assert!(!out.is_flagged());
+    }
+
+    #[test]
+    fn corrects_up_to_t_random_errors() {
+        let code = code_15_9(); // t = 3
+        let data: Vec<Symbol> = (1..=9).collect();
+        let clean = code.encode(&data).unwrap();
+        for backend in [DecoderBackend::Sugiyama, DecoderBackend::BerlekampMassey] {
+            let mut word = clean.clone();
+            word[0] ^= 3;
+            word[7] ^= 9;
+            word[14] ^= 1;
+            let out = code.decode_with(&word, &[], backend).unwrap();
+            match out {
+                DecodeOutcome::Corrected { data: d, corrections, .. } => {
+                    assert_eq!(d, data, "{backend}");
+                    assert_eq!(corrections.len(), 3);
+                }
+                other => panic!("{backend}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_full_erasure_budget() {
+        let code = code_15_9(); // n-k = 6 erasures correctable
+        let data: Vec<Symbol> = (2..=10).collect();
+        let clean = code.encode(&data).unwrap();
+        let erased = [0usize, 2, 4, 8, 11, 13];
+        let mut word = clean.clone();
+        for &p in &erased {
+            word[p] ^= 0xf; // clobber
+        }
+        for backend in [DecoderBackend::Sugiyama, DecoderBackend::BerlekampMassey] {
+            let out = code.decode_with(&word, &erased, backend).unwrap();
+            assert_eq!(out.data(), Some(&data[..]), "{backend}");
+        }
+    }
+
+    #[test]
+    fn corrects_mixed_patterns_on_capability_boundary() {
+        let code = code_15_9();
+        let data: Vec<Symbol> = vec![5; 9];
+        let clean = code.encode(&data).unwrap();
+        // er + 2·re = 2 + 2·2 = 6 = n−k: exactly at capability.
+        let erased = [1usize, 6];
+        let mut word = clean.clone();
+        word[1] ^= 7;
+        word[6] ^= 2;
+        word[3] ^= 9; // random error
+        word[12] ^= 4; // random error
+        for backend in [DecoderBackend::Sugiyama, DecoderBackend::BerlekampMassey] {
+            let out = code.decode_with(&word, &erased, backend).unwrap();
+            assert_eq!(out.data(), Some(&data[..]), "{backend}");
+            assert!(out.is_flagged());
+        }
+    }
+
+    #[test]
+    fn erasure_with_correct_value_costs_nothing_extra() {
+        let code = code_15_9();
+        let data: Vec<Symbol> = vec![1; 9];
+        let word = code.encode(&data).unwrap();
+        // Declare erasures but leave the symbols intact.
+        let out = code.decode(&word, &[3, 10]).unwrap();
+        assert_eq!(out, DecodeOutcome::Clean { data });
+    }
+
+    #[test]
+    fn too_many_erasures_is_detected() {
+        let code = code_15_9();
+        let word = code.encode(&vec![0; 9]).unwrap();
+        let erased: Vec<usize> = (0..7).collect(); // 7 > n−k = 6
+        let out = code.decode(&word, &erased).unwrap();
+        assert!(matches!(
+            out,
+            DecodeOutcome::Failure(DecodeFailure::TooManyErasures { erasures: 7, redundancy: 6 })
+        ));
+    }
+
+    #[test]
+    fn beyond_capability_fails_or_miscorrects_but_never_passes_silently() {
+        // 4 random errors on a t=3 code: the decoder must either detect
+        // failure or emit a flagged (possibly wrong) codeword.
+        let code = code_15_9();
+        let data: Vec<Symbol> = (0..9).collect();
+        let clean = code.encode(&data).unwrap();
+        let mut word = clean.clone();
+        for (i, p) in [0usize, 4, 9, 13].iter().enumerate() {
+            word[*p] ^= (i + 1) as Symbol;
+        }
+        for backend in [DecoderBackend::Sugiyama, DecoderBackend::BerlekampMassey] {
+            let out = code.decode_with(&word, &[], backend).unwrap();
+            match out {
+                DecodeOutcome::Failure(_) => {}
+                DecodeOutcome::Corrected { codeword, .. } => {
+                    // Miscorrection must at least be a valid codeword.
+                    assert!(code.is_codeword(&codeword).unwrap(), "{backend}");
+                }
+                DecodeOutcome::Clean { .. } => panic!("{backend}: corrupt word passed clean"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_api_errors_not_failures() {
+        let code = code_15_9();
+        let word = code.encode(&vec![0; 9]).unwrap();
+        assert!(code.decode(&word[..14], &[]).is_err());
+        assert!(code.decode(&word, &[15]).is_err()); // out of range
+        assert!(code.decode(&word, &[3, 3]).is_err()); // duplicate
+        let mut bad = word.clone();
+        bad[2] = 99; // out of GF(16)
+        assert!(code.decode(&bad, &[]).is_err());
+    }
+
+    #[test]
+    fn paper_rs18_16_corrects_one_error_or_two_erasures() {
+        let code = RsCode::new(18, 16, 8).unwrap();
+        let data: Vec<Symbol> = (100..116).collect();
+        let clean = code.encode(&data).unwrap();
+
+        let mut one_err = clean.clone();
+        one_err[9] ^= 0x55;
+        assert_eq!(code.decode(&one_err, &[]).unwrap().data(), Some(&data[..]));
+
+        let mut two_era = clean.clone();
+        two_era[0] ^= 0xff;
+        two_era[17] ^= 0x01;
+        assert_eq!(
+            code.decode(&two_era, &[0, 17]).unwrap().data(),
+            Some(&data[..])
+        );
+
+        // Two random errors exceed capability (2·2 > 2).
+        let mut two_err = clean.clone();
+        two_err[2] ^= 0x10;
+        two_err[5] ^= 0x20;
+        let out = code.decode(&two_err, &[]).unwrap();
+        assert!(out.is_failure() || out.is_flagged());
+        assert_ne!(out.data(), Some(&data[..]));
+    }
+
+    #[test]
+    fn paper_rs36_16_corrects_ten_errors() {
+        let code = RsCode::new(36, 16, 8).unwrap();
+        let data: Vec<Symbol> = (0..16).map(|i| i * 3 + 1).collect();
+        let clean = code.encode(&data).unwrap();
+        let mut word = clean.clone();
+        for i in 0..10 {
+            word[i * 3] ^= (i + 1) as Symbol;
+        }
+        let out = code.decode(&word, &[]).unwrap();
+        assert_eq!(out.data(), Some(&data[..]));
+    }
+}

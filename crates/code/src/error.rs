@@ -1,0 +1,93 @@
+use rsmem_gf::GfError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from code construction or misuse of the codec API.
+///
+/// Uncorrectable channel conditions are *not* errors in this sense — they
+/// are reported as [`crate::DecodeOutcome::Failure`], because a detected
+/// decoding failure is a normal, modelled event for the memory systems
+/// built on top of this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// Invalid (n, k, m) combination.
+    InvalidParameters {
+        /// Codeword length in symbols.
+        n: usize,
+        /// Dataword length in symbols.
+        k: usize,
+        /// Symbol width in bits.
+        m: u32,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The supplied dataword does not have exactly `k` symbols.
+    DatawordLength {
+        /// Symbols supplied.
+        got: usize,
+        /// Symbols expected (`k`).
+        expected: usize,
+    },
+    /// The supplied word does not have exactly `n` symbols.
+    CodewordLength {
+        /// Symbols supplied.
+        got: usize,
+        /// Symbols expected (`n`).
+        expected: usize,
+    },
+    /// An erasure position is out of `0..n` or repeated.
+    BadErasure {
+        /// The offending position.
+        position: usize,
+        /// Codeword length.
+        n: usize,
+    },
+    /// A symbol value does not fit in the field.
+    SymbolOutOfRange {
+        /// Index within the supplied slice.
+        index: usize,
+        /// The offending value.
+        value: u32,
+    },
+    /// An underlying field error (should not occur for validated inputs).
+    Field(GfError),
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParameters { n, k, m, reason } => {
+                write!(f, "invalid RS({n},{k}) over GF(2^{m}): {reason}")
+            }
+            CodeError::DatawordLength { got, expected } => {
+                write!(f, "dataword has {got} symbols, expected {expected}")
+            }
+            CodeError::CodewordLength { got, expected } => {
+                write!(f, "codeword has {got} symbols, expected {expected}")
+            }
+            CodeError::BadErasure { position, n } => {
+                write!(f, "erasure position {position} invalid for codeword length {n}")
+            }
+            CodeError::SymbolOutOfRange { index, value } => {
+                write!(f, "symbol {value} at index {index} out of field range")
+            }
+            CodeError::Field(e) => write!(f, "field error: {e}"),
+        }
+    }
+}
+
+impl Error for CodeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodeError::Field(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GfError> for CodeError {
+    fn from(e: GfError) -> Self {
+        CodeError::Field(e)
+    }
+}

@@ -1,0 +1,106 @@
+//! Sugiyama (extended-Euclidean) key-equation solver for
+//! errors-and-erasures decoding.
+//!
+//! Given the syndrome polynomial `S(x)` and erasure locator `Γ(x)` of
+//! degree `ρ`, the modified syndrome is `Ξ(x) = S(x)·Γ(x) mod x^{2t}`
+//! (`2t = n − k`). The error locator `Λ(x)` and combined evaluator `Ω(x)`
+//! satisfy the key equation
+//!
+//! ```text
+//! Λ(x)·Ξ(x) ≡ Ω(x)   (mod x^{2t}),
+//! deg Λ ≤ (2t − ρ)/2,     deg Ω < (2t + ρ)/2.
+//! ```
+//!
+//! Running the Euclidean remainder sequence on `(x^{2t}, Ξ)` until the
+//! remainder degree drops below `(2t + ρ)/2` yields exactly this pair.
+
+use crate::RsCode;
+use rsmem_gf::{Poly, Symbol};
+
+/// Solves the key equation, returning `(error_locator, evaluator)`.
+///
+/// The returned locator is normalized to constant term 1 when possible;
+/// the evaluator is scaled consistently so Forney's formula stays valid.
+/// Returns `None` when the remainder sequence degenerates (an
+/// uncorrectable pattern that the caller reports as a decode failure).
+pub(crate) fn solve_key_equation(
+    code: &RsCode,
+    modified_syndrome: &Poly,
+    erasure_count: usize,
+) -> Option<(Poly, Poly)> {
+    let field = code.field();
+    let two_t = code.parity_symbols();
+    let stop = (two_t + erasure_count).div_ceil(2);
+    let x2t = Poly::monomial(1, two_t);
+    let (omega, lambda) =
+        Poly::partial_xgcd(&x2t, modified_syndrome, stop, field).ok()?;
+    if lambda.is_zero() {
+        return None;
+    }
+    // Normalize so Λ(0) = 1 (locators are products of (1 − X x) factors).
+    let c0 = lambda.coeff(0);
+    if c0 == 0 {
+        // Λ(0) = 0 means x divides Λ — not a valid locator.
+        return None;
+    }
+    let c0_inv = field.inv(c0).ok()?;
+    let lambda_n = lambda.scale(c0_inv, field);
+    let omega_n = omega.scale(c0_inv, field);
+    Some((lambda_n, omega_n))
+}
+
+/// Computes the modified syndrome `Ξ(x) = S(x)·Γ(x) mod x^{2t}`.
+pub(crate) fn modified_syndrome(code: &RsCode, s: &Poly, gamma: &Poly) -> Poly {
+    s.mul(gamma, code.field())
+        .truncate_mod_xk(code.parity_symbols())
+}
+
+#[allow(dead_code)]
+pub(crate) fn poly_from(coeffs: &[Symbol]) -> Poly {
+    Poly::from_coeffs(coeffs.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locator::erasure_locator;
+    use crate::syndrome::syndrome_poly;
+
+    #[test]
+    fn key_equation_holds_for_single_error() {
+        let code = RsCode::new(15, 9, 4).unwrap();
+        let f = code.field();
+        let word = {
+            let mut w = code.encode(&vec![0; 9]).unwrap();
+            w[6] ^= 9;
+            w
+        };
+        let s = syndrome_poly(&code, &word);
+        let gamma = Poly::one();
+        let xi = modified_syndrome(&code, &s, &gamma);
+        let (lambda, omega) = solve_key_equation(&code, &xi, 0).unwrap();
+        // Λ must vanish at α^{-6}.
+        assert_eq!(lambda.eval(f, f.alpha_pow_signed(-6)), 0);
+        // Λ·Ξ ≡ Ω (mod x^{2t}).
+        let lhs = lambda.mul(&xi, f).truncate_mod_xk(code.parity_symbols());
+        assert_eq!(lhs, omega.truncate_mod_xk(code.parity_symbols()));
+    }
+
+    #[test]
+    fn erasures_only_yields_trivial_error_locator() {
+        let code = RsCode::new(15, 9, 4).unwrap();
+        let word = {
+            let mut w = code.encode(&vec![1; 9]).unwrap();
+            w[2] ^= 3;
+            w[10] ^= 7;
+            w
+        };
+        let erasures = [2usize, 10];
+        let s = syndrome_poly(&code, &word);
+        let gamma = erasure_locator(&code, &erasures);
+        let xi = modified_syndrome(&code, &s, &gamma);
+        let (lambda, _) = solve_key_equation(&code, &xi, erasures.len()).unwrap();
+        // With all corruption erased, no random-error locator is needed.
+        assert_eq!(lambda.degree(), Some(0));
+    }
+}

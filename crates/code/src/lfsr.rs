@@ -1,0 +1,194 @@
+//! Hardware-model systematic encoder: the LFSR division circuit.
+//!
+//! Hardware RS encoders (like the Altera IP core the paper cites for its
+//! complexity model) compute the parity remainder with a linear-feedback
+//! shift register that consumes one data symbol per clock. This module
+//! models that circuit symbol-by-symbol — `n − k` register stages,
+//! feedback taps equal to the generator coefficients — so the workspace
+//! has a cycle-accurate encoder to hold against the polynomial encoder
+//! (they must agree bit-for-bit) and to ground the `3n`-cycle latency
+//! intuition of [`crate::complexity`].
+
+use crate::{CodeError, RsCode, Symbol};
+
+/// The LFSR parity-generation circuit of a systematic RS encoder.
+///
+/// # Examples
+///
+/// ```
+/// use rsmem_code::{RsCode, LfsrEncoder};
+///
+/// # fn main() -> Result<(), rsmem_code::CodeError> {
+/// let code = RsCode::new(18, 16, 8)?;
+/// let data: Vec<u16> = (0..16).collect();
+/// let word = LfsrEncoder::new(&code).encode(&data)?;
+/// assert_eq!(word, code.encode(&data)?); // agrees with the polynomial path
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LfsrEncoder<'c> {
+    code: &'c RsCode,
+    /// Feedback taps: generator coefficients g_0 .. g_{n−k−1}
+    /// (the monic leading coefficient is implicit).
+    taps: Vec<Symbol>,
+    /// Register stages, index 0 = the stage feeding the output.
+    stages: Vec<Symbol>,
+    /// Clock cycles consumed since the last reset.
+    cycles: u64,
+}
+
+impl<'c> LfsrEncoder<'c> {
+    /// Builds the circuit for a code.
+    pub fn new(code: &'c RsCode) -> Self {
+        let redundancy = code.parity_symbols();
+        let taps: Vec<Symbol> = (0..redundancy)
+            .map(|i| code.generator().coeff(i))
+            .collect();
+        LfsrEncoder {
+            code,
+            taps,
+            stages: vec![0; redundancy],
+            cycles: 0,
+        }
+    }
+
+    /// Clears the register for a new word.
+    pub fn reset(&mut self) {
+        self.stages.fill(0);
+        self.cycles = 0;
+    }
+
+    /// Clocks one data symbol into the circuit (data enters high-order
+    /// first, exactly as a serial hardware encoder sees it).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::SymbolOutOfRange`] for a symbol outside the field.
+    pub fn clock(&mut self, symbol: Symbol) -> Result<(), CodeError> {
+        let field = self.code.field();
+        if !field.contains(symbol) {
+            return Err(CodeError::SymbolOutOfRange {
+                index: self.cycles as usize,
+                value: symbol as u32,
+            });
+        }
+        let redundancy = self.stages.len();
+        // Feedback = incoming symbol + top register stage.
+        let feedback = field.add(symbol, self.stages[redundancy - 1]);
+        for i in (1..redundancy).rev() {
+            self.stages[i] = field.add(self.stages[i - 1], field.mul(feedback, self.taps[i]));
+        }
+        self.stages[0] = field.mul(feedback, self.taps[0]);
+        self.cycles += 1;
+        Ok(())
+    }
+
+    /// The parity symbols currently held (valid after `k` clocks).
+    pub fn parity(&self) -> &[Symbol] {
+        &self.stages
+    }
+
+    /// Clock cycles consumed since the last reset.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Encodes a full dataword by clocking it through the circuit and
+    /// assembling the systematic codeword (parity first, data after —
+    /// the same layout as [`RsCode::encode`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::DatawordLength`] / [`CodeError::SymbolOutOfRange`] on
+    /// malformed input.
+    pub fn encode(mut self, data: &[Symbol]) -> Result<Vec<Symbol>, CodeError> {
+        if data.len() != self.code.k() {
+            return Err(CodeError::DatawordLength {
+                got: data.len(),
+                expected: self.code.k(),
+            });
+        }
+        self.reset();
+        // The codeword polynomial stores data in its TOP coefficients, so
+        // the highest-index data symbol is the first into the divider.
+        for &s in data.iter().rev() {
+            self.clock(s)?;
+        }
+        let mut word = self.stages.clone();
+        word.extend_from_slice(data);
+        Ok(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes() -> Vec<RsCode> {
+        vec![
+            RsCode::new(18, 16, 8).unwrap(),
+            RsCode::new(36, 16, 8).unwrap(),
+            RsCode::new(15, 9, 4).unwrap(),
+            RsCode::with_first_root(15, 11, 4, 1).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn lfsr_agrees_with_polynomial_encoder() {
+        for code in codes() {
+            let size = code.field().size() as u64;
+            for seed in 0..8u64 {
+                let data: Vec<Symbol> = (0..code.k() as u64)
+                    .map(|i| {
+                        ((seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i * 0x2545f491))
+                            % size) as Symbol
+                    })
+                    .collect();
+                let poly_word = code.encode(&data).unwrap();
+                let lfsr_word = LfsrEncoder::new(&code).encode(&data).unwrap();
+                assert_eq!(lfsr_word, poly_word, "{code:?} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_one_per_data_symbol() {
+        let code = RsCode::new(18, 16, 8).unwrap();
+        let mut enc = LfsrEncoder::new(&code);
+        for s in 0..16 as Symbol {
+            enc.clock(s).unwrap();
+        }
+        assert_eq!(enc.cycles(), 16);
+        enc.reset();
+        assert_eq!(enc.cycles(), 0);
+        assert!(enc.parity().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn zero_data_leaves_register_clear() {
+        let code = RsCode::new(15, 9, 4).unwrap();
+        let word = LfsrEncoder::new(&code).encode(&vec![0; 9]).unwrap();
+        assert!(word.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        let code = RsCode::new(15, 9, 4).unwrap();
+        assert!(LfsrEncoder::new(&code).encode(&[1, 2]).is_err());
+        let mut enc = LfsrEncoder::new(&code);
+        assert!(enc.clock(16).is_err()); // outside GF(16)
+    }
+
+    #[test]
+    fn incremental_and_batch_agree() {
+        let code = RsCode::new(15, 11, 4).unwrap();
+        let data: Vec<Symbol> = (1..=11).collect();
+        let batch = LfsrEncoder::new(&code).encode(&data).unwrap();
+        let mut enc = LfsrEncoder::new(&code);
+        for &s in data.iter().rev() {
+            enc.clock(s).unwrap();
+        }
+        assert_eq!(enc.parity(), &batch[..4]);
+    }
+}

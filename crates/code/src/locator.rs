@@ -1,0 +1,80 @@
+//! Locator polynomials and root finding over codeword positions.
+
+use crate::RsCode;
+use rsmem_gf::Poly;
+
+/// Builds the erasure locator `Γ(x) = ∏_l (1 − X_l x)` where
+/// `X_l = α^{pos_l}` for each erased position.
+pub(crate) fn erasure_locator(code: &RsCode, erasures: &[usize]) -> Poly {
+    let field = code.field();
+    let mut acc = Poly::one();
+    for &pos in erasures {
+        let x_l = field.alpha_pow(pos as u32);
+        // (1 + X_l x) — minus is plus in characteristic 2.
+        let factor = Poly::from_coeffs([1, x_l]);
+        acc = acc.mul(&factor, field);
+    }
+    acc
+}
+
+/// Chien-style search: finds codeword positions `i` such that `α^{−i}` is a
+/// root of `locator`, i.e. the positions the locator points at.
+///
+/// The scan is restricted to `0..n`, which for shortened codes skips the
+/// virtual (always-zero) positions.
+pub(crate) fn locator_positions(code: &RsCode, locator: &Poly) -> Vec<usize> {
+    let field = code.field();
+    let mut out = Vec::new();
+    for i in 0..code.n() {
+        let x_inv = field.alpha_pow_signed(-(i as i64));
+        if locator.eval(field, x_inv) == 0 {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erasure_locator_degree_equals_count() {
+        let code = RsCode::new(15, 9, 4).unwrap();
+        assert_eq!(erasure_locator(&code, &[]).degree(), Some(0));
+        assert_eq!(erasure_locator(&code, &[2, 5, 9]).degree(), Some(3));
+    }
+
+    #[test]
+    fn erasure_locator_roots_are_inverse_locators() {
+        let code = RsCode::new(15, 9, 4).unwrap();
+        let f = code.field();
+        let positions = [0usize, 3, 14];
+        let gamma = erasure_locator(&code, &positions);
+        for &p in &positions {
+            let x_inv = f.alpha_pow_signed(-(p as i64));
+            assert_eq!(gamma.eval(f, x_inv), 0, "position {p}");
+        }
+        // A non-erased position must not be a root.
+        let x_inv = f.alpha_pow_signed(-7);
+        assert_ne!(gamma.eval(f, x_inv), 0);
+    }
+
+    #[test]
+    fn locator_positions_roundtrip() {
+        let code = RsCode::new(18, 16, 8).unwrap();
+        let positions = vec![1usize, 4, 17];
+        let gamma = erasure_locator(&code, &positions);
+        assert_eq!(locator_positions(&code, &gamma), positions);
+    }
+
+    #[test]
+    fn shortened_code_scan_stops_at_n() {
+        // A locator pointing beyond n-1 yields no in-range position.
+        let code = RsCode::new(12, 8, 4).unwrap();
+        let f = code.field();
+        let x14 = f.alpha_pow(14);
+        let gamma = Poly::from_coeffs([1, x14]); // points at virtual position 14
+        assert!(locator_positions(&code, &gamma).is_empty());
+    }
+}

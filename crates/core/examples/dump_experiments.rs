@@ -1,0 +1,29 @@
+//! Maintainer tool: prints the mid-point and end-point of every series of
+//! every figure experiment — the numbers EXPERIMENTS.md records.
+//!
+//! Run with `cargo run --release -p rsmem --example dump_experiments`.
+
+use rsmem::experiments::{run, ExperimentId};
+
+fn main() {
+    for id in [
+        ExperimentId::Fig5,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::Fig10,
+    ] {
+        let out = run(id).expect("experiment runs");
+        let fig = out.figure().expect("figure experiment");
+        println!("--- {id}: {}", fig.title);
+        for s in &fig.series {
+            let mid = s.points[s.points.len() / 2];
+            let last = s.points.last().expect("points");
+            println!(
+                "  {:<10} mid({:.1}, {:.3e})  end({:.1}, {:.3e})",
+                s.label, mid.0, mid.1, last.0, last.1
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+use rsmem_code::CodeError;
+use rsmem_models::ModelError;
+use rsmem_sim::SimError;
+use std::fmt;
+
+/// The unified error type of the `rsmem` façade.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Analytic-model error (configuration or solver).
+    Model(ModelError),
+    /// Monte-Carlo simulator error.
+    Sim(SimError),
+    /// Codec error.
+    Code(CodeError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Model(e) => write!(f, "{e}"),
+            Error::Sim(e) => write!(f, "{e}"),
+            Error::Code(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Code(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for Error {
+    fn from(e: ModelError) -> Self {
+        Error::Model(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<CodeError> for Error {
+    fn from(e: CodeError) -> Self {
+        Error::Code(e)
+    }
+}

@@ -1,0 +1,21 @@
+//! The Section-6 decoder complexity comparison.
+
+use rsmem_code::complexity::{section6_comparison, ComplexityRow};
+
+/// The three-arrangement comparison table of the paper's Section 6.
+pub(super) fn table() -> Vec<ComplexityRow> {
+    section6_comparison()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_reproduces_paper_numbers() {
+        let rows = table();
+        assert_eq!(rows[0].decode_cycles, 74); // simplex RS(18,16)
+        assert_eq!(rows[1].decode_cycles, 74); // duplex RS(18,16)
+        assert_eq!(rows[2].decode_cycles, 308); // simplex RS(36,16)
+    }
+}

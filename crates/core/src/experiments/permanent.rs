@@ -1,0 +1,153 @@
+//! Figures 8–10: permanent-fault studies over a 24-month storage horizon
+//! (no scrubbing, no SEUs — scrubbing cannot repair permanent faults and
+//! the paper's sweep isolates the erasure mechanism).
+
+use super::{
+    ExperimentId, Figure, Series, GRID_POINTS, PERMANENT_HORIZON_MONTHS,
+    PERMANENT_RATES_PER_SYMBOL_DAY,
+};
+use crate::{Error, MemorySystem};
+use rsmem_models::units::{ErasureRate, Time, TimeGrid};
+use rsmem_models::CodeParams;
+
+fn grid() -> TimeGrid {
+    TimeGrid::linspace(
+        Time::zero(),
+        Time::from_months(PERMANENT_HORIZON_MONTHS),
+        GRID_POINTS,
+    )
+}
+
+fn permanent_sweep(
+    make: impl Fn(f64) -> MemorySystem,
+    id: ExperimentId,
+    title: &str,
+) -> Result<Figure, Error> {
+    let grid = grid();
+    let mut series = Vec::new();
+    for &rate in &PERMANENT_RATES_PER_SYMBOL_DAY {
+        let system = make(rate);
+        let curve = system.ber_curve(grid.points())?;
+        series.push(Series {
+            label: format!("{rate:.0E}"),
+            points: curve.as_months_series(),
+        });
+    }
+    Ok(Figure {
+        id,
+        title: title.to_owned(),
+        x_label: "months".to_owned(),
+        y_label: "BER".to_owned(),
+        series,
+    })
+}
+
+/// Fig. 8 — simplex RS(18,16) under varying permanent-fault rates.
+pub(super) fn fig8() -> Result<Figure, Error> {
+    permanent_sweep(
+        |rate| {
+            MemorySystem::simplex(CodeParams::rs18_16())
+                .with_erasure_rate(ErasureRate::per_symbol_day(rate))
+        },
+        ExperimentId::Fig8,
+        "BER of Simplex RS(18,16) varying permanent faults rate",
+    )
+}
+
+/// Fig. 9 — duplex RS(18,16) under varying permanent-fault rates.
+pub(super) fn fig9() -> Result<Figure, Error> {
+    permanent_sweep(
+        |rate| {
+            MemorySystem::duplex(CodeParams::rs18_16())
+                .with_erasure_rate(ErasureRate::per_symbol_day(rate))
+        },
+        ExperimentId::Fig9,
+        "BER of Duplex RS(18,16) varying permanent faults rate",
+    )
+}
+
+/// Fig. 10 — simplex RS(36,16) under varying permanent-fault rates.
+pub(super) fn fig10() -> Result<Figure, Error> {
+    permanent_sweep(
+        |rate| {
+            MemorySystem::simplex(CodeParams::rs36_16())
+                .with_erasure_rate(ErasureRate::per_symbol_day(rate))
+        },
+        ExperimentId::Fig10,
+        "BER of Simplex RS(36,16) varying the permanent faults rate",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn final_ber(fig: &Figure, series_idx: usize) -> f64 {
+        fig.series[series_idx].points[GRID_POINTS - 1].1
+    }
+
+    #[test]
+    fn fig8_rates_order_the_curves() {
+        let fig = fig8().unwrap();
+        for i in 1..fig.series.len() {
+            assert!(
+                final_ber(&fig, i - 1) > final_ber(&fig, i),
+                "higher λe must give higher BER"
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_duplex_dramatically_outperforms_simplex() {
+        // Paper: duplex BER floor reaches ~1e-60 where simplex sits at
+        // ~1e-30 — the exponent roughly doubles because failure needs
+        // double-erasure pairs.
+        let s = fig8().unwrap();
+        let d = fig9().unwrap();
+        // Compare at the lowest rate (last series).
+        let last = PERMANENT_RATES_PER_SYMBOL_DAY.len() - 1;
+        let (sb, db) = (final_ber(&s, last), final_ber(&d, last));
+        assert!(sb > 0.0 && db > 0.0);
+        let (ls, ld) = (sb.log10(), db.log10());
+        assert!(
+            ld < 1.5 * ls, // ld is "more negative" than ~1.5× ls
+            "expected duplex exponent ≈ 2× simplex: simplex 1e{ls:.0}, duplex 1e{ld:.0}"
+        );
+    }
+
+    #[test]
+    fn fig10_wide_code_beats_everything_at_low_rates() {
+        let s18 = fig8().unwrap();
+        let s36 = fig10().unwrap();
+        let last = PERMANENT_RATES_PER_SYMBOL_DAY.len() - 1;
+        let (b18, b36) = (final_ber(&s18, last), final_ber(&s36, last));
+        // RS(36,16) needs 21 erasures to die vs 3: astronomically better.
+        assert!(
+            b36 < b18 * 1e-20 || b36 == 0.0,
+            "RS(36,16) {b36:e} vs RS(18,16) {b18:e}"
+        );
+    }
+
+    #[test]
+    fn fig9_beats_duplex_redundancy_equivalent_wide_simplex_is_false() {
+        // Paper: "the RS(18,16) duplex ... shows a degradation in
+        // performance compared with a simplex system employing a
+        // RS(36,16) code" — i.e. wide simplex < duplex in BER.
+        let d = fig9().unwrap();
+        let w = fig10().unwrap();
+        // Compare at the highest rate (first series), end of horizon.
+        let (db, wb) = (final_ber(&d, 0), final_ber(&w, 0));
+        assert!(wb < db, "RS(36,16) simplex {wb:e} must beat duplex {db:e}");
+    }
+
+    #[test]
+    fn tiny_ber_values_are_resolved_not_flushed() {
+        // The whole point of the uniformization solver: the low-rate
+        // duplex curves live at ~1e-60 and below and must remain nonzero.
+        let d = fig9().unwrap();
+        let last = PERMANENT_RATES_PER_SYMBOL_DAY.len() - 1;
+        let b = final_ber(&d, last);
+        assert!(b > 0.0, "flushed to zero");
+        assert!(b < 1e-30, "implausibly large: {b:e}");
+    }
+}

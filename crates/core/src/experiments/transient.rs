@@ -1,0 +1,145 @@
+//! Figures 5–7: transient-fault (SEU) studies over a 48-hour storage
+//! horizon.
+
+use super::{
+    ExperimentId, Figure, Series, GRID_POINTS, SCRUB_PERIODS_S, SEU_RATES_PER_BIT_DAY,
+    TRANSIENT_HORIZON_HOURS, WORST_CASE_SEU,
+};
+use crate::{Error, MemorySystem};
+use rsmem_models::units::{SeuRate, Time, TimeGrid};
+use rsmem_models::{CodeParams, Scrubbing};
+
+fn grid() -> TimeGrid {
+    TimeGrid::linspace(
+        Time::zero(),
+        Time::from_hours(TRANSIENT_HORIZON_HOURS),
+        GRID_POINTS,
+    )
+}
+
+fn seu_sweep(make: impl Fn(f64) -> MemorySystem, id: ExperimentId, title: &str) -> Result<Figure, Error> {
+    let grid = grid();
+    let mut series = Vec::new();
+    for &rate in &SEU_RATES_PER_BIT_DAY {
+        let system = make(rate);
+        let curve = system.ber_curve(grid.points())?;
+        series.push(Series {
+            label: format!("{rate:.1E}"),
+            points: curve.as_hours_series(),
+        });
+    }
+    Ok(Figure {
+        id,
+        title: title.to_owned(),
+        x_label: "hours".to_owned(),
+        y_label: "BER".to_owned(),
+        series,
+    })
+}
+
+/// Fig. 5 — BER of simplex RS(18,16) under different SEU rates, no
+/// scrubbing, no permanent faults.
+pub(super) fn fig5() -> Result<Figure, Error> {
+    seu_sweep(
+        |rate| {
+            MemorySystem::simplex(CodeParams::rs18_16())
+                .with_seu_rate(SeuRate::per_bit_day(rate))
+        },
+        ExperimentId::Fig5,
+        "BER of Simplex RS(18,16)",
+    )
+}
+
+/// Fig. 6 — BER of duplex RS(18,16) under different SEU rates.
+pub(super) fn fig6() -> Result<Figure, Error> {
+    seu_sweep(
+        |rate| {
+            MemorySystem::duplex(CodeParams::rs18_16())
+                .with_seu_rate(SeuRate::per_bit_day(rate))
+        },
+        ExperimentId::Fig6,
+        "BER of duplex RS(18,16)",
+    )
+}
+
+/// Fig. 7 — BER of duplex RS(18,16) at the worst-case SEU rate for four
+/// scrubbing periods.
+pub(super) fn fig7() -> Result<Figure, Error> {
+    let grid = grid();
+    let mut series = Vec::new();
+    for &period_s in &SCRUB_PERIODS_S {
+        let system = MemorySystem::duplex(CodeParams::rs18_16())
+            .with_seu_rate(SeuRate::per_bit_day(WORST_CASE_SEU))
+            .with_scrubbing(Scrubbing::every_seconds(period_s));
+        let curve = system.ber_curve(grid.points())?;
+        series.push(Series {
+            label: format!("{period_s:.0} s"),
+            points: curve.as_hours_series(),
+        });
+    }
+    Ok(Figure {
+        id: ExperimentId::Fig7,
+        title: "BER of Duplex RS(18,16) with different Tsc".to_owned(),
+        x_label: "hours".to_owned(),
+        y_label: "BER".to_owned(),
+        series,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_curves_are_ordered_by_seu_rate() {
+        let fig = fig5().unwrap();
+        // At the final time point, a higher SEU rate must give a higher
+        // BER; the series are in ascending-rate order.
+        let finals: Vec<f64> = fig.series.iter().map(|s| s.points[GRID_POINTS - 1].1).collect();
+        assert!(finals[0] < finals[1] && finals[1] < finals[2], "{finals:?}");
+    }
+
+    #[test]
+    fn fig5_worst_case_magnitude_matches_paper_range() {
+        // Paper Fig. 5: at λ = 1.7e-5 the 48 h BER sits around 1e-5..1e-4.
+        let fig = fig5().unwrap();
+        let worst = fig.series.last().unwrap().points[GRID_POINTS - 1].1;
+        assert!((1e-6..1e-3).contains(&worst), "BER(48h) = {worst:e}");
+    }
+
+    #[test]
+    fn fig6_duplex_is_same_range_as_simplex() {
+        // The paper: "the values for the BER are in the same range for all
+        // considered transient fault rates" (Figs. 5 vs 6).
+        let s = fig5().unwrap();
+        let d = fig6().unwrap();
+        for (ss, ds) in s.series.iter().zip(&d.series) {
+            let (sb, db) = (ss.points[GRID_POINTS - 1].1, ds.points[GRID_POINTS - 1].1);
+            let ratio = db / sb;
+            assert!(
+                (0.5..=4.0).contains(&ratio),
+                "duplex/simplex ratio {ratio} out of 'same range'"
+            );
+        }
+    }
+
+    #[test]
+    fn fig7_sub_hour_scrubbing_keeps_ber_below_1e6() {
+        // Paper: "a scrubbing frequency of lower than once per hour is
+        // sufficient to maintain the BER below 1e-6".
+        let fig = fig7().unwrap();
+        for s in &fig.series {
+            let maximum = s.points.iter().map(|&(_, b)| b).fold(0.0, f64::max);
+            assert!(maximum < 1e-6, "Tsc={}: max BER {maximum:e}", s.label);
+        }
+    }
+
+    #[test]
+    fn fig7_longer_periods_are_worse() {
+        let fig = fig7().unwrap();
+        let finals: Vec<f64> = fig.series.iter().map(|s| s.points[GRID_POINTS - 1].1).collect();
+        for w in finals.windows(2) {
+            assert!(w[0] < w[1], "{finals:?}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! # rsmem — Reed–Solomon coded memory reliability analysis
+//!
+//! A from-scratch reproduction of *"On the Analysis of Reed Solomon
+//! Coding for Resilience to Transient/Permanent Faults in Highly Reliable
+//! Memories"* (Schiano, Ottavi, Lombardi, Pontarelli, Salsano —
+//! DATE 2005), packaged as a reusable library.
+//!
+//! The paper studies two arrangements of an RS-coded memory for space
+//! Solid State Mass Memories — a **simplex** (one module) and a **duplex**
+//! (two modules behind a flag-comparing arbiter) — under transient faults
+//! (SEUs → random errors, rate `λ`/bit/day), permanent faults (located
+//! stuck-ats → erasures, rate `λe`/symbol/day) and periodic **scrubbing**.
+//! It evaluates the Bit Error Rate `BER(t) = m·(n−k)/k·P_Fail(t)` with
+//! continuous-time Markov models.
+//!
+//! ## What lives where
+//!
+//! | layer | crate |
+//! |---|---|
+//! | GF(2^m) arithmetic | `rsmem-gf` |
+//! | RS(n,k) errors-and-erasures codec + complexity model | `rsmem-code` |
+//! | CTMC engine (uniformization, ODE, SURE-style path bounds) | `rsmem-ctmc` |
+//! | the paper's simplex/duplex Markov models + Eq. (1) | `rsmem-models` |
+//! | Monte-Carlo fault-injection simulator + Section-3 arbiter | `rsmem-sim` |
+//! | this façade + figure-reproduction experiments | `rsmem` |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rsmem::{MemorySystem, CodeParams, Scrubbing};
+//! use rsmem::units::{SeuRate, Time, TimeGrid};
+//!
+//! # fn main() -> Result<(), rsmem::Error> {
+//! // The paper's duplex RS(18,16) under the worst-case SEU rate,
+//! // scrubbed every 15 minutes.
+//! let system = MemorySystem::duplex(CodeParams::rs18_16())
+//!     .with_seu_rate(SeuRate::per_bit_day(1.7e-5))
+//!     .with_scrubbing(Scrubbing::every_seconds(900.0));
+//!
+//! let grid = TimeGrid::linspace(Time::zero(), Time::from_hours(48.0), 9);
+//! let curve = system.ber_curve(grid.points())?;
+//! assert!(curve.ber.iter().all(|&b| b < 1e-6)); // paper Fig. 7
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Reproducing the paper
+//!
+//! Every figure and the Section-6 complexity table is an entry of
+//! [`experiments::ExperimentId`]; [`experiments::run`] returns the series
+//! data, and `cargo bench -p rsmem-bench` regenerates everything (see
+//! EXPERIMENTS.md in the repository root for paper-vs-measured values).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod experiments;
+pub mod plot;
+pub mod report;
+pub mod scrub;
+mod system;
+
+pub use error::Error;
+pub use system::{Arrangement, MemorySystem};
+
+// Curated re-exports so downstream users need only this crate.
+pub use rsmem_code::{complexity, DecodeOutcome, DecoderBackend, RsCode};
+pub use rsmem_models::ber::{BerCurve, MemoryModel};
+pub use rsmem_models::{
+    CodeParams, DuplexFailCriterion, DuplexModel, DuplexOptions, FaultRates, Scrubbing,
+    SimplexModel,
+};
+pub use rsmem_sim::{MonteCarloReport, ScrubTiming, SimConfig, TrialOutcome};
+
+/// Unit-safe time and rate types (re-export of `rsmem_models::units`).
+pub mod units {
+    pub use rsmem_models::units::*;
+}
+
+/// Whole-memory Monte-Carlo simulation with multi-bit upsets and
+/// interleaving (re-export of `rsmem_sim::array`).
+pub mod array {
+    pub use rsmem_sim::array::*;
+}
+
+/// Analytic whole-memory composition of the per-word models
+/// (re-export of `rsmem_models::memory_array`).
+pub mod memory_array {
+    pub use rsmem_models::memory_array::*;
+}
+
+/// Reliability metrics beyond BER (re-export of
+/// `rsmem_models::metrics`).
+pub mod metrics {
+    pub use rsmem_models::metrics::*;
+}
+
+/// Piecewise-constant mission profiles, e.g. solar-flare phases
+/// (re-export of `rsmem_models::mission`).
+pub mod mission {
+    pub use rsmem_models::mission::*;
+}

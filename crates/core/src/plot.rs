@@ -1,0 +1,184 @@
+//! Terminal rendering of figures: log-scale ASCII plots.
+//!
+//! The paper's figures are log-y line charts; this module draws the
+//! regenerated series the same way in plain text, so `cargo run
+//! --example …` output can be eyeballed against the paper directly.
+
+use crate::experiments::Figure;
+use std::fmt::Write as _;
+
+/// Options for the ASCII plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlotOptions {
+    /// Plot width in characters (default 72).
+    pub width: usize,
+    /// Plot height in rows (default 20).
+    pub height: usize,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions {
+            width: 72,
+            height: 20,
+        }
+    }
+}
+
+const MARKS: [char; 7] = ['*', '+', 'o', 'x', '#', '@', '%'];
+
+/// Renders a figure as a log-y ASCII plot. Zero/negative values (e.g.
+/// the `t = 0` point) are skipped, as on a real log axis.
+///
+/// # Examples
+///
+/// ```
+/// use rsmem::experiments::{run, ExperimentId};
+/// use rsmem::plot::{ascii_plot, PlotOptions};
+///
+/// # fn main() -> Result<(), rsmem::Error> {
+/// let fig = run(ExperimentId::Fig7)?;
+/// let art = ascii_plot(fig.figure().expect("figure"), &PlotOptions::default());
+/// assert!(art.contains("BER"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn ascii_plot(fig: &Figure, opts: &PlotOptions) -> String {
+    let width = opts.width.max(16);
+    let height = opts.height.max(6);
+
+    // Collect the plottable (positive-y) points.
+    let mut x_min = f64::INFINITY;
+    let mut x_max = f64::NEG_INFINITY;
+    let mut ly_min = f64::INFINITY;
+    let mut ly_max = f64::NEG_INFINITY;
+    for s in &fig.series {
+        for &(x, y) in &s.points {
+            if y > 0.0 {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                ly_min = ly_min.min(y.log10());
+                ly_max = ly_max.max(y.log10());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {} vs {} (log scale)", fig.title, fig.y_label, fig.x_label);
+    if !x_min.is_finite() {
+        let _ = writeln!(out, "(no positive values to plot)");
+        return out;
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (ly_max - ly_min).abs() < f64::EPSILON {
+        ly_max = ly_min + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in fig.series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            if y <= 0.0 {
+                continue;
+            }
+            let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let row_f = (y.log10() - ly_min) / (ly_max - ly_min);
+            let row = height - 1 - (row_f * (height - 1) as f64).round() as usize;
+            canvas[row][col.min(width - 1)] = mark;
+        }
+    }
+
+    for (r, row) in canvas.iter().enumerate() {
+        let label = if r == 0 {
+            format!("1e{ly_max:>+4.0} ")
+        } else if r == height - 1 {
+            format!("1e{ly_min:>+4.0} ")
+        } else {
+            " ".repeat(7)
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label}|{line}");
+    }
+    let _ = writeln!(
+        out,
+        "{}+{}",
+        " ".repeat(7),
+        "-".repeat(width)
+    );
+    let _ = writeln!(
+        out,
+        "{}{:<10.1}{:>width$.1}",
+        " ".repeat(8),
+        x_min,
+        x_max,
+        width = width - 10
+    );
+    let legend: Vec<String> = fig
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", MARKS[i % MARKS.len()], s.label))
+        .collect();
+    let _ = writeln!(out, "        legend: {}", legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{ExperimentId, Series};
+
+    fn figure(points: Vec<(f64, f64)>) -> Figure {
+        Figure {
+            id: ExperimentId::Fig5,
+            title: "test figure".into(),
+            x_label: "hours".into(),
+            y_label: "BER".into(),
+            series: vec![Series {
+                label: "a".into(),
+                points,
+            }],
+        }
+    }
+
+    #[test]
+    fn plot_contains_marks_and_legend() {
+        let fig = figure(vec![(0.0, 0.0), (1.0, 1e-9), (2.0, 1e-6), (3.0, 1e-3)]);
+        let art = ascii_plot(&fig, &PlotOptions::default());
+        assert!(art.contains('*'));
+        assert!(art.contains("legend: * a"));
+        assert!(art.contains("test figure"));
+    }
+
+    #[test]
+    fn empty_series_render_gracefully() {
+        let fig = figure(vec![(0.0, 0.0)]); // only a log-skipped point
+        let art = ascii_plot(&fig, &PlotOptions::default());
+        assert!(art.contains("no positive values"));
+    }
+
+    #[test]
+    fn extremes_land_on_first_and_last_rows() {
+        let fig = figure(vec![(0.0, 1e-12), (10.0, 1e0)]);
+        let art = ascii_plot(&fig, &PlotOptions { width: 40, height: 10 });
+        let lines: Vec<&str> = art.lines().collect();
+        // Row 1 (top of canvas) holds the max, the last canvas row the min.
+        assert!(lines[1].contains('*'), "top row: {}", lines[1]);
+        assert!(lines[10].contains('*'), "bottom row: {}", lines[10]);
+        assert!(lines[1].starts_with("1e  +0"));
+        assert!(lines[10].starts_with("1e -12"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_marks() {
+        let mut fig = figure(vec![(0.0, 1e-3), (1.0, 1e-2)]);
+        fig.series.push(Series {
+            label: "b".into(),
+            points: vec![(0.0, 1e-6), (1.0, 1e-5)],
+        });
+        let art = ascii_plot(&fig, &PlotOptions::default());
+        assert!(art.contains('*') && art.contains('+'));
+        assert!(art.contains("+ b"));
+    }
+}

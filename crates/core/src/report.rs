@@ -1,0 +1,127 @@
+//! Plain-text and CSV rendering of regenerated figures and tables.
+
+use crate::experiments::{ComplexityRow, Figure};
+use std::fmt::Write as _;
+
+/// Renders a figure as an aligned plain-text table: one row per x value,
+/// one column per series.
+///
+/// # Examples
+///
+/// ```
+/// use rsmem::experiments::{run, ExperimentId};
+/// use rsmem::report;
+///
+/// # fn main() -> Result<(), rsmem::Error> {
+/// let out = run(ExperimentId::Fig5)?;
+/// let text = report::render_figure(out.figure().expect("fig5 is a figure"));
+/// assert!(text.contains("BER of Simplex RS(18,16)"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} [{}]", fig.title, fig.id);
+    let _ = write!(out, "{:>12}", fig.x_label);
+    for s in &fig.series {
+        let _ = write!(out, "  {:>12}", s.label);
+    }
+    out.push('\n');
+    let npoints = fig.series.first().map_or(0, |s| s.points.len());
+    for i in 0..npoints {
+        let x = fig.series[0].points[i].0;
+        let _ = write!(out, "{x:>12.3}");
+        for s in &fig.series {
+            let _ = write!(out, "  {:>12.4e}", s.points[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a figure as CSV (`x,label1,label2,...`).
+pub fn figure_to_csv(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{}", fig.x_label);
+    for s in &fig.series {
+        let _ = write!(out, ",{}", s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    let npoints = fig.series.first().map_or(0, |s| s.points.len());
+    for i in 0..npoints {
+        let _ = write!(out, "{}", fig.series[0].points[i].0);
+        for s in &fig.series {
+            let _ = write!(out, ",{:e}", s.points[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Section-6 complexity comparison.
+pub fn render_complexity(rows: &[ComplexityRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>6} {:>6} {:>14} {:>12} {:>18}",
+        "arrangement", "n", "k", "decode cycles", "area units", "redundant symbols"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6} {:>6} {:>14} {:>12} {:>18}",
+            r.label, r.n, r.k, r.decode_cycles, r.area_units, r.redundant_symbols
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{ExperimentId, Series};
+
+    fn tiny_figure() -> Figure {
+        Figure {
+            id: ExperimentId::Fig5,
+            title: "test".into(),
+            x_label: "hours".into(),
+            y_label: "BER".into(),
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    points: vec![(0.0, 0.0), (1.0, 1e-7)],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(0.0, 0.0), (1.0, 2e-7)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_render_contains_all_series() {
+        let text = render_figure(&tiny_figure());
+        assert!(text.contains("hours"));
+        assert!(text.contains('a') && text.contains('b'));
+        assert!(text.contains("1.0000e-7") || text.contains("1e-7") || text.contains("1.0000e-07"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = figure_to_csv(&tiny_figure());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "hours,a,b");
+        assert!(lines[2].starts_with('1'));
+    }
+
+    #[test]
+    fn complexity_render_lists_rows() {
+        let rows = rsmem_code::complexity::section6_comparison();
+        let text = render_complexity(&rows);
+        assert!(text.contains("simplex RS(18,16)"));
+        assert!(text.contains("308"));
+    }
+}

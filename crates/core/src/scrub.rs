@@ -1,0 +1,252 @@
+//! Scrubbing policy advisor.
+//!
+//! The paper's Fig. 7 analysis culminates in a rule of thumb ("a
+//! scrubbing frequency of lower than once per hour is sufficient to
+//! maintain the BER below 1e-6") and Section 2 lists scrubbing's
+//! drawbacks: control-circuitry overhead, reduced memory availability
+//! during scrub operations, and extra power. This module automates both
+//! sides of that trade-off:
+//!
+//! * [`minimum_scrub_period`] — the slowest (cheapest) scrub period that
+//!   still meets a BER target at a given horizon, found by bisection on
+//!   the Markov model;
+//! * [`ScrubOverhead`] — the availability and energy cost of a chosen
+//!   period.
+
+use crate::{Error, MemorySystem};
+use rsmem_models::units::Time;
+use rsmem_models::Scrubbing;
+
+/// Result of a scrub-period search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScrubRecommendation {
+    /// The target BER is met even without scrubbing.
+    NotNeeded,
+    /// The slowest period (in seconds) meeting the target, within the
+    /// search tolerance.
+    Period {
+        /// Recommended scrub period.
+        period: Time,
+        /// The BER achieved at that period.
+        achieved_ber: f64,
+    },
+    /// Even the fastest searched period misses the target (e.g. the BER
+    /// is dominated by permanent faults, which scrubbing cannot repair).
+    Unachievable {
+        /// BER at the fastest searched period.
+        best_ber: f64,
+    },
+}
+
+/// Finds the slowest scrub period whose BER at `horizon` stays below
+/// `target_ber`, searching `[min_period, horizon]` by bisection
+/// (~40 model solves).
+///
+/// # Errors
+///
+/// Propagates solver errors; [`Error::Model`] on invalid inputs.
+///
+/// # Examples
+///
+/// ```
+/// use rsmem::{CodeParams, MemorySystem};
+/// use rsmem::scrub::{minimum_scrub_period, ScrubRecommendation};
+/// use rsmem::units::{SeuRate, Time};
+///
+/// # fn main() -> Result<(), rsmem::Error> {
+/// let system = MemorySystem::duplex(CodeParams::rs18_16())
+///     .with_seu_rate(SeuRate::per_bit_day(1.7e-5));
+/// let rec = minimum_scrub_period(
+///     &system, 1e-6, Time::from_hours(48.0), Time::from_seconds(60.0))?;
+/// // The paper's guidance: roughly hourly scrubbing suffices for 1e-6.
+/// match rec {
+///     ScrubRecommendation::Period { period, .. } => {
+///         assert!(period.as_seconds() > 1800.0 && period.as_seconds() < 7200.0);
+///     }
+///     other => panic!("unexpected recommendation {other:?}"),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimum_scrub_period(
+    system: &MemorySystem,
+    target_ber: f64,
+    horizon: Time,
+    min_period: Time,
+) -> Result<ScrubRecommendation, Error> {
+    let ber_at = |period_s: Option<f64>| -> Result<f64, Error> {
+        let sys = match period_s {
+            None => system.with_scrubbing(Scrubbing::None),
+            Some(s) => system.with_scrubbing(Scrubbing::every_seconds(s)),
+        };
+        // A short scrub period over a long horizon makes the direct
+        // transient solve arbitrarily expensive (Λt ∝ horizon/Tsc). The
+        // scrubbed chain reaches its quasi-steady hazard within a few
+        // periods, so evaluate over a window of ~100 periods and
+        // extrapolate the hazard linearly — first-order exact while
+        // BER ≪ 1 (error O(BER²)), and monotone in the period, which is
+        // all the bisection needs.
+        let horizon_d = horizon.as_days();
+        let window_d = match period_s {
+            Some(s) => horizon_d.min(100.0 * Time::from_seconds(s).as_days()),
+            None => horizon_d,
+        };
+        let ber = sys.ber_curve(&[Time::from_days(window_d)])?.ber[0];
+        if window_d < horizon_d {
+            Ok((ber * horizon_d / window_d).min(1.0))
+        } else {
+            Ok(ber)
+        }
+    };
+
+    if ber_at(None)? <= target_ber {
+        return Ok(ScrubRecommendation::NotNeeded);
+    }
+    let lo_s = min_period.as_seconds().max(1e-3);
+    let best_ber = ber_at(Some(lo_s))?;
+    if best_ber > target_ber {
+        return Ok(ScrubRecommendation::Unachievable { best_ber });
+    }
+    // Bisect on log-period between lo (meets target) and horizon (fails
+    // target — equivalent to no scrubbing within the storage period).
+    let mut lo = lo_s.ln();
+    let mut hi = horizon.as_seconds().max(lo_s * 2.0).ln();
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if ber_at(Some(mid.exp()))? <= target_ber {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let period = Time::from_seconds(lo.exp());
+    let achieved_ber = ber_at(Some(period.as_seconds()))?;
+    Ok(ScrubRecommendation::Period {
+        period,
+        achieved_ber,
+    })
+}
+
+/// The operational cost of a scrub policy (paper Section 2's drawbacks,
+/// quantified).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrubOverhead {
+    /// Scrub operations per day.
+    pub scrubs_per_day: f64,
+    /// Fraction of time the memory is busy scrubbing (unavailable).
+    pub availability_loss: f64,
+    /// Energy units per day (scrubs/day × energy per scrub).
+    pub energy_per_day: f64,
+}
+
+impl ScrubOverhead {
+    /// Computes the overhead of scrubbing every `period`, when one scrub
+    /// pass of the protected region takes `scrub_duration` and consumes
+    /// `energy_per_scrub` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is non-positive (validate with
+    /// [`Scrubbing::validate`](rsmem_models::Scrubbing) upstream).
+    pub fn of(period: Time, scrub_duration: Time, energy_per_scrub: f64) -> Self {
+        assert!(period.as_days() > 0.0, "scrub period must be positive");
+        let scrubs_per_day = 1.0 / period.as_days();
+        ScrubOverhead {
+            scrubs_per_day,
+            availability_loss: (scrub_duration.as_days() / period.as_days()).min(1.0),
+            energy_per_day: scrubs_per_day * energy_per_scrub,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsmem::units::SeuRate;
+    use rsmem_models::units::ErasureRate;
+    use rsmem_models::CodeParams;
+    use crate as rsmem;
+
+    #[test]
+    fn no_faults_needs_no_scrubbing() {
+        let system = MemorySystem::simplex(CodeParams::rs18_16());
+        let rec = minimum_scrub_period(
+            &system,
+            1e-9,
+            Time::from_hours(48.0),
+            Time::from_seconds(60.0),
+        )
+        .unwrap();
+        assert_eq!(rec, ScrubRecommendation::NotNeeded);
+    }
+
+    #[test]
+    fn paper_fig7_guidance_is_recovered() {
+        // λ = 1.7e-5, target 1e-6 at 48 h → roughly hourly scrubbing.
+        let system = MemorySystem::duplex(CodeParams::rs18_16())
+            .with_seu_rate(SeuRate::per_bit_day(1.7e-5));
+        match minimum_scrub_period(
+            &system,
+            1e-6,
+            Time::from_hours(48.0),
+            Time::from_seconds(60.0),
+        )
+        .unwrap()
+        {
+            ScrubRecommendation::Period { period, achieved_ber } => {
+                let s = period.as_seconds();
+                assert!(
+                    (1800.0..7200.0).contains(&s),
+                    "expected ~hourly, got {s:.0} s"
+                );
+                assert!(achieved_ber <= 1e-6);
+                // The recommendation is the *slowest* adequate period: a
+                // 3x longer period must violate the target.
+                let worse = system
+                    .with_scrubbing(Scrubbing::every_seconds(3.0 * s))
+                    .ber_curve(&[Time::from_hours(48.0)])
+                    .unwrap()
+                    .ber[0];
+                assert!(worse > 1e-6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permanent_fault_dominated_targets_are_unachievable() {
+        // Scrubbing cannot repair permanent faults: an aggressive target
+        // under a heavy erasure rate cannot be met.
+        let system = MemorySystem::simplex(CodeParams::rs18_16())
+            .with_erasure_rate(ErasureRate::per_symbol_day(1e-2));
+        match minimum_scrub_period(
+            &system,
+            1e-12,
+            Time::from_days(30.0),
+            Time::from_seconds(60.0),
+        )
+        .unwrap()
+        {
+            ScrubRecommendation::Unachievable { best_ber } => assert!(best_ber > 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let o = ScrubOverhead::of(
+            Time::from_seconds(3600.0),
+            Time::from_seconds(36.0),
+            2.5,
+        );
+        assert!((o.scrubs_per_day - 24.0).abs() < 1e-9);
+        assert!((o.availability_loss - 0.01).abs() < 1e-12);
+        assert!((o.energy_per_day - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_overhead_panics() {
+        let _ = ScrubOverhead::of(Time::zero(), Time::from_seconds(1.0), 1.0);
+    }
+}

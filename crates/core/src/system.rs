@@ -1,0 +1,396 @@
+//! The [`MemorySystem`] façade: one type that answers every question the
+//! paper asks about an arrangement.
+
+use crate::Error;
+use rsmem_code::complexity;
+use rsmem_ctmc::paths::PathBound;
+use rsmem_ctmc::StateSpace;
+use rsmem_models::ber::{self, BerCurve};
+use rsmem_models::units::Time;
+use rsmem_models::{
+    CodeParams, DuplexModel, DuplexOptions, FaultRates, Scrubbing, SimplexModel,
+};
+use rsmem_sim::{runner, MonteCarloReport, ScrubTiming, SimConfig};
+
+/// Simplex or duplex module arrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Arrangement {
+    /// One memory module with an RS co-decoder.
+    #[default]
+    Simplex,
+    /// Two replicated modules behind the Section-3 arbiter.
+    Duplex(DuplexOptions),
+}
+
+/// A fully configured memory system — the paper's object of study.
+///
+/// Construct with [`MemorySystem::simplex`] or [`MemorySystem::duplex`]
+/// and chain `with_*` builders; then evaluate analytically
+/// ([`MemorySystem::ber_curve`]), bound ([`MemorySystem::fail_bounds`]),
+/// or simulate ([`MemorySystem::monte_carlo`]).
+///
+/// # Examples
+///
+/// ```
+/// use rsmem::{CodeParams, MemorySystem};
+/// use rsmem::units::{ErasureRate, Time};
+///
+/// # fn main() -> Result<(), rsmem::Error> {
+/// let system = MemorySystem::simplex(CodeParams::rs36_16())
+///     .with_erasure_rate(ErasureRate::per_symbol_day(1e-6));
+/// let curve = system.ber_curve(&[Time::from_months(24.0)])?;
+/// assert!(curve.ber[0] > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySystem {
+    code: CodeParams,
+    rates: FaultRates,
+    scrub: Scrubbing,
+    arrangement: Arrangement,
+}
+
+impl MemorySystem {
+    /// A fault-free simplex system around `code`.
+    pub fn simplex(code: CodeParams) -> Self {
+        MemorySystem {
+            code,
+            rates: FaultRates::default(),
+            scrub: Scrubbing::None,
+            arrangement: Arrangement::Simplex,
+        }
+    }
+
+    /// A fault-free duplex system around `code` with default
+    /// [`DuplexOptions`].
+    pub fn duplex(code: CodeParams) -> Self {
+        MemorySystem {
+            code,
+            rates: FaultRates::default(),
+            scrub: Scrubbing::None,
+            arrangement: Arrangement::Duplex(DuplexOptions::default()),
+        }
+    }
+
+    /// Sets the SEU (transient-fault) rate.
+    pub fn with_seu_rate(mut self, seu: rsmem_models::units::SeuRate) -> Self {
+        self.rates.seu = seu;
+        self
+    }
+
+    /// Sets the permanent-fault (erasure) rate.
+    pub fn with_erasure_rate(mut self, erasure: rsmem_models::units::ErasureRate) -> Self {
+        self.rates.erasure = erasure;
+        self
+    }
+
+    /// Sets both fault rates at once.
+    pub fn with_rates(mut self, rates: FaultRates) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Sets the scrubbing policy.
+    pub fn with_scrubbing(mut self, scrub: Scrubbing) -> Self {
+        self.scrub = scrub;
+        self
+    }
+
+    /// Sets duplex modelling options (no-op for a simplex system).
+    pub fn with_duplex_options(mut self, options: DuplexOptions) -> Self {
+        if let Arrangement::Duplex(_) = self.arrangement {
+            self.arrangement = Arrangement::Duplex(options);
+        }
+        self
+    }
+
+    /// The code parameters.
+    pub fn code(&self) -> CodeParams {
+        self.code
+    }
+
+    /// The fault environment.
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// The scrubbing policy.
+    pub fn scrubbing(&self) -> Scrubbing {
+        self.scrub
+    }
+
+    /// The arrangement.
+    pub fn arrangement(&self) -> Arrangement {
+        self.arrangement
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        self.rates.validate()?;
+        self.scrub.validate()?;
+        Ok(())
+    }
+
+    /// Evaluates `BER(t)` (paper Eq. (1)) on a time grid with the
+    /// uniformization solver.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors, or solver errors wrapped in
+    /// [`Error::Model`].
+    pub fn ber_curve(&self, times: &[Time]) -> Result<BerCurve, Error> {
+        self.validate()?;
+        match self.arrangement {
+            Arrangement::Simplex => {
+                let model = SimplexModel::new(self.code, self.rates, self.scrub);
+                Ok(ber::ber_curve(&model, times)?)
+            }
+            Arrangement::Duplex(options) => {
+                let model =
+                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                Ok(ber::ber_curve(&model, times)?)
+            }
+        }
+    }
+
+    /// SURE-style log-space bounds on `P_Fail(t)` — only for systems
+    /// without scrubbing (acyclic chains).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Model`] wrapping `NotAcyclic` when scrubbing is enabled.
+    pub fn fail_bounds(&self, t: Time) -> Result<PathBound, Error> {
+        self.validate()?;
+        match self.arrangement {
+            Arrangement::Simplex => {
+                let model = SimplexModel::new(self.code, self.rates, self.scrub);
+                Ok(ber::fail_probability_bounds(&model, t)?)
+            }
+            Arrangement::Duplex(options) => {
+                let model =
+                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                Ok(ber::fail_probability_bounds(&model, t)?)
+            }
+        }
+    }
+
+    /// Number of states the Markov model of this system explores
+    /// (including the lumped Fail state).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Model`] on state explosion (not reachable for the paper's
+    /// configurations).
+    pub fn state_count(&self) -> Result<usize, Error> {
+        self.validate()?;
+        let len = match self.arrangement {
+            Arrangement::Simplex => {
+                let model = SimplexModel::new(self.code, self.rates, self.scrub);
+                StateSpace::explore(&model)
+                    .map_err(rsmem_models::ModelError::from)?
+                    .len()
+            }
+            Arrangement::Duplex(options) => {
+                let model =
+                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                StateSpace::explore(&model)
+                    .map_err(rsmem_models::ModelError::from)?
+                    .len()
+            }
+        };
+        Ok(len)
+    }
+
+    /// Runs a Monte-Carlo campaign of the *real* system (actual codewords,
+    /// real decoder, Section-3 arbiter) over `store` days per trial.
+    ///
+    /// `scrub_timing` selects deterministic scrub periods (the hardware
+    /// behaviour) or exponential ones (the Markov approximation, for
+    /// model validation).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sim`] on invalid configuration or zero trials.
+    pub fn monte_carlo(
+        &self,
+        store: Time,
+        trials: usize,
+        seed: u64,
+        scrub_timing: ScrubTiming,
+    ) -> Result<MonteCarloReport, Error> {
+        self.validate()?;
+        let scrub = match self.scrub {
+            Scrubbing::None => None,
+            Scrubbing::Periodic { period } => Some((period.as_days(), scrub_timing)),
+        };
+        let config = SimConfig {
+            n: self.code.n(),
+            k: self.code.k(),
+            m: self.code.m(),
+            seu_per_bit_day: self.rates.seu.as_per_bit_day(),
+            erasure_per_symbol_day: self.rates.erasure.as_per_symbol_day(),
+            scrub,
+            store_days: store.as_days(),
+        };
+        let report = match self.arrangement {
+            Arrangement::Simplex => runner::run_simplex(&config, trials, seed)?,
+            Arrangement::Duplex(_) => runner::run_duplex(&config, trials, seed)?,
+        };
+        Ok(report)
+    }
+
+    /// Reliability `R(t) = 1 − P_Fail(t)` — the probability the stored
+    /// word is still readable after `t`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MemorySystem::ber_curve`].
+    pub fn reliability(&self, t: Time) -> Result<f64, Error> {
+        self.validate()?;
+        let r = match self.arrangement {
+            Arrangement::Simplex => {
+                let model = SimplexModel::new(self.code, self.rates, self.scrub);
+                rsmem_models::metrics::reliability(&model, t)?
+            }
+            Arrangement::Duplex(options) => {
+                let model =
+                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                rsmem_models::metrics::reliability(&model, t)?
+            }
+        };
+        Ok(r)
+    }
+
+    /// Mean time to failure of the arrangement.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Model`] when no failure is reachable (all rates zero) —
+    /// the MTTF diverges.
+    pub fn mttf(&self) -> Result<Time, Error> {
+        self.validate()?;
+        let days = match self.arrangement {
+            Arrangement::Simplex => {
+                let model = SimplexModel::new(self.code, self.rates, self.scrub);
+                rsmem_models::metrics::mttf_days(&model)?
+            }
+            Arrangement::Duplex(options) => {
+                let model =
+                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                rsmem_models::metrics::mttf_days(&model)?
+            }
+        };
+        Ok(Time::from_days(days))
+    }
+
+    /// Expected operational time (outside the Fail state) during a store
+    /// of length `t`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MemorySystem::ber_curve`].
+    pub fn expected_uptime(&self, t: Time) -> Result<Time, Error> {
+        self.validate()?;
+        let days = match self.arrangement {
+            Arrangement::Simplex => {
+                let model = SimplexModel::new(self.code, self.rates, self.scrub);
+                rsmem_models::metrics::expected_uptime_days(&model, t)?
+            }
+            Arrangement::Duplex(options) => {
+                let model =
+                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                rsmem_models::metrics::expected_uptime_days(&model, t)?
+            }
+        };
+        Ok(Time::from_days(days))
+    }
+
+    /// Modelled decode latency for one access, in clock cycles
+    /// (paper Section 6: `Td ≈ 3n + 10(n−k)`; the duplex decoders run in
+    /// parallel, so the arrangement does not change the figure).
+    pub fn decode_cycles(&self) -> u64 {
+        complexity::decode_cycles(self.code.n(), self.code.k())
+    }
+
+    /// Modelled total decoder area in `m·(n−k)` gate units; the duplex
+    /// arrangement pays for two decoders.
+    pub fn decoder_area_units(&self) -> u64 {
+        let single = complexity::area_units(self.code.m(), self.code.n(), self.code.k());
+        match self.arrangement {
+            Arrangement::Simplex => single,
+            Arrangement::Duplex(_) => 2 * single,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsmem_models::units::{ErasureRate, SeuRate};
+    use rsmem_models::DuplexFailCriterion;
+
+    #[test]
+    fn builder_chain_sets_every_field() {
+        let sys = MemorySystem::duplex(CodeParams::rs18_16())
+            .with_seu_rate(SeuRate::per_bit_day(1e-5))
+            .with_erasure_rate(ErasureRate::per_symbol_day(1e-7))
+            .with_scrubbing(Scrubbing::every_seconds(1800.0));
+        assert_eq!(sys.code().n(), 18);
+        assert!((sys.rates().seu.as_per_bit_day() - 1e-5).abs() < 1e-20);
+        assert!(matches!(sys.arrangement(), Arrangement::Duplex(_)));
+        assert!(matches!(sys.scrubbing(), Scrubbing::Periodic { .. }));
+    }
+
+    #[test]
+    fn duplex_options_ignored_on_simplex() {
+        let sys = MemorySystem::simplex(CodeParams::rs18_16()).with_duplex_options(
+            DuplexOptions {
+                fail_criterion: DuplexFailCriterion::EitherWord,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(sys.arrangement(), Arrangement::Simplex));
+    }
+
+    #[test]
+    fn state_counts_match_models() {
+        let simplex = MemorySystem::simplex(CodeParams::rs18_16())
+            .with_seu_rate(SeuRate::per_bit_day(1e-5))
+            .with_erasure_rate(ErasureRate::per_symbol_day(1e-7));
+        assert_eq!(simplex.state_count().unwrap(), 5);
+        let wide = MemorySystem::simplex(CodeParams::rs36_16())
+            .with_seu_rate(SeuRate::per_bit_day(1e-5))
+            .with_erasure_rate(ErasureRate::per_symbol_day(1e-7));
+        assert_eq!(wide.state_count().unwrap(), 122);
+    }
+
+    #[test]
+    fn complexity_matches_paper_section6() {
+        let narrow = MemorySystem::duplex(CodeParams::rs18_16());
+        let wide = MemorySystem::simplex(CodeParams::rs36_16());
+        assert_eq!(narrow.decode_cycles(), 74);
+        assert_eq!(wide.decode_cycles(), 308);
+        assert!(wide.decode_cycles() > 4 * narrow.decode_cycles());
+        assert!(wide.decoder_area_units() > narrow.decoder_area_units());
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected() {
+        let sys = MemorySystem::simplex(CodeParams::rs18_16())
+            .with_seu_rate(SeuRate::per_bit_day(f64::NAN));
+        assert!(sys.ber_curve(&[Time::from_hours(1.0)]).is_err());
+        let sys = MemorySystem::simplex(CodeParams::rs18_16())
+            .with_scrubbing(Scrubbing::every_seconds(-3.0));
+        assert!(sys.state_count().is_err());
+    }
+
+    #[test]
+    fn monte_carlo_runs_through_facade() {
+        let sys = MemorySystem::duplex(CodeParams::rs18_16());
+        let report = sys
+            .monte_carlo(Time::from_days(1.0), 10, 5, ScrubTiming::Periodic)
+            .unwrap();
+        assert_eq!(report.trials, 10);
+        assert_eq!(report.correct, 10); // no faults configured
+    }
+}

@@ -1,0 +1,31 @@
+//! Compile-time contract for the `serde` feature: every data-structure
+//! type of the public API implements `Serialize` and `Deserialize`
+//! (guideline C-SERDE). Run with `cargo test -p rsmem --features serde`.
+
+#![cfg(feature = "serde")]
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+fn assert_serde<T: Serialize + DeserializeOwned>() {}
+
+#[test]
+fn public_data_types_are_serde() {
+    assert_serde::<rsmem::CodeParams>();
+    assert_serde::<rsmem::FaultRates>();
+    assert_serde::<rsmem::Scrubbing>();
+    assert_serde::<rsmem::BerCurve>();
+    assert_serde::<rsmem::MonteCarloReport>();
+    assert_serde::<rsmem::TrialOutcome>();
+    assert_serde::<rsmem::SimConfig>();
+    assert_serde::<rsmem::ScrubTiming>();
+    assert_serde::<rsmem::units::Time>();
+    assert_serde::<rsmem::units::SeuRate>();
+    assert_serde::<rsmem::units::ErasureRate>();
+    assert_serde::<rsmem::experiments::ExperimentId>();
+    assert_serde::<rsmem::experiments::Series>();
+    assert_serde::<rsmem::experiments::Figure>();
+    assert_serde::<rsmem::experiments::ComplexityRow>();
+    assert_serde::<rsmem::array::ArrayConfig>();
+    assert_serde::<rsmem::array::ArrayReport>();
+}

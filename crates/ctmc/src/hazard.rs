@@ -1,0 +1,140 @@
+//! Instantaneous failure (hazard) rates.
+//!
+//! The hazard toward an absorbing state `F` at time `t` is the current
+//! probability inflow, `h(t) = Σ_i p_i(t)·q_{iF}` — the derivative of the
+//! absorption probability. For the scrubbed memory chains of the paper's
+//! Fig. 7 the hazard settles to a constant within a few scrub periods,
+//! which is why those BER curves turn linear; this module computes the
+//! quantity directly so that claim can be asserted instead of eyeballed.
+
+use crate::model::StateSpace;
+use crate::uniformization::{transient, UniformizationOptions};
+use crate::CtmcError;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// The probability inflow into `target` at time `t` (per unit time).
+///
+/// # Errors
+///
+/// Propagates solver errors; [`CtmcError::DimensionMismatch`] if
+/// `target` is out of range.
+pub fn absorption_hazard<S>(
+    space: &StateSpace<S>,
+    target: usize,
+    t: f64,
+    opts: &UniformizationOptions,
+) -> Result<f64, CtmcError>
+where
+    S: Clone + Eq + Hash + Debug,
+{
+    if target >= space.len() {
+        return Err(CtmcError::DimensionMismatch {
+            got: target,
+            expected: space.len(),
+        });
+    }
+    let p = transient(space, t, opts)?;
+    Ok(inflow(space, &p, target))
+}
+
+/// The inflow into `target` under an explicit distribution.
+pub fn inflow<S>(space: &StateSpace<S>, p: &[f64], target: usize) -> f64
+where
+    S: Clone + Eq + Hash + Debug,
+{
+    let mut h = 0.0;
+    for i in 0..space.len() {
+        if p[i] == 0.0 || i == target {
+            continue;
+        }
+        for (j, rate) in space.rates().row(i) {
+            if j == target {
+                h += p[i] * rate;
+            }
+        }
+    }
+    h
+}
+
+/// The long-run (quasi-steady) hazard: the inflow under the
+/// quasi-stationary distribution approximated by solving at a time `t`
+/// large enough for the transient to settle but small enough that the
+/// absorbing state has absorbed negligible mass.
+///
+/// # Errors
+///
+/// See [`absorption_hazard`].
+pub fn quasi_steady_hazard<S>(
+    space: &StateSpace<S>,
+    target: usize,
+    settle_time: f64,
+    opts: &UniformizationOptions,
+) -> Result<f64, CtmcError>
+where
+    S: Clone + Eq + Hash + Debug,
+{
+    absorption_hazard(space, target, settle_time, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MarkovModel;
+
+    struct TwoState {
+        lambda: f64,
+    }
+    impl MarkovModel for TwoState {
+        type State = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn transitions(&self, s: &u8, out: &mut Vec<(u8, f64)>) {
+            if *s == 0 {
+                out.push((1, self.lambda));
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_hazard_is_lambda_times_survival() {
+        // h(t) = λ·e^{−λt} for the two-state chain.
+        let lam = 0.3;
+        let space = StateSpace::explore(&TwoState { lambda: lam }).unwrap();
+        let opts = UniformizationOptions::default();
+        for &t in &[0.0, 1.0, 5.0] {
+            let h = absorption_hazard(&space, 1, t, &opts).unwrap();
+            let expect = lam * (-lam * t).exp();
+            assert!((h - expect).abs() < 1e-12, "t={t}: {h} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn hazard_is_derivative_of_absorption() {
+        let space = StateSpace::explore(&TwoState { lambda: 0.7 }).unwrap();
+        let opts = UniformizationOptions::default();
+        let (t, dt) = (2.0, 1e-6);
+        let p1 = transient(&space, t, &opts).unwrap()[1];
+        let p2 = transient(&space, t + dt, &opts).unwrap()[1];
+        let h = absorption_hazard(&space, 1, t, &opts).unwrap();
+        let numeric = (p2 - p1) / dt;
+        assert!((h - numeric).abs() < 1e-5, "{h} vs {numeric}");
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        let space = StateSpace::explore(&TwoState { lambda: 1.0 }).unwrap();
+        assert!(absorption_hazard(&space, 9, 1.0, &Default::default()).is_err());
+    }
+
+    #[test]
+    fn inflow_under_point_mass_is_the_direct_rate() {
+        let space = StateSpace::explore(&TwoState { lambda: 0.4 }).unwrap();
+        let mut p = vec![0.0; 2];
+        p[0] = 1.0;
+        assert!((inflow(&space, &p, 1) - 0.4).abs() < 1e-15);
+        p[0] = 0.25;
+        assert!((inflow(&space, &p, 1) - 0.1).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,250 @@
+//! ODE integrators for the Kolmogorov forward equations `p'(t) = p(t)·Q`.
+//!
+//! These are *cross-check* solvers: they trade the non-negativity
+//! guarantee of [`crate::uniformization`] for genericity, and are used by
+//! the test-suite and the solver-ablation bench to confirm the primary
+//! solver. Absolute accuracy is limited to roughly the integrator
+//! tolerance, so they are not suitable for the 1e-200-probability regime.
+
+use crate::model::StateSpace;
+use crate::CtmcError;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Options for the fixed-step RK4 integrator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rk4Options {
+    /// Number of equal steps over `[0, t]` (default 1000).
+    pub steps: usize,
+}
+
+impl Default for Rk4Options {
+    fn default() -> Self {
+        Rk4Options { steps: 1000 }
+    }
+}
+
+/// Options for the adaptive RKF45 integrator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rkf45Options {
+    /// Local truncation error tolerance per unit step (default `1e-10`).
+    pub tol: f64,
+    /// Initial step size as a fraction of `t` (default `1e-3`).
+    pub initial_step_fraction: f64,
+    /// Hard cap on accepted+rejected steps (default `10_000_000`).
+    pub max_steps: usize,
+}
+
+impl Default for Rkf45Options {
+    fn default() -> Self {
+        Rkf45Options {
+            tol: 1e-10,
+            initial_step_fraction: 1e-3,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+fn check_time(t: f64) -> Result<(), CtmcError> {
+    if !(t.is_finite() && t >= 0.0) {
+        return Err(CtmcError::InvalidTime { time: t });
+    }
+    Ok(())
+}
+
+/// Integrates `p' = p·Q` from the initial point mass with classical RK4.
+///
+/// # Errors
+///
+/// [`CtmcError::InvalidTime`] for bad `t`.
+pub fn rk4<S>(space: &StateSpace<S>, t: f64, opts: &Rk4Options) -> Result<Vec<f64>, CtmcError>
+where
+    S: Clone + Eq + Hash + Debug,
+{
+    check_time(t)?;
+    let mut p = space.initial_distribution();
+    if t == 0.0 || space.max_exit_rate() == 0.0 {
+        return Ok(p);
+    }
+    let steps = opts.steps.max(1);
+    let h = t / steps as f64;
+    for _ in 0..steps {
+        let k1 = space.apply_generator(&p)?;
+        let p2: Vec<f64> = p.iter().zip(&k1).map(|(&x, &k)| x + 0.5 * h * k).collect();
+        let k2 = space.apply_generator(&p2)?;
+        let p3: Vec<f64> = p.iter().zip(&k2).map(|(&x, &k)| x + 0.5 * h * k).collect();
+        let k3 = space.apply_generator(&p3)?;
+        let p4: Vec<f64> = p.iter().zip(&k3).map(|(&x, &k)| x + h * k).collect();
+        let k4 = space.apply_generator(&p4)?;
+        for j in 0..p.len() {
+            p[j] += h / 6.0 * (k1[j] + 2.0 * k2[j] + 2.0 * k3[j] + k4[j]);
+        }
+    }
+    Ok(p)
+}
+
+/// Integrates `p' = p·Q` with the adaptive Runge–Kutta–Fehlberg 4(5) pair.
+///
+/// # Errors
+///
+/// [`CtmcError::InvalidTime`] for bad `t`;
+/// [`CtmcError::NotConverged`] if the step budget is exhausted.
+pub fn rkf45<S>(space: &StateSpace<S>, t: f64, opts: &Rkf45Options) -> Result<Vec<f64>, CtmcError>
+where
+    S: Clone + Eq + Hash + Debug,
+{
+    check_time(t)?;
+    let mut p = space.initial_distribution();
+    if t == 0.0 || space.max_exit_rate() == 0.0 {
+        return Ok(p);
+    }
+
+    // Fehlberg coefficients.
+    const A: [[f64; 5]; 5] = [
+        [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+        [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+        [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+    ];
+    const B4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+    const B5: [f64; 6] = [
+        16.0 / 135.0,
+        0.0,
+        6656.0 / 12825.0,
+        28561.0 / 56430.0,
+        -9.0 / 50.0,
+        2.0 / 55.0,
+    ];
+
+    let n = p.len();
+    let mut time = 0.0;
+    let mut h = (t * opts.initial_step_fraction).max(t * 1e-12);
+    let mut steps_used = 0usize;
+
+    while time < t {
+        if steps_used >= opts.max_steps {
+            return Err(CtmcError::NotConverged {
+                iterations: steps_used,
+            });
+        }
+        steps_used += 1;
+        if time + h > t {
+            h = t - time;
+        }
+        let mut k: Vec<Vec<f64>> = Vec::with_capacity(6);
+        k.push(space.apply_generator(&p)?);
+        for stage in 0..5 {
+            let mut y = p.clone();
+            for (s, krow) in k.iter().enumerate() {
+                let a = A[stage][s];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    y[j] += h * a * krow[j];
+                }
+            }
+            k.push(space.apply_generator(&y)?);
+        }
+        // 4th- and 5th-order estimates.
+        let mut y4 = p.clone();
+        let mut y5 = p.clone();
+        for (s, krow) in k.iter().enumerate() {
+            for j in 0..n {
+                y4[j] += h * B4[s] * krow[j];
+                y5[j] += h * B5[s] * krow[j];
+            }
+        }
+        let err: f64 = y4
+            .iter()
+            .zip(&y5)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        let tol_h = opts.tol * h.max(f64::MIN_POSITIVE);
+        if err <= tol_h || h <= t * 1e-14 {
+            time += h;
+            p = y5;
+        }
+        // Step-size controller.
+        let factor = if err == 0.0 {
+            4.0
+        } else {
+            0.84 * (tol_h / err).powf(0.25)
+        };
+        h *= factor.clamp(0.1, 4.0);
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniformization::{transient, UniformizationOptions};
+    use crate::MarkovModel;
+
+    /// Cyclic repairable system: Good <-> Degraded -> Failed(absorbing).
+    struct Repairable;
+    impl MarkovModel for Repairable {
+        type State = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn transitions(&self, s: &u8, out: &mut Vec<(u8, f64)>) {
+            match s {
+                0 => out.push((1, 1.0)),
+                1 => {
+                    out.push((0, 5.0)); // repair (cycle!)
+                    out.push((2, 0.2));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn rk4_agrees_with_uniformization() {
+        let space = StateSpace::explore(&Repairable).unwrap();
+        let t = 4.0;
+        let a = rk4(&space, t, &Rk4Options { steps: 4000 }).unwrap();
+        let b = transient(&space, t, &UniformizationOptions::default()).unwrap();
+        for j in 0..space.len() {
+            assert!((a[j] - b[j]).abs() < 1e-8, "j={j}: {} vs {}", a[j], b[j]);
+        }
+    }
+
+    #[test]
+    fn rkf45_agrees_with_uniformization() {
+        let space = StateSpace::explore(&Repairable).unwrap();
+        let t = 4.0;
+        let a = rkf45(&space, t, &Rkf45Options::default()).unwrap();
+        let b = transient(&space, t, &UniformizationOptions::default()).unwrap();
+        for j in 0..space.len() {
+            assert!((a[j] - b[j]).abs() < 1e-7, "j={j}: {} vs {}", a[j], b[j]);
+        }
+    }
+
+    #[test]
+    fn probability_is_conserved() {
+        let space = StateSpace::explore(&Repairable).unwrap();
+        for t in [0.5, 2.0, 10.0] {
+            let p = rkf45(&space, t, &Rkf45Options::default()).unwrap();
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-7, "t={t}: {total}");
+        }
+    }
+
+    #[test]
+    fn zero_time_is_identity() {
+        let space = StateSpace::explore(&Repairable).unwrap();
+        assert_eq!(rk4(&space, 0.0, &Rk4Options::default()).unwrap()[0], 1.0);
+        assert_eq!(rkf45(&space, 0.0, &Rkf45Options::default()).unwrap()[0], 1.0);
+    }
+
+    #[test]
+    fn bad_time_rejected() {
+        let space = StateSpace::explore(&Repairable).unwrap();
+        assert!(rk4(&space, f64::INFINITY, &Rk4Options::default()).is_err());
+        assert!(rkf45(&space, -0.5, &Rkf45Options::default()).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Transient CTMC solution by uniformization (Jensen's method).
+//!
+//! The transient distribution is expanded as
+//!
+//! ```text
+//! p(t) = Σ_n Poisson(n; Λt) · p(0)·Pⁿ,      P = I + Q/Λ,  Λ ≥ max exit rate
+//! ```
+//!
+//! Every quantity in the iteration is **non-negative**, so there is no
+//! cancellation and each component of `p(t)` is computed with full
+//! floating-point *relative* accuracy down to the denormal floor. This is
+//! the property that lets the paper's Figures 8–10 (fail probabilities of
+//! 1e-30 … 1e-200) come out of a plain f64 solver.
+//!
+//! The power sequence `p(0)·Pⁿ` does not depend on `t`, so a whole time
+//! grid is evaluated in one pass ([`transient_grid`]).
+
+use crate::model::StateSpace;
+use crate::poisson::poisson_ln_pmf;
+use crate::CtmcError;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Options for the uniformization solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformizationOptions {
+    /// Target per-component relative truncation error (default `1e-12`).
+    pub rel_tol: f64,
+    /// Hard cap on the number of series terms (default `5_000_000`).
+    pub max_terms: usize,
+}
+
+impl Default for UniformizationOptions {
+    fn default() -> Self {
+        UniformizationOptions {
+            rel_tol: 1e-12,
+            max_terms: 5_000_000,
+        }
+    }
+}
+
+/// Computes `p(t)` from the point-mass initial distribution.
+///
+/// # Errors
+///
+/// [`CtmcError::InvalidTime`] for negative/non-finite `t`;
+/// [`CtmcError::NotConverged`] if `max_terms` is exhausted.
+pub fn transient<S>(
+    space: &StateSpace<S>,
+    t: f64,
+    opts: &UniformizationOptions,
+) -> Result<Vec<f64>, CtmcError>
+where
+    S: Clone + Eq + Hash + Debug,
+{
+    let p0 = space.initial_distribution();
+    transient_from(space, &p0, t, opts)
+}
+
+/// Computes `p(t)` from an arbitrary initial distribution.
+///
+/// # Errors
+///
+/// As [`transient`], plus [`CtmcError::DimensionMismatch`].
+pub fn transient_from<S>(
+    space: &StateSpace<S>,
+    p0: &[f64],
+    t: f64,
+    opts: &UniformizationOptions,
+) -> Result<Vec<f64>, CtmcError>
+where
+    S: Clone + Eq + Hash + Debug,
+{
+    let mut grid = transient_grid_from(space, p0, &[t], opts)?;
+    Ok(grid.pop().expect("one time point"))
+}
+
+/// Computes `p(t)` for every `t` in `times` in a single pass over the
+/// uniformized power sequence (one sparse mat-vec per term, shared across
+/// the whole grid).
+///
+/// # Errors
+///
+/// See [`transient`].
+pub fn transient_grid<S>(
+    space: &StateSpace<S>,
+    times: &[f64],
+    opts: &UniformizationOptions,
+) -> Result<Vec<Vec<f64>>, CtmcError>
+where
+    S: Clone + Eq + Hash + Debug,
+{
+    let p0 = space.initial_distribution();
+    transient_grid_from(space, &p0, times, opts)
+}
+
+/// [`transient_grid`] from an arbitrary initial distribution.
+///
+/// # Errors
+///
+/// See [`transient`].
+pub fn transient_grid_from<S>(
+    space: &StateSpace<S>,
+    p0: &[f64],
+    times: &[f64],
+    opts: &UniformizationOptions,
+) -> Result<Vec<Vec<f64>>, CtmcError>
+where
+    S: Clone + Eq + Hash + Debug,
+{
+    let n_states = space.len();
+    if p0.len() != n_states {
+        return Err(CtmcError::DimensionMismatch {
+            got: p0.len(),
+            expected: n_states,
+        });
+    }
+    for &t in times {
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(CtmcError::InvalidTime { time: t });
+        }
+    }
+
+    let lambda = space.max_exit_rate();
+    if lambda == 0.0 || times.iter().all(|&t| t == 0.0) {
+        // No dynamics (or only t=0 requested where applicable).
+        return Ok(times
+            .iter()
+            .map(|&t| {
+                if t == 0.0 || lambda == 0.0 {
+                    p0.to_vec()
+                } else {
+                    p0.to_vec()
+                }
+            })
+            .collect());
+    }
+
+    let means: Vec<f64> = times.iter().map(|&t| lambda * t).collect();
+    let max_mean = means.iter().fold(0.0f64, |a, &b| a.max(b));
+
+    let mut v = p0.to_vec();
+    let mut acc: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n_states]).collect();
+    let mut converged: Vec<bool> = means.iter().map(|&m| m == 0.0).collect();
+    // For the m == 0 (t == 0) entries the answer is p0 itself.
+    for (k, &m) in means.iter().enumerate() {
+        if m == 0.0 {
+            acc[k] = p0.to_vec();
+        }
+    }
+    let mut streak: Vec<u32> = vec![0; times.len()];
+    let rates = space.rates();
+
+    // Minimum terms before convergence tests: past the Poisson mode and
+    // past the state count (so reachability has settled).
+    let n_min = (max_mean.ceil() as usize).max(n_states.min(10_000));
+
+    for n in 0..opts.max_terms {
+        let mut all_done = true;
+        for k in 0..times.len() {
+            if converged[k] {
+                continue;
+            }
+            all_done = false;
+            let w = poisson_ln_pmf(n as u64, means[k]).exp();
+            let mut small = true;
+            if w > 0.0 {
+                for j in 0..n_states {
+                    let delta = w * v[j];
+                    acc[k][j] += delta;
+                    if delta > opts.rel_tol * acc[k][j] {
+                        small = false;
+                    }
+                }
+            }
+            if n >= n_min && (n as f64) > means[k] {
+                if small {
+                    streak[k] += 1;
+                    if streak[k] >= 3 {
+                        converged[k] = true;
+                    }
+                } else {
+                    streak[k] = 0;
+                }
+            }
+        }
+        if all_done {
+            return Ok(acc);
+        }
+        // v ← v·P = v + (v·R − v∘exit)/Λ, computed without cancellation:
+        // v_next[j] = v[j]·(1 − exit_j/Λ) + Σ_i v[i]·r_ij/Λ.
+        let mut next = vec![0.0; n_states];
+        for j in 0..n_states {
+            next[j] = v[j] * (1.0 - space.exit_rate(j) / lambda);
+        }
+        // Accumulate incoming flow scaled by 1/Λ.
+        let mut inflow = vec![0.0; n_states];
+        rates.acc_left_mul(&v, &mut inflow);
+        for j in 0..n_states {
+            next[j] += inflow[j] / lambda;
+        }
+        v = next;
+    }
+    Err(CtmcError::NotConverged {
+        iterations: opts.max_terms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MarkovModel;
+
+    /// Good --λ--> Fail.
+    struct TwoState {
+        lambda: f64,
+    }
+    impl MarkovModel for TwoState {
+        type State = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn transitions(&self, s: &u8, out: &mut Vec<(u8, f64)>) {
+            if *s == 0 {
+                out.push((1, self.lambda));
+            }
+        }
+    }
+
+    /// 0 --a--> 1 --b--> 2 (pure death chain).
+    struct ThreeChain {
+        a: f64,
+        b: f64,
+    }
+    impl MarkovModel for ThreeChain {
+        type State = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn transitions(&self, s: &u8, out: &mut Vec<(u8, f64)>) {
+            match s {
+                0 => out.push((1, self.a)),
+                1 => out.push((2, self.b)),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn two_state_matches_closed_form() {
+        let space = StateSpace::explore(&TwoState { lambda: 0.3 }).unwrap();
+        let opts = UniformizationOptions::default();
+        for &t in &[0.0, 0.1, 1.0, 10.0, 100.0] {
+            let p = transient(&space, t, &opts).unwrap();
+            let expect = 1.0 - (-0.3 * t).exp();
+            assert!(
+                (p[1] - expect).abs() <= 1e-12 * expect.max(1e-300) + 1e-15,
+                "t={t}: {} vs {expect}",
+                p[1]
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_rates_retain_relative_accuracy() {
+        // λ = 1e-30, t = 1: P_fail ≈ 1e-30 with relative error ~1e-12.
+        let space = StateSpace::explore(&TwoState { lambda: 1e-30 }).unwrap();
+        let p = transient(&space, 1.0, &UniformizationOptions::default()).unwrap();
+        let expect = 1e-30; // 1 − e^{−x} ≈ x
+        let rel = (p[1] - expect).abs() / expect;
+        assert!(rel < 1e-9, "relative error {rel}");
+    }
+
+    #[test]
+    fn extremely_small_probabilities_do_not_flush_to_zero() {
+        // Two sequential rare events: P(state 2 at t) ≈ (λt)²/2 = 5e-101.
+        let space = StateSpace::explore(&ThreeChain { a: 1e-50, b: 1e-50 }).unwrap();
+        let p = transient(&space, 1.0, &UniformizationOptions::default()).unwrap();
+        let expect = 0.5e-100;
+        assert!(p[2] > 0.0);
+        let rel = (p[2] - expect).abs() / expect;
+        assert!(rel < 1e-6, "p={} expect={expect} rel={rel}", p[2]);
+    }
+
+    #[test]
+    fn three_chain_matches_bateman_solution() {
+        // Bateman: P2(t) = 1 − (b·e^{−at} − a·e^{−bt})/(b − a).
+        let (a, b) = (0.7, 0.2);
+        let space = StateSpace::explore(&ThreeChain { a, b }).unwrap();
+        let p = transient(&space, 3.0, &UniformizationOptions::default()).unwrap();
+        let t = 3.0;
+        let p1 = a / (a - b) * ((-b * t).exp() - (-a * t).exp());
+        let p2 = 1.0 - ((b * (-a * t).exp() - a * (-b * t).exp()) / (b - a));
+        assert!((p[1] - p1).abs() < 1e-10, "{} vs {p1}", p[1]);
+        assert!((p[2] - p2).abs() < 1e-10, "{} vs {p2}", p[2]);
+    }
+
+    #[test]
+    fn distribution_stays_normalized() {
+        let space = StateSpace::explore(&ThreeChain { a: 2.0, b: 5.0 }).unwrap();
+        for &t in &[0.01, 0.5, 2.0, 20.0] {
+            let p = transient(&space, t, &UniformizationOptions::default()).unwrap();
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-10, "t={t} total={total}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn grid_matches_pointwise_solves() {
+        let space = StateSpace::explore(&ThreeChain { a: 1.0, b: 0.5 }).unwrap();
+        let opts = UniformizationOptions::default();
+        let times = [0.0, 0.3, 1.7, 6.0];
+        let grid = transient_grid(&space, &times, &opts).unwrap();
+        for (k, &t) in times.iter().enumerate() {
+            let single = transient(&space, t, &opts).unwrap();
+            for j in 0..space.len() {
+                assert!(
+                    (grid[k][j] - single[j]).abs() < 1e-12,
+                    "t={t} j={j}: {} vs {}",
+                    grid[k][j],
+                    single[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_time_returns_initial_distribution() {
+        let space = StateSpace::explore(&TwoState { lambda: 1.0 }).unwrap();
+        let p = transient(&space, 0.0, &UniformizationOptions::default()).unwrap();
+        assert_eq!(p, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn invalid_time_rejected() {
+        let space = StateSpace::explore(&TwoState { lambda: 1.0 }).unwrap();
+        let opts = UniformizationOptions::default();
+        assert!(matches!(
+            transient(&space, -1.0, &opts),
+            Err(CtmcError::InvalidTime { .. })
+        ));
+        assert!(matches!(
+            transient(&space, f64::NAN, &opts),
+            Err(CtmcError::InvalidTime { .. })
+        ));
+    }
+
+    #[test]
+    fn large_uniformization_mean_is_handled() {
+        // Λt = 1000: early Poisson weights underflow; result stays exact.
+        let space = StateSpace::explore(&TwoState { lambda: 10.0 }).unwrap();
+        let p = transient(&space, 100.0, &UniformizationOptions::default()).unwrap();
+        // ~1200 Poisson terms each carrying ~1e-11 relative log-gamma
+        // rounding: expect ~1e-10 absolute accuracy here.
+        assert!((p[1] - 1.0).abs() < 1e-9, "p1={}", p[1]);
+        assert!(p[0] >= 0.0);
+    }
+}

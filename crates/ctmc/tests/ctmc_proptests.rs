@@ -1,0 +1,112 @@
+//! Property-based tests of the CTMC engine on randomly generated chains:
+//! solver agreement, normalization, monotonicity of absorption.
+
+use proptest::prelude::*;
+use rsmem_ctmc::ode::{rkf45, Rkf45Options};
+use rsmem_ctmc::rewards::{expected_time_in_states, RewardOptions};
+use rsmem_ctmc::uniformization::{transient, transient_grid, UniformizationOptions};
+use rsmem_ctmc::{MarkovModel, StateSpace};
+
+/// A random chain described by an explicit rate table.
+#[derive(Debug, Clone)]
+struct TableChain {
+    /// rates[i] = outgoing (target, rate) list of state i.
+    rates: Vec<Vec<(usize, f64)>>,
+}
+
+impl MarkovModel for TableChain {
+    type State = usize;
+    fn initial_state(&self) -> usize {
+        0
+    }
+    fn transitions(&self, s: &usize, out: &mut Vec<(usize, f64)>) {
+        if let Some(row) = self.rates.get(*s) {
+            out.extend(row.iter().copied());
+        }
+    }
+}
+
+/// Strategy: a random chain of 2..=8 states with up to 3 outgoing edges
+/// per state and rates in (0.01, 5.0). Self-loops are redirected by
+/// [`sanitize`] (a CTMC self-loop is a no-op anyway).
+fn chain_strategy() -> impl Strategy<Value = TableChain> {
+    (2usize..=8).prop_flat_map(|n| {
+        let row = prop::collection::vec((0..n, 0.01f64..5.0), 0..=3);
+        prop::collection::vec(row, n).prop_map(|rates| TableChain { rates })
+    })
+}
+
+fn sanitize(mut chain: TableChain) -> TableChain {
+    let n = chain.rates.len();
+    for i in 0..n {
+        for (t, _) in chain.rates[i].iter_mut() {
+            if *t == i {
+                *t = (i + 1) % n; // never equals i again for n ≥ 2
+            }
+        }
+    }
+    chain
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniformization_agrees_with_rkf45(raw in chain_strategy(), t in 0.0f64..5.0) {
+        let chain = sanitize(raw);
+        let space = StateSpace::explore(&chain).expect("explore");
+        let a = transient(&space, t, &UniformizationOptions::default()).expect("uni");
+        let b = rkf45(&space, t, &Rkf45Options::default()).expect("ode");
+        for j in 0..space.len() {
+            prop_assert!((a[j] - b[j]).abs() < 1e-6, "state {j}: {} vs {}", a[j], b[j]);
+        }
+    }
+
+    #[test]
+    fn transient_is_a_distribution(raw in chain_strategy(), t in 0.0f64..20.0) {
+        let chain = sanitize(raw);
+        let space = StateSpace::explore(&chain).expect("explore");
+        let p = transient(&space, t, &UniformizationOptions::default()).expect("uni");
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "sum {total}");
+        prop_assert!(p.iter().all(|&x| (-1e-15..=1.0 + 1e-12).contains(&x)));
+    }
+
+    #[test]
+    fn grid_solve_matches_pointwise(raw in chain_strategy(), t1 in 0.1f64..3.0, t2 in 3.0f64..9.0) {
+        let chain = sanitize(raw);
+        let space = StateSpace::explore(&chain).expect("explore");
+        let opts = UniformizationOptions::default();
+        let grid = transient_grid(&space, &[t1, t2], &opts).expect("grid");
+        let p1 = transient(&space, t1, &opts).expect("p1");
+        let p2 = transient(&space, t2, &opts).expect("p2");
+        for j in 0..space.len() {
+            prop_assert!((grid[0][j] - p1[j]).abs() < 1e-10);
+            prop_assert!((grid[1][j] - p2[j]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rewards_sum_to_horizon(raw in chain_strategy(), t in 0.0f64..10.0) {
+        let chain = sanitize(raw);
+        let space = StateSpace::explore(&chain).expect("explore");
+        let l = expected_time_in_states(&space, t, &RewardOptions::default()).expect("rewards");
+        let total: f64 = l.iter().sum();
+        prop_assert!((total - t).abs() < 1e-7 * t.max(1.0), "sum {total} vs {t}");
+        prop_assert!(l.iter().all(|&x| x >= -1e-12));
+    }
+
+    #[test]
+    fn absorption_is_monotone_in_time(raw in chain_strategy(), t in 0.1f64..5.0) {
+        let chain = sanitize(raw);
+        let space = StateSpace::explore(&chain).expect("explore");
+        let absorbing = space.absorbing_states();
+        prop_assume!(!absorbing.is_empty());
+        let opts = UniformizationOptions::default();
+        let early = transient(&space, t, &opts).expect("early");
+        let late = transient(&space, 2.0 * t, &opts).expect("late");
+        for &a in &absorbing {
+            prop_assert!(late[a] >= early[a] - 1e-10);
+        }
+    }
+}

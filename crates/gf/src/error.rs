@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by Galois-field construction and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GfError {
+    /// The requested symbol width `m` is outside the supported `2..=16`.
+    UnsupportedWidth {
+        /// The requested width.
+        m: u32,
+    },
+    /// The supplied polynomial is not primitive over GF(2) for the given
+    /// width (it fails to generate the full multiplicative group).
+    NotPrimitive {
+        /// The offending polynomial (including the leading `x^m` term).
+        poly: u32,
+        /// The field width it was supposed to generate.
+        m: u32,
+    },
+    /// A symbol value is outside the field (`>= 2^m`).
+    SymbolOutOfRange {
+        /// The offending value.
+        value: u32,
+        /// The field size.
+        size: u32,
+    },
+    /// Division by the zero element.
+    DivisionByZero,
+    /// Logarithm of the zero element requested.
+    LogOfZero,
+}
+
+impl fmt::Display for GfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfError::UnsupportedWidth { m } => {
+                write!(f, "unsupported field width m={m}, expected 2..=16")
+            }
+            GfError::NotPrimitive { poly, m } => {
+                write!(f, "polynomial {poly:#x} is not primitive for GF(2^{m})")
+            }
+            GfError::SymbolOutOfRange { value, size } => {
+                write!(f, "symbol {value} out of range for field of size {size}")
+            }
+            GfError::DivisionByZero => write!(f, "division by zero field element"),
+            GfError::LogOfZero => write!(f, "logarithm of zero field element"),
+        }
+    }
+}
+
+impl Error for GfError {}

@@ -1,0 +1,120 @@
+//! Lagrange interpolation over GF(2^m).
+//!
+//! Interpolation is used by the workspace in two roles:
+//!
+//! * as an *erasure-only* Reed–Solomon recovery primitive (a codeword with
+//!   at most `n − k` erasures is uniquely determined by any `k` intact
+//!   evaluation points), and
+//! * as an independent oracle against which the algebraic decoders are
+//!   property-tested.
+
+use crate::{GfError, GfField, Poly, Symbol};
+
+/// Interpolates the unique polynomial of degree `< points.len()` through the
+/// given `(x, y)` pairs.
+///
+/// # Errors
+///
+/// Returns [`GfError::DivisionByZero`] if two points share an `x`
+/// coordinate (the interpolation problem is then ill-posed).
+///
+/// # Examples
+///
+/// ```
+/// use rsmem_gf::{GfField, interp};
+///
+/// # fn main() -> Result<(), rsmem_gf::GfError> {
+/// let f = GfField::new(4)?;
+/// let pts = [(1, 4), (2, 7), (3, 1)];
+/// let p = interp::lagrange(&pts, &f)?;
+/// for (x, y) in pts {
+///     assert_eq!(p.eval(&f, x), y);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn lagrange(points: &[(Symbol, Symbol)], field: &GfField) -> Result<Poly, GfError> {
+    let mut acc = Poly::zero();
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        if yi == 0 {
+            continue;
+        }
+        // Basis polynomial L_i(x) = ∏_{j≠i} (x − x_j)/(x_i − x_j).
+        let mut numer = Poly::one();
+        let mut denom: Symbol = 1;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            numer = numer.mul(&Poly::from_coeffs([xj, 1]), field);
+            let diff = field.sub(xi, xj);
+            if diff == 0 {
+                return Err(GfError::DivisionByZero);
+            }
+            denom = field.mul(denom, diff);
+        }
+        let scale = field.div(yi, denom)?;
+        acc = acc.add(&numer.scale(scale, field), field);
+    }
+    Ok(acc)
+}
+
+/// Re-evaluates an interpolated polynomial on a new set of abscissae.
+///
+/// Convenience for erasure recovery: interpolate on the surviving points,
+/// evaluate on the erased positions.
+pub fn extend(
+    known: &[(Symbol, Symbol)],
+    targets: &[Symbol],
+    field: &GfField,
+) -> Result<Vec<Symbol>, GfError> {
+    let p = lagrange(known, field)?;
+    Ok(targets.iter().map(|&x| p.eval(field, x)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_reproduces_polynomial() {
+        let f = GfField::new(4).unwrap();
+        let p = Poly::from_coeffs([3, 1, 4, 1]);
+        let pts: Vec<(Symbol, Symbol)> = (1..5).map(|x| (x, p.eval(&f, x))).collect();
+        let q = lagrange(&pts, &f).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn duplicate_x_rejected() {
+        let f = GfField::new(4).unwrap();
+        let pts = [(1, 2), (1, 3)];
+        assert_eq!(lagrange(&pts, &f), Err(GfError::DivisionByZero));
+    }
+
+    #[test]
+    fn degree_bound_respected() {
+        let f = GfField::new(5).unwrap();
+        let pts = [(1, 9), (2, 8), (3, 7), (4, 6)];
+        let p = lagrange(&pts, &f).unwrap();
+        assert!(p.degree().map_or(true, |d| d < 4));
+    }
+
+    #[test]
+    fn extend_recovers_erased_evaluations() {
+        let f = GfField::new(4).unwrap();
+        let p = Poly::from_coeffs([7, 2, 5]);
+        let known: Vec<(Symbol, Symbol)> = [1, 3, 6].iter().map(|&x| (x, p.eval(&f, x))).collect();
+        let targets = [2 as Symbol, 9];
+        let got = extend(&known, &targets, &f).unwrap();
+        let want: Vec<Symbol> = targets.iter().map(|&x| p.eval(&f, x)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_zero_points_give_zero_poly() {
+        let f = GfField::new(4).unwrap();
+        let pts = [(1, 0), (2, 0), (3, 0)];
+        assert_eq!(lagrange(&pts, &f).unwrap(), Poly::zero());
+    }
+}

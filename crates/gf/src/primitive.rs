@@ -1,0 +1,169 @@
+//! Primitive polynomials over GF(2) and primitivity checking.
+//!
+//! A field GF(2^m) is constructed from a degree-`m` polynomial that is
+//! *primitive*: its root `α` generates the whole multiplicative group of
+//! 2^m − 1 non-zero elements. This module carries one conventional
+//! primitive polynomial per supported width and a brute-force checker used
+//! both by [`crate::GfField`] construction and by the test-suite.
+
+use crate::GfError;
+
+/// Conventional primitive polynomials for GF(2^m), `m = 2..=16`.
+///
+/// Entry `i` corresponds to `m = i + 2`. Each value encodes the full
+/// polynomial including the leading `x^m` term; e.g. `0x11d` is
+/// `x^8 + x^4 + x^3 + x^2 + 1`, the polynomial used by CCSDS and most
+/// storage RS codes.
+pub const DEFAULT_POLYNOMIALS: [u32; 15] = [
+    0x7,     // m=2:  x^2 + x + 1
+    0xb,     // m=3:  x^3 + x + 1
+    0x13,    // m=4:  x^4 + x + 1
+    0x25,    // m=5:  x^5 + x^2 + 1
+    0x43,    // m=6:  x^6 + x + 1
+    0x89,    // m=7:  x^7 + x^3 + 1
+    0x11d,   // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,   // m=9:  x^9 + x^4 + 1
+    0x409,   // m=10: x^10 + x^3 + 1
+    0x805,   // m=11: x^11 + x^2 + 1
+    0x1053,  // m=12: x^12 + x^6 + x^4 + x + 1
+    0x201b,  // m=13: x^13 + x^4 + x^3 + x + 1
+    0x4443,  // m=14: x^14 + x^10 + x^6 + x + 1
+    0x8003,  // m=15: x^15 + x + 1
+    0x1100b, // m=16: x^16 + x^12 + x^3 + x + 1
+];
+
+/// Returns the conventional primitive polynomial for GF(2^m).
+///
+/// # Errors
+///
+/// Returns [`GfError::UnsupportedWidth`] when `m` is outside `2..=16`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rsmem_gf::primitive::default_polynomial(8).unwrap(), 0x11d);
+/// ```
+pub fn default_polynomial(m: u32) -> Result<u32, GfError> {
+    if !(2..=16).contains(&m) {
+        return Err(GfError::UnsupportedWidth { m });
+    }
+    Ok(DEFAULT_POLYNOMIALS[(m - 2) as usize])
+}
+
+/// Checks that `poly` (with its leading `x^m` bit set) is primitive for
+/// GF(2^m): repeated multiplication of `α = x` must visit all `2^m − 1`
+/// non-zero elements before returning to 1.
+///
+/// # Examples
+///
+/// ```
+/// assert!(rsmem_gf::primitive::is_primitive(0x13, 4));
+/// assert!(!rsmem_gf::primitive::is_primitive(0x1f, 4)); // x^4+x^3+x^2+x+1 has order 5
+/// ```
+pub fn is_primitive(poly: u32, m: u32) -> bool {
+    if !(2..=16).contains(&m) {
+        return false;
+    }
+    let size: u32 = 1 << m;
+    if poly < size || poly >= size << 1 {
+        // Leading term must be exactly x^m.
+        return false;
+    }
+    // Walk α^i = x^i mod poly; primitive iff the orbit has length 2^m - 1.
+    let mut value: u32 = 1;
+    for _ in 0..(size - 2) {
+        value <<= 1;
+        if value & size != 0 {
+            value ^= poly;
+        }
+        if value == 1 {
+            return false; // returned to 1 too early: order < 2^m - 1
+        }
+    }
+    value <<= 1;
+    if value & size != 0 {
+        value ^= poly;
+    }
+    value == 1
+}
+
+/// Multiplies two GF(2)\[x\] polynomials (carry-less product), reducing the
+/// result modulo `poly` of degree `m`.
+///
+/// This is the slow reference implementation used to build tables and as an
+/// independent oracle for the table-driven multiply in tests.
+pub fn clmul_mod(a: u32, b: u32, poly: u32, m: u32) -> u32 {
+    let mut acc: u64 = 0;
+    let a = a as u64;
+    for bit in 0..32 {
+        if b & (1 << bit) != 0 {
+            acc ^= a << bit;
+        }
+    }
+    // Reduce modulo poly (degree m).
+    let poly = poly as u64;
+    for bit in (m..64).rev() {
+        if acc & (1 << bit) != 0 {
+            acc ^= poly << (bit - m);
+        }
+    }
+    acc as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_polynomials_are_primitive() {
+        for m in 2..=16 {
+            let poly = default_polynomial(m).expect("supported width");
+            assert!(is_primitive(poly, m), "default poly for m={m} not primitive");
+        }
+    }
+
+    #[test]
+    fn default_polynomial_rejects_bad_widths() {
+        assert!(default_polynomial(1).is_err());
+        assert!(default_polynomial(17).is_err());
+        assert!(default_polynomial(0).is_err());
+    }
+
+    #[test]
+    fn reducible_polynomial_is_not_primitive() {
+        // x^4 + 1 = (x+1)^4 over GF(2).
+        assert!(!is_primitive(0x11, 4));
+    }
+
+    #[test]
+    fn irreducible_but_imprimitive_rejected() {
+        // x^4 + x^3 + x^2 + x + 1 is irreducible but its root has order 5.
+        assert!(!is_primitive(0x1f, 4));
+    }
+
+    #[test]
+    fn poly_with_wrong_degree_rejected() {
+        assert!(!is_primitive(0x7, 4)); // degree 2 poly for m=4
+        assert!(!is_primitive(0x113, 4)); // degree 8 poly for m=4
+    }
+
+    #[test]
+    fn clmul_mod_matches_hand_computation() {
+        // In GF(16) with x^4 + x + 1: x * x^3 = x^4 = x + 1 = 0b0011.
+        assert_eq!(clmul_mod(0b0010, 0b1000, 0x13, 4), 0b0011);
+        // 0 annihilates.
+        assert_eq!(clmul_mod(0, 0xf, 0x13, 4), 0);
+        // 1 is the identity.
+        assert_eq!(clmul_mod(1, 0xa, 0x13, 4), 0xa);
+    }
+
+    #[test]
+    fn clmul_is_commutative_in_gf256() {
+        let poly = 0x11d;
+        for a in [0u32, 1, 2, 0x53, 0xca, 0xff] {
+            for b in [0u32, 1, 7, 0x80, 0xfe] {
+                assert_eq!(clmul_mod(a, b, poly, 8), clmul_mod(b, a, poly, 8));
+            }
+        }
+    }
+}

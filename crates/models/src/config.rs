@@ -1,0 +1,270 @@
+//! Shared model configuration: code parameters, fault environment,
+//! scrubbing policy.
+
+use crate::units::{ErasureRate, SeuRate, Time};
+use crate::ModelError;
+use std::fmt;
+
+/// The RS(n,k) code parameters a memory model is built around.
+///
+/// This mirrors `rsmem_code::RsCode` but carries no field tables — the
+/// Markov models only need the counting parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CodeParams {
+    n: usize,
+    k: usize,
+    m: u32,
+}
+
+impl CodeParams {
+    /// Validates and builds code parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidCode`] for `k == 0`, `k >= n`, `m ∉ 2..=16`
+    /// or `n > 2^m − 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsmem_models::CodeParams;
+    /// # fn main() -> Result<(), rsmem_models::ModelError> {
+    /// let code = CodeParams::new(18, 16, 8)?;
+    /// assert_eq!(code.redundancy(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(n: usize, k: usize, m: u32) -> Result<Self, ModelError> {
+        if !(2..=16).contains(&m) {
+            return Err(ModelError::InvalidCode {
+                n,
+                k,
+                m,
+                reason: "symbol width must be 2..=16",
+            });
+        }
+        if k == 0 || k >= n {
+            return Err(ModelError::InvalidCode {
+                n,
+                k,
+                m,
+                reason: "need 0 < k < n",
+            });
+        }
+        if n > (1usize << m) - 1 {
+            return Err(ModelError::InvalidCode {
+                n,
+                k,
+                m,
+                reason: "codeword length exceeds 2^m - 1",
+            });
+        }
+        Ok(CodeParams { n, k, m })
+    }
+
+    /// The paper's narrow code, RS(18,16) with byte symbols.
+    pub fn rs18_16() -> Self {
+        CodeParams { n: 18, k: 16, m: 8 }
+    }
+
+    /// The paper's wide code, RS(36,16) with byte symbols.
+    pub fn rs36_16() -> Self {
+        CodeParams { n: 36, k: 16, m: 8 }
+    }
+
+    /// Codeword length in symbols.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Dataword length in symbols.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Symbol width in bits.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Redundancy `n − k` (the erasure-correction budget).
+    pub fn redundancy(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// The boundary condition of the paper: `er + 2·re ≤ n − k`.
+    pub fn within_capability(&self, erasures: usize, random_errors: usize) -> bool {
+        erasures + 2 * random_errors <= self.redundancy()
+    }
+
+    /// Paper Eq. (1) prefactor, `m·(n−k)/k`.
+    pub fn ber_prefactor(&self) -> f64 {
+        self.m as f64 * self.redundancy() as f64 / self.k as f64
+    }
+}
+
+impl fmt::Display for CodeParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RS({},{}) over GF(2^{})", self.n, self.k, self.m)
+    }
+}
+
+/// The fault environment: SEU and permanent-fault exposure rates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultRates {
+    /// Transient (SEU) rate per bit per day — the paper's `λ`.
+    pub seu: SeuRate,
+    /// Permanent-fault (erasure) rate per symbol per day — the paper's `λe`.
+    pub erasure: ErasureRate,
+}
+
+impl FaultRates {
+    /// Validates the rates.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidRate`] if either rate is negative or NaN.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.seu.is_valid() && self.erasure.is_valid() {
+            Ok(())
+        } else {
+            Err(ModelError::InvalidRate)
+        }
+    }
+
+    /// Transient-only environment (paper Figs. 5–7).
+    pub fn transient_only(seu: SeuRate) -> Self {
+        FaultRates {
+            seu,
+            erasure: ErasureRate::default(),
+        }
+    }
+
+    /// Permanent-only environment (paper Figs. 8–10).
+    pub fn permanent_only(erasure: ErasureRate) -> Self {
+        FaultRates {
+            seu: SeuRate::default(),
+            erasure,
+        }
+    }
+}
+
+/// The scrubbing policy.
+///
+/// Scrubbing is modelled as a memoryless repair event at rate `1/Tsc`
+/// (the paper: "executed at a prescribed frequency characterized by a
+/// rate 1/Tsc"); it rewrites corrected data, clearing accumulated
+/// transient errors but leaving permanent faults in place.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Scrubbing {
+    /// No scrubbing.
+    #[default]
+    None,
+    /// Periodic scrubbing with the given period `Tsc`.
+    Periodic {
+        /// The scrub period.
+        period: Time,
+    },
+}
+
+impl Scrubbing {
+    /// Convenience constructor from a period in seconds (the unit the
+    /// paper's Fig. 7 legend uses).
+    pub fn every_seconds(seconds: f64) -> Self {
+        Scrubbing::Periodic {
+            period: Time::from_seconds(seconds),
+        }
+    }
+
+    /// The Markov repair rate in events per day (0 when disabled).
+    pub fn rate_per_day(&self) -> f64 {
+        match self {
+            Scrubbing::None => 0.0,
+            Scrubbing::Periodic { period } => 1.0 / period.as_days(),
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidScrubPeriod`] for a non-positive period.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match self {
+            Scrubbing::None => Ok(()),
+            Scrubbing::Periodic { period } => {
+                if period.is_valid() && period.as_days() > 0.0 {
+                    Ok(())
+                } else {
+                    Err(ModelError::InvalidScrubPeriod)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_codes_validate() {
+        assert_eq!(CodeParams::rs18_16(), CodeParams::new(18, 16, 8).unwrap());
+        assert_eq!(CodeParams::rs36_16(), CodeParams::new(36, 16, 8).unwrap());
+    }
+
+    #[test]
+    fn invalid_codes_rejected() {
+        assert!(CodeParams::new(18, 18, 8).is_err());
+        assert!(CodeParams::new(18, 0, 8).is_err());
+        assert!(CodeParams::new(300, 16, 8).is_err());
+        assert!(CodeParams::new(18, 16, 1).is_err());
+        assert!(CodeParams::new(18, 16, 17).is_err());
+        assert!(CodeParams::new(16, 8, 4).is_err()); // n > 15
+    }
+
+    #[test]
+    fn ber_prefactor_matches_paper_examples() {
+        // RS(18,16), m=8: 8·2/16 = 1. RS(36,16), m=8: 8·20/16 = 10.
+        assert_eq!(CodeParams::rs18_16().ber_prefactor(), 1.0);
+        assert_eq!(CodeParams::rs36_16().ber_prefactor(), 10.0);
+    }
+
+    #[test]
+    fn capability_boundary() {
+        let c = CodeParams::rs18_16();
+        assert!(c.within_capability(2, 0));
+        assert!(c.within_capability(0, 1));
+        assert!(!c.within_capability(1, 1));
+        assert!(!c.within_capability(3, 0));
+    }
+
+    #[test]
+    fn scrub_rate_conversion() {
+        let s = Scrubbing::every_seconds(3600.0);
+        assert!((s.rate_per_day() - 24.0).abs() < 1e-9);
+        assert_eq!(Scrubbing::None.rate_per_day(), 0.0);
+    }
+
+    #[test]
+    fn scrub_validation() {
+        assert!(Scrubbing::None.validate().is_ok());
+        assert!(Scrubbing::every_seconds(900.0).validate().is_ok());
+        assert!(Scrubbing::every_seconds(0.0).validate().is_err());
+        assert!(Scrubbing::every_seconds(-5.0).validate().is_err());
+        assert!(Scrubbing::every_seconds(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn rate_validation() {
+        assert!(FaultRates::default().validate().is_ok());
+        let bad = FaultRates {
+            seu: SeuRate::per_bit_day(-1.0),
+            erasure: ErasureRate::default(),
+        };
+        assert!(bad.validate().is_err());
+    }
+}

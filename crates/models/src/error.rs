@@ -1,0 +1,59 @@
+use rsmem_ctmc::CtmcError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Invalid code parameters.
+    InvalidCode {
+        /// Codeword length.
+        n: usize,
+        /// Dataword length.
+        k: usize,
+        /// Symbol width.
+        m: u32,
+        /// Why the combination is rejected.
+        reason: &'static str,
+    },
+    /// A fault rate is negative or non-finite.
+    InvalidRate,
+    /// A scrubbing period is non-positive or non-finite.
+    InvalidScrubPeriod,
+    /// A time grid point is invalid.
+    InvalidTime,
+    /// An underlying CTMC solver error.
+    Ctmc(CtmcError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidCode { n, k, m, reason } => {
+                write!(f, "invalid RS({n},{k}) over GF(2^{m}): {reason}")
+            }
+            ModelError::InvalidRate => write!(f, "fault rates must be finite and non-negative"),
+            ModelError::InvalidScrubPeriod => {
+                write!(f, "scrubbing period must be positive and finite")
+            }
+            ModelError::InvalidTime => write!(f, "time points must be finite and non-negative"),
+            ModelError::Ctmc(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Ctmc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtmcError> for ModelError {
+    fn from(e: CtmcError) -> Self {
+        ModelError::Ctmc(e)
+    }
+}

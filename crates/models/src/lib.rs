@@ -1,0 +1,60 @@
+//! Markov reliability models of Reed–Solomon-coded memories.
+//!
+//! This crate implements the DATE 2005 paper's primary contribution: the
+//! continuous-time Markov models of a **simplex** and a **duplex**
+//! RS-coded memory word under transient faults (SEUs, modelled as random
+//! errors at rate `λ` per bit), permanent faults (located stuck-ats,
+//! modelled as erasures at rate `λe` per symbol) and periodic
+//! **scrubbing** (rate `1/Tsc`).
+//!
+//! * [`SimplexModel`] — states `S(er, re)`; the word fails when
+//!   `er + 2·re > n − k` (paper Fig. 2, after \[7\]).
+//! * [`DuplexModel`] — states `(X, Y, b, e1, e2, ec)` describing the joint
+//!   corruption of the two replicated words (paper Figs. 3–4), with the
+//!   arbiter-aware fail criterion of Section 5.
+//! * [`ber`] — the Bit Error Rate figure of merit, paper Eq. (1):
+//!   `BER(t) = m·(n−k)/k · P_Fail(t)`, evaluated over time grids with the
+//!   solvers from [`rsmem_ctmc`].
+//! * [`units`] — newtypes that keep the paper's mixed units straight
+//!   (rates per bit·day, scrub periods in seconds, horizons in hours or
+//!   months).
+//!
+//! # Examples
+//!
+//! Reproduce one point of the paper's Figure 5 (simplex RS(18,16), worst
+//! SEU rate, no scrubbing, 48 h):
+//!
+//! ```
+//! use rsmem_models::{ber, CodeParams, FaultRates, Scrubbing, SimplexModel};
+//! use rsmem_models::units::{SeuRate, Time};
+//!
+//! # fn main() -> Result<(), rsmem_models::ModelError> {
+//! let code = CodeParams::new(18, 16, 8)?;
+//! let rates = FaultRates {
+//!     seu: SeuRate::per_bit_day(1.7e-5),
+//!     erasure: Default::default(),
+//! };
+//! let model = SimplexModel::new(code, rates, Scrubbing::None);
+//! let curve = ber::ber_curve(&model, &[Time::from_hours(48.0)])?;
+//! assert!(curve.ber[0] > 0.0 && curve.ber[0] < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ber;
+mod config;
+mod duplex;
+mod error;
+pub mod memory_array;
+pub mod metrics;
+pub mod mission;
+mod simplex;
+pub mod units;
+
+pub use config::{CodeParams, FaultRates, Scrubbing};
+pub use duplex::{DuplexFailCriterion, DuplexModel, DuplexOptions, DuplexState};
+pub use error::ModelError;
+pub use simplex::{SimplexModel, SimplexState};

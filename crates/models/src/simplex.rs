@@ -1,0 +1,246 @@
+//! The simplex-memory Markov model (paper Fig. 2, after \[7\]).
+
+use crate::{CodeParams, FaultRates, Scrubbing};
+use rsmem_ctmc::MarkovModel;
+
+/// State of one RS-coded word in a simplex memory.
+///
+/// `er` counts erased symbols (located permanent faults), `re` counts
+/// symbols holding a random error (SEU bit-flip). The word is decodable
+/// while `er + 2·re ≤ n − k`; all undecodable configurations are lumped
+/// into the absorbing [`SimplexState::Fail`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimplexState {
+    /// Operational with the given erasure/error counts.
+    Up {
+        /// Erased symbols.
+        er: u16,
+        /// Symbols with a random error.
+        re: u16,
+    },
+    /// Unrecoverable-error state (absorbing).
+    Fail,
+}
+
+impl SimplexState {
+    /// The fault-free state `S(0,0)`.
+    pub fn good() -> Self {
+        SimplexState::Up { er: 0, re: 0 }
+    }
+}
+
+/// Markov model of a simplex RS-coded memory word.
+///
+/// Transitions (rates per day; `c = n − er − re` clean symbols):
+///
+/// | event | rate | target |
+/// |---|---|---|
+/// | erasure on a clean symbol | `λe·c` | `(er+1, re)` |
+/// | erasure superseding a random error | `λe·re` | `(er+1, re−1)` |
+/// | SEU on a clean symbol | `m·λ·c` | `(er, re+1)` |
+/// | scrubbing | `1/Tsc` | `(er, 0)` |
+///
+/// SEUs striking already-erased symbols are immaterial, and a second SEU
+/// on an already-erroneous symbol is excluded by the paper's assumptions.
+/// Any transition that violates `er + 2·re ≤ n − k` is redirected to the
+/// absorbing [`SimplexState::Fail`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexModel {
+    code: CodeParams,
+    rates: FaultRates,
+    scrub: Scrubbing,
+}
+
+impl SimplexModel {
+    /// Builds the model. Parameters are assumed validated (see
+    /// [`CodeParams::new`], [`FaultRates::validate`],
+    /// [`Scrubbing::validate`]); invalid rates surface as solver errors.
+    pub fn new(code: CodeParams, rates: FaultRates, scrub: Scrubbing) -> Self {
+        SimplexModel { code, rates, scrub }
+    }
+
+    /// The code parameters.
+    pub fn code(&self) -> CodeParams {
+        self.code
+    }
+
+    /// The fault environment.
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// The scrubbing policy.
+    pub fn scrubbing(&self) -> Scrubbing {
+        self.scrub
+    }
+
+    fn classify(&self, er: u16, re: u16) -> SimplexState {
+        if self.code.within_capability(er as usize, re as usize) {
+            SimplexState::Up { er, re }
+        } else {
+            SimplexState::Fail
+        }
+    }
+}
+
+impl MarkovModel for SimplexModel {
+    type State = SimplexState;
+
+    fn initial_state(&self) -> SimplexState {
+        SimplexState::good()
+    }
+
+    fn is_absorbing(&self, state: &SimplexState) -> bool {
+        matches!(state, SimplexState::Fail)
+    }
+
+    fn transitions(&self, state: &SimplexState, out: &mut Vec<(SimplexState, f64)>) {
+        let SimplexState::Up { er, re } = *state else {
+            return;
+        };
+        let n = self.code.n() as f64;
+        let m = self.code.m() as f64;
+        let lambda = self.rates.seu.as_per_bit_day();
+        let lambda_e = self.rates.erasure.as_per_symbol_day();
+        let clean = n - er as f64 - re as f64;
+
+        if lambda_e > 0.0 {
+            if clean > 0.0 {
+                // Erasure on a previously untouched symbol.
+                out.push((self.classify(er + 1, re), lambda_e * clean));
+            }
+            if re > 0 {
+                // Erasure lands on a symbol already holding a random error;
+                // the located fault supersedes the error.
+                out.push((self.classify(er + 1, re - 1), lambda_e * re as f64));
+            }
+        }
+        if lambda > 0.0 && clean > 0.0 {
+            // SEU flips one of the m bits of a clean symbol.
+            out.push((self.classify(er, re + 1), lambda * m * clean));
+        }
+        let scrub_rate = self.scrub.rate_per_day();
+        if scrub_rate > 0.0 && re > 0 {
+            // Scrubbing rewrites corrected data: transient errors clear,
+            // permanent faults persist.
+            out.push((SimplexState::Up { er, re: 0 }, scrub_rate));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{ErasureRate, SeuRate};
+    use rsmem_ctmc::StateSpace;
+
+    fn model(seu: f64, erasure: f64, scrub: Scrubbing) -> SimplexModel {
+        SimplexModel::new(
+            CodeParams::rs18_16(),
+            FaultRates {
+                seu: SeuRate::per_bit_day(seu),
+                erasure: ErasureRate::per_symbol_day(erasure),
+            },
+            scrub,
+        )
+    }
+
+    #[test]
+    fn rs18_16_state_space_is_tiny() {
+        // Operational states satisfy er + 2·re ≤ 2:
+        // (0,0), (1,0), (2,0), (0,1) plus Fail = 5 states.
+        let space = StateSpace::explore(&model(1e-5, 1e-6, Scrubbing::None)).unwrap();
+        assert_eq!(space.len(), 5);
+        assert_eq!(space.absorbing_states().len(), 1);
+    }
+
+    #[test]
+    fn rs36_16_state_count_matches_combinatorics() {
+        let m = SimplexModel::new(
+            CodeParams::rs36_16(),
+            FaultRates {
+                seu: SeuRate::per_bit_day(1e-5),
+                erasure: ErasureRate::per_symbol_day(1e-6),
+            },
+            Scrubbing::None,
+        );
+        let space = StateSpace::explore(&m).unwrap();
+        // #{(er,re): er + 2re ≤ 20} = Σ_{re=0..10} (21 − 2·re) = 121, +Fail.
+        assert_eq!(space.len(), 122);
+    }
+
+    #[test]
+    fn transient_only_has_no_erasure_transitions() {
+        let m = model(1e-5, 0.0, Scrubbing::None);
+        let mut out = Vec::new();
+        m.transitions(&SimplexState::good(), &mut out);
+        assert_eq!(out.len(), 1);
+        let (target, rate) = out[0];
+        assert_eq!(target, SimplexState::Up { er: 0, re: 1 });
+        // m·λ·n = 8 · 1e-5 · 18.
+        assert!((rate - 8.0 * 1e-5 * 18.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn boundary_transition_goes_to_fail() {
+        let m = model(1e-5, 0.0, Scrubbing::None);
+        let mut out = Vec::new();
+        // At (0,1): one more random error exceeds 2·2 > 2 → Fail.
+        m.transitions(&SimplexState::Up { er: 0, re: 1 }, &mut out);
+        let fail_rate: f64 = out
+            .iter()
+            .filter(|(s, _)| matches!(s, SimplexState::Fail))
+            .map(|&(_, r)| r)
+            .sum();
+        // 17 clean symbols can take the killing SEU.
+        assert!((fail_rate - 8.0 * 1e-5 * 17.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn erasure_supersedes_error() {
+        let m = model(0.0, 1e-6, Scrubbing::None);
+        let mut out = Vec::new();
+        m.transitions(&SimplexState::Up { er: 0, re: 1 }, &mut out);
+        assert!(out
+            .iter()
+            .any(|&(s, r)| s == SimplexState::Up { er: 1, re: 0 } && (r - 1e-6).abs() < 1e-20));
+    }
+
+    #[test]
+    fn scrubbing_clears_only_transients() {
+        let m = model(1e-5, 1e-6, Scrubbing::every_seconds(3600.0));
+        let mut out = Vec::new();
+        m.transitions(&SimplexState::Up { er: 1, re: 1 }, &mut out);
+        // Wait — (1,1) violates 1 + 2 ≤ 2, so it can never be explored.
+        // Use (0,1) instead: scrub target is (0,0).
+        out.clear();
+        m.transitions(&SimplexState::Up { er: 0, re: 1 }, &mut out);
+        let scrub_target = SimplexState::Up { er: 0, re: 0 };
+        let scrub: Vec<_> = out
+            .iter()
+            .filter(|(s, _)| *s == scrub_target)
+            .collect();
+        assert_eq!(scrub.len(), 1);
+        assert!((scrub[0].1 - 24.0).abs() < 1e-9); // 1/(3600 s) = 24/day
+    }
+
+    #[test]
+    fn no_scrub_transition_from_error_free_states() {
+        // Scrubbing from (er, 0) is a self-loop; the model must not emit it.
+        let m = model(1e-5, 1e-6, Scrubbing::every_seconds(900.0));
+        let mut out = Vec::new();
+        m.transitions(&SimplexState::Up { er: 1, re: 0 }, &mut out);
+        assert!(out
+            .iter()
+            .all(|&(s, _)| s != SimplexState::Up { er: 1, re: 0 }));
+    }
+
+    #[test]
+    fn fail_is_absorbing() {
+        let m = model(1e-5, 1e-6, Scrubbing::None);
+        assert!(m.is_absorbing(&SimplexState::Fail));
+        let mut out = Vec::new();
+        m.transitions(&SimplexState::Fail, &mut out);
+        assert!(out.is_empty());
+    }
+}

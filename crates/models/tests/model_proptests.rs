@@ -1,0 +1,171 @@
+//! Property-based tests of the paper's Markov models: transition-count
+//! bookkeeping, conservation, monotonicity of BER in rates/time, and
+//! duplex/simplex consistency relations.
+
+use proptest::prelude::*;
+use rsmem_ctmc::{MarkovModel, StateSpace};
+use rsmem_models::units::{ErasureRate, SeuRate, Time};
+use rsmem_models::{
+    ber, CodeParams, DuplexModel, DuplexState, FaultRates, Scrubbing, SimplexModel, SimplexState,
+};
+
+fn rates_strategy() -> impl Strategy<Value = FaultRates> {
+    (1e-8f64..1e-2, 1e-9f64..1e-3).prop_map(|(seu, erasure)| FaultRates {
+        seu: SeuRate::per_bit_day(seu),
+        erasure: ErasureRate::per_symbol_day(erasure),
+    })
+}
+
+fn code_strategy() -> impl Strategy<Value = CodeParams> {
+    prop_oneof![
+        Just(CodeParams::rs18_16()),
+        Just(CodeParams::rs36_16()),
+        Just(CodeParams::new(15, 11, 4).unwrap()),
+        Just(CodeParams::new(12, 6, 4).unwrap()),
+    ]
+}
+
+fn scrub_strategy() -> impl Strategy<Value = Scrubbing> {
+    prop_oneof![
+        Just(Scrubbing::None),
+        (0.01f64..2.0).prop_map(|days| Scrubbing::Periodic {
+            period: Time::from_days(days)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simplex_transitions_preserve_invariants(
+        code in code_strategy(),
+        rates in rates_strategy(),
+        scrub in scrub_strategy(),
+    ) {
+        let model = SimplexModel::new(code, rates, scrub);
+        let space = StateSpace::explore(&model).expect("explore");
+        for s in space.states() {
+            if let SimplexState::Up { er, re } = s {
+                // Every explored Up state satisfies the boundary condition.
+                prop_assert!(code.within_capability(*er as usize, *re as usize));
+                prop_assert!((*er as usize + *re as usize) <= code.n());
+            }
+        }
+        // Conservation: each generator row sums to ~0.
+        for i in 0..space.len() {
+            let mut p = vec![0.0; space.len()];
+            p[i] = 1.0;
+            let row = space.apply_generator(&p).expect("dims");
+            let sum: f64 = row.iter().sum();
+            prop_assert!(sum.abs() < 1e-9 * space.exit_rate(i).max(1.0));
+        }
+    }
+
+    #[test]
+    fn duplex_transitions_change_counts_by_one_event(
+        code in code_strategy(),
+        rates in rates_strategy(),
+    ) {
+        let model = DuplexModel::new(code, rates, Scrubbing::None);
+        let space = StateSpace::explore(&model).expect("explore");
+        let mut out = Vec::new();
+        for s in space.states() {
+            let DuplexState::Up { x, y, b, e1, e2, ec } = *s else { continue };
+            out.clear();
+            model.transitions(s, &mut out);
+            for (target, rate) in &out {
+                prop_assert!(*rate > 0.0);
+                let DuplexState::Up { x: x2, y: y2, b: b2, e1: f1, e2: f2, ec: c2 } = *target
+                else { continue };
+                // A single fault event changes the total symbol-pair
+                // "touched" count by at most one and individual counters
+                // by at most one (scrubbing exempted — it zeroes them).
+                let d = |a: u16, b: u16| (a as i32 - b as i32).abs();
+                let per_counter_ok = d(x, x2) <= 1 && d(y, y2) <= 1 && d(b, b2) <= 1
+                    && d(e1, f1) <= 1 && d(e2, f2) <= 1 && d(ec, c2) <= 1;
+                let is_scrub = b2 == 0 && f1 == 0 && f2 == 0 && c2 == 0
+                    && y2 == y + b && x2 == x && (b > 0 || e1 > 0 || e2 > 0 || ec > 0);
+                prop_assert!(per_counter_ok || is_scrub,
+                    "{s:?} -> {target:?} is neither a unit event nor a scrub");
+                // Pair-count budget is never exceeded.
+                let total = x2 as usize + y2 as usize + b2 as usize
+                    + f1 as usize + f2 as usize + c2 as usize;
+                prop_assert!(total <= code.n());
+            }
+        }
+    }
+
+    #[test]
+    fn ber_is_monotone_in_time_without_scrubbing(
+        code in code_strategy(),
+        rates in rates_strategy(),
+    ) {
+        let model = SimplexModel::new(code, rates, Scrubbing::None);
+        let times: Vec<Time> = (0..6).map(|i| Time::from_hours(8.0 * i as f64)).collect();
+        let curve = ber::ber_curve(&model, &times).expect("solve");
+        for w in curve.ber.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-18);
+        }
+    }
+
+    #[test]
+    fn ber_is_monotone_in_seu_rate(
+        code in code_strategy(),
+        base in 1e-7f64..1e-3,
+    ) {
+        let t = [Time::from_hours(48.0)];
+        let lo = SimplexModel::new(
+            code,
+            FaultRates::transient_only(SeuRate::per_bit_day(base)),
+            Scrubbing::None,
+        );
+        let hi = SimplexModel::new(
+            code,
+            FaultRates::transient_only(SeuRate::per_bit_day(base * 3.0)),
+            Scrubbing::None,
+        );
+        let bl = ber::ber_curve(&lo, &t).expect("lo").ber[0];
+        let bh = ber::ber_curve(&hi, &t).expect("hi").ber[0];
+        prop_assert!(bh >= bl);
+    }
+
+    #[test]
+    fn scrubbing_never_hurts(
+        code in code_strategy(),
+        rates in rates_strategy(),
+        period_days in 0.01f64..1.0,
+    ) {
+        let t = [Time::from_hours(48.0)];
+        let bare = SimplexModel::new(code, rates, Scrubbing::None);
+        let scrubbed = SimplexModel::new(
+            code,
+            rates,
+            Scrubbing::Periodic { period: Time::from_days(period_days) },
+        );
+        let bb = ber::ber_curve(&bare, &t).expect("bare").ber[0];
+        let bs = ber::ber_curve(&scrubbed, &t).expect("scrubbed").ber[0];
+        prop_assert!(bs <= bb * (1.0 + 1e-9) + 1e-300);
+    }
+
+    #[test]
+    fn duplex_fail_probability_bounded_by_twice_simplex(
+        rates in rates_strategy(),
+    ) {
+        // Under the BothWords criterion the duplex fails when either word
+        // overloads: a union bound gives P_duplex ≤ 2·P_simplex, and the
+        // common-mode (ec, b, X) couplings only reduce it further.
+        let code = CodeParams::rs18_16();
+        let t = [Time::from_hours(48.0)];
+        let s = ber::ber_curve(
+            &SimplexModel::new(code, rates, Scrubbing::None), &t).expect("s");
+        let d = ber::ber_curve(
+            &DuplexModel::new(code, rates, Scrubbing::None), &t).expect("d");
+        prop_assert!(
+            d.fail_probability[0] <= 2.0 * s.fail_probability[0] + 1e-15,
+            "duplex {} vs 2×simplex {}",
+            d.fail_probability[0],
+            2.0 * s.fail_probability[0]
+        );
+    }
+}

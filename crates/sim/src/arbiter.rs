@@ -1,0 +1,272 @@
+//! The duplex arbiter of the paper's Section 3, built on the real
+//! Reed–Solomon decoder.
+//!
+//! The arbiter operates in three steps:
+//!
+//! 1. **Erasure recovery** — for every symbol position erased in exactly
+//!    one module, the homologous symbol from the other module is
+//!    substituted (masking). Positions erased in *both* modules remain
+//!    erasures for both decoders.
+//! 2. **Independent decoding** — each (masked) word is RS-decoded; a
+//!    per-word *flag* is set iff the decoder performed a correction.
+//! 3. **Comparison** —
+//!    * no flag set → output either word;
+//!    * words equal, ≥1 flag → output (the correction was right);
+//!    * words differ, exactly one flag → output the *unflagged* word
+//!      (the flagged one mis-corrected);
+//!    * words differ, both flags → **no output** (indistinguishable).
+//!
+//! A detected decode failure on one word is treated like a set flag with
+//! no usable output for that word: if the other word decodes, it is
+//! output; if both fail, there is no output.
+
+use rsmem_code::{CodeError, DecodeOutcome, RsCode, Symbol};
+
+/// The arbiter's verdict for one read access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArbiterOutput {
+    /// A dataword was produced.
+    Data {
+        /// The `k` decoded data symbols.
+        data: Vec<Symbol>,
+        /// Which decision-rule branch produced the output (for
+        /// diagnostics and tests).
+        branch: ArbiterBranch,
+    },
+    /// The arbiter refused to output (both words flagged and different,
+    /// or both undecodable).
+    NoOutput,
+}
+
+impl ArbiterOutput {
+    /// The decoded data, if an output was produced.
+    pub fn data(&self) -> Option<&[Symbol]> {
+        match self {
+            ArbiterOutput::Data { data, .. } => Some(data),
+            ArbiterOutput::NoOutput => None,
+        }
+    }
+}
+
+/// Which Section-3 decision branch fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArbiterBranch {
+    /// Neither word needed correction.
+    NoFlags,
+    /// Words equal with at least one flag set.
+    EqualFlagged,
+    /// Words differed; the unflagged word won.
+    UnflaggedWins,
+    /// One word failed to decode; the surviving word was output.
+    SingleSurvivor,
+}
+
+/// Runs the Section-3 arbiter over the two module words.
+///
+/// `word1`/`word2` are the raw stored words; `erasures1`/`erasures2` the
+/// located permanent-fault positions per module.
+///
+/// # Errors
+///
+/// Only [`CodeError`] for malformed inputs — uncorrectable corruption is
+/// a [`ArbiterOutput::NoOutput`], not an error.
+pub fn arbitrate(
+    code: &RsCode,
+    word1: &[Symbol],
+    erasures1: &[usize],
+    word2: &[Symbol],
+    erasures2: &[usize],
+) -> Result<ArbiterOutput, CodeError> {
+    // Step 1: erasure recovery (masking).
+    let mut w1 = word1.to_vec();
+    let mut w2 = word2.to_vec();
+    let mut common_erasures = Vec::new();
+    let in2 = |p: &usize| erasures2.contains(p);
+    for &p in erasures1 {
+        if in2(&p) {
+            common_erasures.push(p);
+        } else {
+            // Module 2's symbol is trusted hardware-wise; substitute it.
+            w1[p] = w2[p];
+        }
+    }
+    for &p in erasures2 {
+        if !erasures1.contains(&p) {
+            w2[p] = word1[p];
+        }
+    }
+
+    // Step 2: independent decoding with the common (unmaskable) erasures.
+    let out1 = code.decode(&w1, &common_erasures)?;
+    let out2 = code.decode(&w2, &common_erasures)?;
+
+    // Step 3: flag-based comparison.
+    let verdict = match (&out1, &out2) {
+        (DecodeOutcome::Failure(_), DecodeOutcome::Failure(_)) => ArbiterOutput::NoOutput,
+        (DecodeOutcome::Failure(_), ok) | (ok, DecodeOutcome::Failure(_)) => {
+            ArbiterOutput::Data {
+                data: ok.data().expect("non-failure produces data").to_vec(),
+                branch: ArbiterBranch::SingleSurvivor,
+            }
+        }
+        (a, b) => {
+            let d1 = a.data().expect("checked");
+            let d2 = b.data().expect("checked");
+            let f1 = a.is_flagged();
+            let f2 = b.is_flagged();
+            if !f1 && !f2 {
+                ArbiterOutput::Data {
+                    data: d1.to_vec(),
+                    branch: ArbiterBranch::NoFlags,
+                }
+            } else if d1 == d2 {
+                ArbiterOutput::Data {
+                    data: d1.to_vec(),
+                    branch: ArbiterBranch::EqualFlagged,
+                }
+            } else if f1 != f2 {
+                // Exactly one flag: the unflagged word is correct.
+                let winner = if f1 { d2 } else { d1 };
+                ArbiterOutput::Data {
+                    data: winner.to_vec(),
+                    branch: ArbiterBranch::UnflaggedWins,
+                }
+            } else {
+                // Both flagged and different: cannot discriminate.
+                ArbiterOutput::NoOutput
+            }
+        }
+    };
+    Ok(verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code() -> RsCode {
+        RsCode::new(18, 16, 8).unwrap()
+    }
+
+    fn data() -> Vec<Symbol> {
+        (40..56).collect()
+    }
+
+    #[test]
+    fn clean_pair_outputs_without_flags() {
+        let code = code();
+        let w = code.encode(&data()).unwrap();
+        let out = arbitrate(&code, &w, &[], &w, &[]).unwrap();
+        assert_eq!(
+            out,
+            ArbiterOutput::Data {
+                data: data(),
+                branch: ArbiterBranch::NoFlags
+            }
+        );
+    }
+
+    #[test]
+    fn single_module_erasure_is_masked_for_free() {
+        let code = code();
+        let clean = code.encode(&data()).unwrap();
+        let mut w1 = clean.clone();
+        w1[4] = 0x00; // stuck symbol, located
+        // Masking replaces it with module 2's good symbol: no correction.
+        let out = arbitrate(&code, &w1, &[4], &clean, &[]).unwrap();
+        assert_eq!(out.data(), Some(&data()[..]));
+        if let ArbiterOutput::Data { branch, .. } = out {
+            assert_eq!(branch, ArbiterBranch::NoFlags);
+        }
+    }
+
+    #[test]
+    fn common_erasures_are_decoded_not_masked() {
+        let code = code();
+        let clean = code.encode(&data()).unwrap();
+        let mut w1 = clean.clone();
+        let mut w2 = clean.clone();
+        w1[7] = 0x11;
+        w2[7] = 0x22; // both modules stuck at position 7 (an X pair)
+        let out = arbitrate(&code, &w1, &[7], &w2, &[7]).unwrap();
+        assert_eq!(out.data(), Some(&data()[..]));
+    }
+
+    #[test]
+    fn masked_erasure_onto_errored_symbol_still_corrects() {
+        // A `b` pair: module 1 position erased, module 2 same position has
+        // a random error. The mask imports the error; the decoder then
+        // fixes it (1 random error ≤ t).
+        let code = code();
+        let clean = code.encode(&data()).unwrap();
+        let mut w1 = clean.clone();
+        let mut w2 = clean.clone();
+        w1[3] = 0x7f; // stuck
+        w2[3] ^= 0x04; // SEU on the homologous symbol
+        let out = arbitrate(&code, &w1, &[3], &w2, &[]).unwrap();
+        assert_eq!(out.data(), Some(&data()[..]));
+    }
+
+    #[test]
+    fn unflagged_word_wins_on_disagreement() {
+        // Word 1 suffers 2 SEUs (beyond t=1): it either fails (single
+        // survivor) or mis-corrects (flagged, differs) — in both cases the
+        // arbiter must emit word 2's data.
+        let code = code();
+        let clean = code.encode(&data()).unwrap();
+        let mut w1 = clean.clone();
+        w1[0] ^= 0x40;
+        w1[9] ^= 0x02;
+        let out = arbitrate(&code, &w1, &[], &clean, &[]).unwrap();
+        assert_eq!(out.data(), Some(&data()[..]));
+        if let ArbiterOutput::Data { branch, .. } = &out {
+            assert!(
+                matches!(
+                    branch,
+                    ArbiterBranch::UnflaggedWins | ArbiterBranch::SingleSurvivor
+                ),
+                "branch {branch:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_corrections_are_trusted() {
+        // The same single SEU position/value in both words (an `ec` pair):
+        // both decoders correct identically → EqualFlagged.
+        let code = code();
+        let clean = code.encode(&data()).unwrap();
+        let mut w1 = clean.clone();
+        let mut w2 = clean.clone();
+        w1[5] ^= 0x08;
+        w2[5] ^= 0x08;
+        let out = arbitrate(&code, &w1, &[], &w2, &[]).unwrap();
+        assert_eq!(out.data(), Some(&data()[..]));
+        if let ArbiterOutput::Data { branch, .. } = out {
+            assert_eq!(branch, ArbiterBranch::EqualFlagged);
+        }
+    }
+
+    #[test]
+    fn hopeless_corruption_yields_no_output() {
+        // Clobber both words heavily at distinct positions so both decoders
+        // fail or mis-correct to different words.
+        let code = code();
+        let clean = code.encode(&data()).unwrap();
+        let mut w1 = clean.clone();
+        let mut w2 = clean.clone();
+        for i in 0..8 {
+            w1[i] ^= 0x31 + i as Symbol;
+            w2[17 - i] ^= 0x55 + i as Symbol;
+        }
+        let out = arbitrate(&code, &w1, &[], &w2, &[]).unwrap();
+        // With 8 errors per word the overwhelmingly likely outcome is
+        // detected failure on both → NoOutput. A mis-correction would
+        // surface as Data with wrong content; either way it must not be
+        // the original data by luck — assert only the no-silent-success
+        // property we rely on elsewhere.
+        if let Some(d) = out.data() {
+            assert_ne!(d, &data()[..], "8-error words cannot decode correctly");
+        }
+    }
+}

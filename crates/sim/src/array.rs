@@ -1,0 +1,622 @@
+//! Whole-memory array simulation with multi-bit upsets and interleaving.
+//!
+//! The paper models a single word and notes that "the extension by
+//! considering the whole memory is straightforward". This module builds
+//! that extension — an array of `words` simplex codewords in one physical
+//! symbol sequence — and adds two effects the per-word Markov model
+//! cannot see:
+//!
+//! * **multi-bit upsets (MBUs)**: an SEU flips `mbu_width_bits`
+//!   physically adjacent bits. When the burst crosses a symbol boundary
+//!   it corrupts *two* symbols of the same word — violating the model's
+//!   single-symbol-per-event assumption and degrading real reliability;
+//! * **interleaving** ([`rsmem_code::Interleaver`]): with depth > 1,
+//!   physically adjacent symbols belong to different codewords, so an
+//!   MBU splits into independent single-symbol errors and the model's
+//!   assumption is restored.
+//!
+//! The `ablation_mbu` bench and integration tests quantify both.
+
+use crate::events::sample_exponential;
+use crate::memory::MemoryModule;
+use crate::runner::wilson_interval;
+use crate::{ScrubTiming, SimConfig, SimError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsmem_code::{DecodeOutcome, Interleaver, RsCode, Symbol};
+
+/// Configuration of a whole-memory array simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ArrayConfig {
+    /// Per-word configuration (code, rates, scrubbing, horizon).
+    pub base: SimConfig,
+    /// Number of codewords in the array.
+    pub words: usize,
+    /// Bits flipped per SEU event (1 = the paper's single-bit model;
+    /// ≥ 2 = MBU). The burst is physically contiguous and clamped at the
+    /// array end.
+    pub mbu_width_bits: u32,
+    /// Interleaving depth (1 = none). Must divide `words`.
+    pub interleave_depth: usize,
+}
+
+impl ArrayConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameter`] on zero words/width/depth or a
+    /// depth that does not divide the word count; plus base-config
+    /// errors.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.base.validate()?;
+        if self.words == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "words",
+                value: 0.0,
+            });
+        }
+        if self.mbu_width_bits == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "mbu_width_bits",
+                value: 0.0,
+            });
+        }
+        if self.interleave_depth == 0 || self.words % self.interleave_depth != 0 {
+            return Err(SimError::InvalidParameter {
+                name: "interleave_depth",
+                value: self.interleave_depth as f64,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Results of an array campaign.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ArrayReport {
+    /// Trials run.
+    pub trials: usize,
+    /// Words per trial.
+    pub words: usize,
+    /// Words that failed to deliver correct data, summed over trials.
+    pub failed_words: usize,
+    /// ... of which silently corrupted (wrong data, no indication).
+    pub silent_words: usize,
+    /// Per-word failure fraction.
+    pub word_failure_fraction: f64,
+    /// 95% Wilson interval on the word failure fraction.
+    pub wilson_95: (f64, f64),
+    /// Eq.-(1)-style BER estimate, `m(n−k)/k ×` failure fraction.
+    pub ber_estimate: f64,
+}
+
+/// The physical memory: an interleaved array of simplex codewords.
+struct Array {
+    modules: Vec<MemoryModule>,
+    interleaver: Interleaver,
+    n: usize,
+    m_bits: u32,
+}
+
+impl Array {
+    /// Total physical symbols.
+    fn symbols(&self) -> usize {
+        self.modules.len() * self.n
+    }
+
+    /// Total physical bits.
+    fn bits(&self) -> u64 {
+        self.symbols() as u64 * self.m_bits as u64
+    }
+
+    /// Maps a physical symbol index to `(module, symbol)`.
+    fn locate(&self, physical_symbol: usize) -> (usize, usize) {
+        let depth = self.interleaver.depth();
+        let group_len = self.n * depth;
+        let group = physical_symbol / group_len;
+        let within = physical_symbol % group_len;
+        let (word_in_group, sym) = self.interleaver.locate(within);
+        (group * depth + word_in_group, sym)
+    }
+
+    /// Flips one physical bit.
+    fn flip_physical_bit(&mut self, physical_bit: u64) {
+        let symbol = (physical_bit / self.m_bits as u64) as usize;
+        let bit = (physical_bit % self.m_bits as u64) as u32;
+        let (module, sym) = self.locate(symbol);
+        self.modules[module].flip_bit(sym, bit);
+    }
+}
+
+/// Runs `trials` independent stores of a whole simplex array.
+///
+/// # Errors
+///
+/// [`SimError`] on invalid configuration or zero trials.
+pub fn run_simplex_array(
+    config: &ArrayConfig,
+    trials: usize,
+    seed: u64,
+) -> Result<ArrayReport, SimError> {
+    config.validate()?;
+    if trials == 0 {
+        return Err(SimError::NoTrials);
+    }
+    let code = RsCode::new(config.base.n, config.base.k, config.base.m)?;
+    let interleaver = Interleaver::new(config.interleave_depth)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failed_words = 0usize;
+    let mut silent_words = 0usize;
+
+    for _ in 0..trials {
+        let (f, s) = run_one_trial(&code, config, interleaver, &mut rng);
+        failed_words += f;
+        silent_words += s;
+    }
+
+    let total_words = trials * config.words;
+    let word_failure_fraction = failed_words as f64 / total_words as f64;
+    let prefactor =
+        config.base.m as f64 * (config.base.n - config.base.k) as f64 / config.base.k as f64;
+    Ok(ArrayReport {
+        trials,
+        words: config.words,
+        failed_words,
+        silent_words,
+        word_failure_fraction,
+        wilson_95: wilson_interval(failed_words, total_words),
+        ber_estimate: prefactor * word_failure_fraction,
+    })
+}
+
+/// Runs `trials` independent stores of a whole **duplex** array: two
+/// physical module arrays, each independently interleaved and fault-
+/// injected, read back word-pair-by-word-pair through the Section-3
+/// arbiter.
+///
+/// # Errors
+///
+/// [`SimError`] on invalid configuration or zero trials.
+pub fn run_duplex_array(
+    config: &ArrayConfig,
+    trials: usize,
+    seed: u64,
+) -> Result<ArrayReport, SimError> {
+    config.validate()?;
+    if trials == 0 {
+        return Err(SimError::NoTrials);
+    }
+    let code = RsCode::new(config.base.n, config.base.k, config.base.m)?;
+    let interleaver = Interleaver::new(config.interleave_depth)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failed_words = 0usize;
+    let mut silent_words = 0usize;
+
+    for _ in 0..trials {
+        let (f, s) = run_one_duplex_trial(&code, config, interleaver, &mut rng);
+        failed_words += f;
+        silent_words += s;
+    }
+
+    let total_words = trials * config.words;
+    let word_failure_fraction = failed_words as f64 / total_words as f64;
+    let prefactor =
+        config.base.m as f64 * (config.base.n - config.base.k) as f64 / config.base.k as f64;
+    Ok(ArrayReport {
+        trials,
+        words: config.words,
+        failed_words,
+        silent_words,
+        word_failure_fraction,
+        wilson_95: wilson_interval(failed_words, total_words),
+        ber_estimate: prefactor * word_failure_fraction,
+    })
+}
+
+fn run_one_duplex_trial(
+    code: &RsCode,
+    config: &ArrayConfig,
+    interleaver: Interleaver,
+    rng: &mut StdRng,
+) -> (usize, usize) {
+    let originals: Vec<Vec<Symbol>> = (0..config.words)
+        .map(|_| {
+            (0..code.k())
+                .map(|_| rng.gen_range(0..code.field().size()) as Symbol)
+                .collect()
+        })
+        .collect();
+    let mut replicas: Vec<Array> = (0..2)
+        .map(|_| Array {
+            modules: originals
+                .iter()
+                .map(|d| MemoryModule::new(code.encode(d).expect("valid"), config.base.m))
+                .collect(),
+            interleaver,
+            n: code.n(),
+            m_bits: config.base.m,
+        })
+        .collect();
+
+    let per_array_bits = replicas[0].bits() as f64;
+    let per_array_symbols = replicas[0].symbols() as f64;
+    let seu_rate = config.base.seu_per_bit_day * per_array_bits;
+    let perm_rate = config.base.erasure_per_symbol_day * per_array_symbols;
+    let horizon = config.base.store_days;
+
+    let mut t_seu = [
+        sample_exponential(rng, seu_rate),
+        sample_exponential(rng, seu_rate),
+    ];
+    let mut t_perm = [
+        sample_exponential(rng, perm_rate),
+        sample_exponential(rng, perm_rate),
+    ];
+    let mut t_scrub = match config.base.scrub {
+        None => f64::INFINITY,
+        Some((period, _)) => period,
+    };
+
+    loop {
+        let mut best = f64::INFINITY;
+        for r in 0..2 {
+            best = best.min(t_seu[r]).min(t_perm[r]);
+        }
+        best = best.min(t_scrub);
+        if best >= horizon {
+            break;
+        }
+        if best == t_scrub {
+            scrub_duplex_arrays(code, &mut replicas);
+            t_scrub += match config.base.scrub {
+                None => f64::INFINITY,
+                Some((period, ScrubTiming::Periodic)) => period,
+                Some((period, ScrubTiming::Exponential)) => {
+                    sample_exponential(rng, 1.0 / period)
+                }
+            };
+            continue;
+        }
+        for r in 0..2 {
+            if best == t_seu[r] {
+                let start = rng.gen_range(0..replicas[r].bits());
+                for offset in 0..config.mbu_width_bits as u64 {
+                    let b = start + offset;
+                    if b >= replicas[r].bits() {
+                        break;
+                    }
+                    replicas[r].flip_physical_bit(b);
+                }
+                t_seu[r] += sample_exponential(rng, seu_rate);
+                break;
+            }
+            if best == t_perm[r] {
+                let symbol = rng.gen_range(0..replicas[r].symbols());
+                let (module, sym) = replicas[r].locate(symbol);
+                let value = rng.gen_range(0..code.field().size()) as Symbol;
+                replicas[r].modules[module].stick(sym, value);
+                t_perm[r] += sample_exponential(rng, perm_rate);
+                break;
+            }
+        }
+    }
+
+    // Final read: every word-pair through the arbiter.
+    let mut failed = 0usize;
+    let mut silent = 0usize;
+    for w in 0..config.words {
+        let (m1, m2) = (&replicas[0].modules[w], &replicas[1].modules[w]);
+        match crate::arbiter::arbitrate(
+            code,
+            m1.read(),
+            &m1.erasures(),
+            m2.read(),
+            &m2.erasures(),
+        )
+        .expect("well-formed stored words")
+        {
+            crate::arbiter::ArbiterOutput::NoOutput => failed += 1,
+            crate::arbiter::ArbiterOutput::Data { data, .. } => {
+                if data != originals[w] {
+                    failed += 1;
+                    silent += 1;
+                }
+            }
+        }
+    }
+    (failed, silent)
+}
+
+/// Per-word-pair joint scrub across the two replica arrays (the same
+/// masking + decode + rewrite the single-pair `DuplexSim` performs).
+fn scrub_duplex_arrays(code: &RsCode, replicas: &mut [Array]) {
+    let words = replicas[0].modules.len();
+    for w in 0..words {
+        let e1 = replicas[0].modules[w].erasures();
+        let e2 = replicas[1].modules[w].erasures();
+        let mut w1 = replicas[0].modules[w].read().to_vec();
+        let mut w2 = replicas[1].modules[w].read().to_vec();
+        let mut common = Vec::new();
+        for &p in &e1 {
+            if e2.contains(&p) {
+                common.push(p);
+            } else {
+                w1[p] = w2[p];
+            }
+        }
+        for &p in &e2 {
+            if !e1.contains(&p) {
+                w2[p] = replicas[0].modules[w].read()[p];
+            }
+        }
+        for (r, word) in [w1, w2].into_iter().enumerate() {
+            match code.decode(&word, &common).expect("well-formed") {
+                DecodeOutcome::Clean { .. } => replicas[r].modules[w].write(&word),
+                DecodeOutcome::Corrected { codeword, .. } => {
+                    replicas[r].modules[w].write(&codeword)
+                }
+                DecodeOutcome::Failure(_) => {}
+            }
+        }
+    }
+}
+
+fn run_one_trial(
+    code: &RsCode,
+    config: &ArrayConfig,
+    interleaver: Interleaver,
+    rng: &mut StdRng,
+) -> (usize, usize) {
+    // Store one random dataword per module.
+    let originals: Vec<Vec<Symbol>> = (0..config.words)
+        .map(|_| {
+            let data: Vec<Symbol> = (0..code.k())
+                .map(|_| rng.gen_range(0..code.field().size()) as Symbol)
+                .collect();
+            data
+        })
+        .collect();
+    let mut array = Array {
+        modules: originals
+            .iter()
+            .map(|d| MemoryModule::new(code.encode(d).expect("valid"), config.base.m))
+            .collect(),
+        interleaver,
+        n: code.n(),
+        m_bits: config.base.m,
+    };
+
+    let total_bits = array.bits() as f64;
+    let total_symbols = array.symbols() as f64;
+    let seu_rate = config.base.seu_per_bit_day * total_bits;
+    let perm_rate = config.base.erasure_per_symbol_day * total_symbols;
+    let horizon = config.base.store_days;
+
+    let mut t_seu = sample_exponential(rng, seu_rate);
+    let mut t_perm = sample_exponential(rng, perm_rate);
+    let mut t_scrub = match config.base.scrub {
+        None => f64::INFINITY,
+        Some((period, _)) => period,
+    };
+
+    loop {
+        let next = t_seu.min(t_perm).min(t_scrub);
+        if next >= horizon {
+            break;
+        }
+        if next == t_seu {
+            // One SEU event: flip a contiguous physical burst.
+            let start = rng.gen_range(0..array.bits());
+            for offset in 0..config.mbu_width_bits as u64 {
+                let b = start + offset;
+                if b >= array.bits() {
+                    break;
+                }
+                array.flip_physical_bit(b);
+            }
+            t_seu += sample_exponential(rng, seu_rate);
+        } else if next == t_perm {
+            let symbol = rng.gen_range(0..array.symbols());
+            let (module, sym) = array.locate(symbol);
+            let value = rng.gen_range(0..code.field().size()) as Symbol;
+            array.modules[module].stick(sym, value);
+            t_perm += sample_exponential(rng, perm_rate);
+        } else {
+            // Scrub every word.
+            for module in &mut array.modules {
+                let erasures = module.erasures();
+                match code.decode(module.read(), &erasures).expect("well-formed") {
+                    DecodeOutcome::Corrected { codeword, .. } => module.write(&codeword),
+                    _ => {}
+                }
+            }
+            t_scrub += match config.base.scrub {
+                None => f64::INFINITY,
+                Some((period, ScrubTiming::Periodic)) => period,
+                Some((period, ScrubTiming::Exponential)) => {
+                    sample_exponential(rng, 1.0 / period)
+                }
+            };
+        }
+    }
+
+    // Final read of every word.
+    let mut failed = 0usize;
+    let mut silent = 0usize;
+    for (module, original) in array.modules.iter().zip(&originals) {
+        match code
+            .decode(module.read(), &module.erasures())
+            .expect("well-formed")
+        {
+            DecodeOutcome::Failure(_) => failed += 1,
+            out => {
+                if out.data() != Some(&original[..]) {
+                    failed += 1;
+                    silent += 1;
+                }
+            }
+        }
+    }
+    (failed, silent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(seu: f64) -> SimConfig {
+        SimConfig {
+            n: 18,
+            k: 16,
+            m: 8,
+            seu_per_bit_day: seu,
+            erasure_per_symbol_day: 0.0,
+            scrub: None,
+            store_days: 2.0,
+        }
+    }
+
+    fn config(seu: f64, mbu: u32, depth: usize) -> ArrayConfig {
+        ArrayConfig {
+            base: base(seu),
+            words: 16,
+            mbu_width_bits: mbu,
+            interleave_depth: depth,
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(config(0.0, 1, 1).validate().is_ok());
+        assert!(config(0.0, 0, 1).validate().is_err());
+        assert!(config(0.0, 1, 0).validate().is_err());
+        assert!(config(0.0, 1, 5).validate().is_err()); // 5 ∤ 16
+        let mut c = config(0.0, 1, 1);
+        c.words = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fault_free_array_never_fails() {
+        let report = run_simplex_array(&config(0.0, 1, 1), 5, 3).unwrap();
+        assert_eq!(report.failed_words, 0);
+        assert_eq!(report.word_failure_fraction, 0.0);
+    }
+
+    #[test]
+    fn single_bit_array_matches_single_word_rate() {
+        // With mbu = 1 and no interleaving, each word is an independent
+        // copy of the single-word simulator: the per-word failure fraction
+        // must agree with runner::run_simplex within CI noise.
+        let seu = 5e-3;
+        let array = run_simplex_array(&config(seu, 1, 1), 120, 9).unwrap();
+        let single = crate::runner::run_simplex(&base(seu), 1920, 9).unwrap();
+        let diff = (array.word_failure_fraction - single.failure_fraction).abs();
+        assert!(
+            diff < 0.02,
+            "array {} vs single-word {}",
+            array.word_failure_fraction,
+            single.failure_fraction
+        );
+    }
+
+    #[test]
+    fn mbu_hurts_and_interleaving_heals() {
+        // Low enough rate that multi-event accumulation is secondary and
+        // the boundary-crossing instant kill dominates the MBU effect.
+        let seu = 1e-3;
+        let trials = 200;
+        let plain = run_simplex_array(&config(seu, 1, 1), trials, 21).unwrap();
+        let mbu = run_simplex_array(&config(seu, 4, 1), trials, 21).unwrap();
+        let healed = run_simplex_array(&config(seu, 4, 4), trials, 21).unwrap();
+        // A 4-bit burst crosses a byte boundary with probability 3/8 and
+        // then kills the t=1 word instantly: failures must rise clearly.
+        assert!(
+            mbu.word_failure_fraction > 2.0 * plain.word_failure_fraction,
+            "mbu {} vs plain {}",
+            mbu.word_failure_fraction,
+            plain.word_failure_fraction
+        );
+        // Interleaving turns the burst into single-symbol errors spread
+        // over different words. Those extra errors still accumulate, so
+        // the fraction does not return to baseline — but the instant-kill
+        // component must disappear, cutting failures substantially.
+        assert!(
+            healed.word_failure_fraction < 0.65 * mbu.word_failure_fraction,
+            "healed {} vs mbu {}",
+            healed.word_failure_fraction,
+            mbu.word_failure_fraction
+        );
+        assert!(
+            healed.word_failure_fraction >= plain.word_failure_fraction,
+            "interleaving cannot beat the single-bit baseline: {} vs {}",
+            healed.word_failure_fraction,
+            plain.word_failure_fraction
+        );
+    }
+
+    #[test]
+    fn scrubbed_array_outperforms_unscrubbed() {
+        let mut with = config(8e-3, 1, 1);
+        with.base.scrub = Some((0.02, ScrubTiming::Periodic));
+        let unscrubbed = run_simplex_array(&config(8e-3, 1, 1), 60, 31).unwrap();
+        let scrubbed = run_simplex_array(&with, 60, 31).unwrap();
+        assert!(scrubbed.word_failure_fraction < unscrubbed.word_failure_fraction);
+    }
+
+    #[test]
+    fn reports_are_reproducible() {
+        let a = run_simplex_array(&config(5e-3, 2, 2), 20, 77).unwrap();
+        let b = run_simplex_array(&config(5e-3, 2, 2), 20, 77).unwrap();
+        assert_eq!(a, b);
+        let c = run_duplex_array(&config(5e-3, 2, 2), 10, 77).unwrap();
+        let d = run_duplex_array(&config(5e-3, 2, 2), 10, 77).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn fault_free_duplex_array_never_fails() {
+        let report = run_duplex_array(&config(0.0, 1, 1), 5, 3).unwrap();
+        assert_eq!(report.failed_words, 0);
+    }
+
+    #[test]
+    fn duplex_array_recovers_scattered_permanent_faults() {
+        // Each replica accumulates stuck symbols independently; the
+        // erasure-masking arbiter repairs every single-sided fault.
+        let mut cfg = config(0.0, 1, 1);
+        cfg.base.erasure_per_symbol_day = 5e-3; // ~0.18 faults/word/replica
+        let report = run_duplex_array(&cfg, 40, 9).unwrap();
+        assert_eq!(
+            report.failed_words, 0,
+            "single-sided permanent faults must all be masked"
+        );
+    }
+
+    #[test]
+    fn duplex_array_beats_simplex_array_under_mixed_faults() {
+        let mut cfg = config(2e-3, 1, 1);
+        cfg.base.erasure_per_symbol_day = 5e-3;
+        let trials = 60;
+        let s = run_simplex_array(&cfg, trials, 13).unwrap();
+        let d = run_duplex_array(&cfg, trials, 13).unwrap();
+        assert!(
+            d.word_failure_fraction < s.word_failure_fraction,
+            "duplex {} vs simplex {}",
+            d.word_failure_fraction,
+            s.word_failure_fraction
+        );
+    }
+
+    #[test]
+    fn duplex_array_scrubbing_helps() {
+        let mut with = config(8e-3, 1, 1);
+        with.base.scrub = Some((0.02, ScrubTiming::Periodic));
+        let unscrubbed = run_duplex_array(&config(8e-3, 1, 1), 40, 17).unwrap();
+        let scrubbed = run_duplex_array(&with, 40, 17).unwrap();
+        assert!(scrubbed.word_failure_fraction <= unscrubbed.word_failure_fraction);
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulation configuration.
+
+use crate::SimError;
+
+/// How scrub instants are placed in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ScrubTiming {
+    /// Deterministic period — every `Tsc`, as a real memory controller
+    /// schedules it.
+    #[default]
+    Periodic,
+    /// Exponentially distributed gaps with mean `Tsc` — the memoryless
+    /// approximation the paper's Markov models make. Selecting this mode
+    /// lets the simulator validate the models on exactly their own terms.
+    Exponential,
+}
+
+/// Full configuration of one simulated memory word (simplex) or word pair
+/// (duplex).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimConfig {
+    /// Codeword length in symbols.
+    pub n: usize,
+    /// Dataword length in symbols.
+    pub k: usize,
+    /// Symbol width in bits.
+    pub m: u32,
+    /// SEU rate per bit per day (the paper's `λ`).
+    pub seu_per_bit_day: f64,
+    /// Permanent-fault rate per symbol per day (the paper's `λe`).
+    pub erasure_per_symbol_day: f64,
+    /// Scrubbing: `(period in days, timing mode)`, or `None` to disable.
+    pub scrub: Option<(f64, ScrubTiming)>,
+    /// Storage horizon in days (the "stopping time" at which the word is
+    /// read back).
+    pub store_days: f64,
+}
+
+impl SimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameter`] for negative/non-finite rates,
+    /// period or horizon. Code parameters are validated later by the
+    /// codec itself.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let checks: [(&'static str, f64, bool); 4] = [
+            ("seu_per_bit_day", self.seu_per_bit_day, false),
+            (
+                "erasure_per_symbol_day",
+                self.erasure_per_symbol_day,
+                false,
+            ),
+            ("store_days", self.store_days, false),
+            (
+                "scrub period",
+                self.scrub.map_or(1.0, |(p, _)| p),
+                true,
+            ),
+        ];
+        for (name, value, must_be_positive) in checks {
+            let ok = value.is_finite() && (value > 0.0 || (!must_be_positive && value >= 0.0));
+            if !ok {
+                return Err(SimError::InvalidParameter { name, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's RS(18,16) byte-symbol configuration with no faults —
+    /// a baseline to customize.
+    pub fn rs18_16_baseline() -> Self {
+        SimConfig {
+            n: 18,
+            k: 16,
+            m: 8,
+            seu_per_bit_day: 0.0,
+            erasure_per_symbol_day: 0.0,
+            scrub: None,
+            store_days: 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_validates() {
+        assert!(SimConfig::rs18_16_baseline().validate().is_ok());
+    }
+
+    #[test]
+    fn negative_rate_rejected() {
+        let mut c = SimConfig::rs18_16_baseline();
+        c.seu_per_bit_day = -1.0;
+        assert!(matches!(
+            c.validate(),
+            Err(SimError::InvalidParameter { name: "seu_per_bit_day", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_scrub_period_rejected() {
+        let mut c = SimConfig::rs18_16_baseline();
+        c.scrub = Some((0.0, ScrubTiming::Periodic));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn nan_horizon_rejected() {
+        let mut c = SimConfig::rs18_16_baseline();
+        c.store_days = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,47 @@
+use rsmem_code::CodeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from simulator configuration and setup.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The code parameters were rejected by the codec.
+    Code(CodeError),
+    /// A rate, period or horizon is negative or non-finite.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Zero trials requested.
+    NoTrials,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Code(e) => write!(f, "code error: {e}"),
+            SimError::InvalidParameter { name, value } => {
+                write!(f, "invalid simulation parameter {name} = {value}")
+            }
+            SimError::NoTrials => write!(f, "at least one trial is required"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Code(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for SimError {
+    fn from(e: CodeError) -> Self {
+        SimError::Code(e)
+    }
+}

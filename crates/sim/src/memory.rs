@@ -1,0 +1,160 @@
+//! A simulated memory module holding one RS codeword.
+
+use rsmem_gf::Symbol;
+
+/// One memory module storing an `n`-symbol codeword, with bit-level SEU
+/// injection and symbol-level stuck-at (permanent) faults.
+///
+/// Permanent faults are *located* — the paper assumes self-checking
+/// hardware (e.g. Iddq monitoring \[9\]) identifies the faulty symbol, so
+/// [`MemoryModule::erasures`] reports every stuck position and the
+/// decoder receives them as erasures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryModule {
+    stored: Vec<Symbol>,
+    stuck: Vec<Option<Symbol>>,
+    symbol_bits: u32,
+}
+
+impl MemoryModule {
+    /// Creates a module holding `codeword`, fault-free.
+    pub fn new(codeword: Vec<Symbol>, symbol_bits: u32) -> Self {
+        let n = codeword.len();
+        MemoryModule {
+            stored: codeword,
+            stuck: vec![None; n],
+            symbol_bits,
+        }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// True for a zero-length module (not produced in practice).
+    pub fn is_empty(&self) -> bool {
+        self.stored.is_empty()
+    }
+
+    /// The currently stored word (faulty symbols read their stuck value).
+    pub fn read(&self) -> &[Symbol] {
+        &self.stored
+    }
+
+    /// Positions currently known-faulty (the erasure set for decoding).
+    pub fn erasures(&self) -> Vec<usize> {
+        self.stuck
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|_| i))
+            .collect()
+    }
+
+    /// True if `pos` holds a permanent fault.
+    pub fn is_stuck(&self, pos: usize) -> bool {
+        self.stuck[pos].is_some()
+    }
+
+    /// Injects an SEU: flips bit `bit` of symbol `pos`. A stuck symbol
+    /// holds its value — the upset has no effect there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` or `bit` is out of range.
+    pub fn flip_bit(&mut self, pos: usize, bit: u32) {
+        assert!(bit < self.symbol_bits, "bit index out of symbol width");
+        if self.stuck[pos].is_some() {
+            return;
+        }
+        self.stored[pos] ^= 1 << bit;
+    }
+
+    /// Injects a permanent fault: symbol `pos` becomes stuck at `value`
+    /// and is reported as an erasure from now on. A second fault on the
+    /// same symbol re-sticks it at the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn stick(&mut self, pos: usize, value: Symbol) {
+        self.stuck[pos] = Some(value);
+        self.stored[pos] = value;
+    }
+
+    /// Writes a full word back (a scrub rewrite). Stuck symbols keep
+    /// their stuck values; healthy symbols take the new data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.len() != self.len()`.
+    pub fn write(&mut self, word: &[Symbol]) {
+        assert_eq!(word.len(), self.stored.len());
+        for (i, &w) in word.iter().enumerate() {
+            if self.stuck[i].is_none() {
+                self.stored[i] = w;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module() -> MemoryModule {
+        MemoryModule::new(vec![0x10, 0x20, 0x30, 0x40], 8)
+    }
+
+    #[test]
+    fn fresh_module_reads_back_clean() {
+        let m = module();
+        assert_eq!(m.read(), &[0x10, 0x20, 0x30, 0x40]);
+        assert!(m.erasures().is_empty());
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn seu_flips_exactly_one_bit() {
+        let mut m = module();
+        m.flip_bit(2, 3);
+        assert_eq!(m.read()[2], 0x30 ^ 0x08);
+        m.flip_bit(2, 3); // flip back
+        assert_eq!(m.read()[2], 0x30);
+    }
+
+    #[test]
+    fn stuck_symbol_ignores_seu_and_writes() {
+        let mut m = module();
+        m.stick(1, 0xff);
+        assert_eq!(m.read()[1], 0xff);
+        m.flip_bit(1, 0);
+        assert_eq!(m.read()[1], 0xff, "SEU must not move a stuck symbol");
+        m.write(&[0, 0, 0, 0]);
+        assert_eq!(m.read(), &[0, 0xff, 0, 0]);
+    }
+
+    #[test]
+    fn erasure_set_tracks_stuck_positions() {
+        let mut m = module();
+        m.stick(0, 0x01);
+        m.stick(3, 0x02);
+        assert_eq!(m.erasures(), vec![0, 3]);
+        assert!(m.is_stuck(0) && m.is_stuck(3));
+        assert!(!m.is_stuck(1));
+    }
+
+    #[test]
+    fn write_refreshes_healthy_symbols_only() {
+        let mut m = module();
+        m.stick(2, 0x77);
+        m.write(&[1, 2, 3, 4]);
+        assert_eq!(m.read(), &[1, 2, 0x77, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit index")]
+    fn out_of_width_bit_panics() {
+        module().flip_bit(0, 8);
+    }
+}

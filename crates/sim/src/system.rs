@@ -1,0 +1,384 @@
+//! Event-driven simulation of the simplex and duplex memory systems.
+
+use crate::arbiter::{arbitrate, ArbiterOutput};
+use crate::config::{ScrubTiming, SimConfig};
+use crate::events::sample_exponential;
+use crate::memory::MemoryModule;
+use crate::runner::TrialOutcome;
+use crate::SimError;
+use rand::Rng;
+use rsmem_code::{DecodeOutcome, RsCode, Symbol};
+
+/// Shared per-trial machinery.
+#[derive(Debug)]
+struct FaultClock {
+    /// Next SEU time (absolute days), per module.
+    next_seu: Vec<f64>,
+    /// Next permanent-fault time, per module.
+    next_perm: Vec<f64>,
+    /// Next scrub time.
+    next_scrub: f64,
+}
+
+fn random_data<R: Rng + ?Sized>(rng: &mut R, code: &RsCode) -> Vec<Symbol> {
+    (0..code.k())
+        .map(|_| rng.gen_range(0..code.field().size()) as Symbol)
+        .collect()
+}
+
+fn schedule_scrub<R: Rng + ?Sized>(
+    rng: &mut R,
+    now: f64,
+    scrub: Option<(f64, ScrubTiming)>,
+) -> f64 {
+    match scrub {
+        None => f64::INFINITY,
+        Some((period, ScrubTiming::Periodic)) => now + period,
+        Some((period, ScrubTiming::Exponential)) => {
+            now + sample_exponential(rng, 1.0 / period)
+        }
+    }
+}
+
+impl FaultClock {
+    fn new<R: Rng + ?Sized>(rng: &mut R, config: &SimConfig, modules: usize) -> Self {
+        let seu_rate = config.seu_per_bit_day * config.m as f64 * config.n as f64;
+        let perm_rate = config.erasure_per_symbol_day * config.n as f64;
+        FaultClock {
+            next_seu: (0..modules)
+                .map(|_| sample_exponential(rng, seu_rate))
+                .collect(),
+            next_perm: (0..modules)
+                .map(|_| sample_exponential(rng, perm_rate))
+                .collect(),
+            next_scrub: schedule_scrub(rng, 0.0, config.scrub),
+        }
+    }
+}
+
+/// What the per-trial event loop asks the caller to do next.
+enum Step {
+    Seu { module: usize, time: f64 },
+    Permanent { module: usize, time: f64 },
+    Scrub { time: f64 },
+    Done,
+}
+
+fn next_step(clock: &FaultClock, horizon: f64) -> Step {
+    let mut best = Step::Done;
+    let mut best_t = horizon;
+    for (i, &t) in clock.next_seu.iter().enumerate() {
+        if t < best_t {
+            best_t = t;
+            best = Step::Seu { module: i, time: t };
+        }
+    }
+    for (i, &t) in clock.next_perm.iter().enumerate() {
+        if t < best_t {
+            best_t = t;
+            best = Step::Permanent { module: i, time: t };
+        }
+    }
+    if clock.next_scrub < best_t {
+        best = Step::Scrub {
+            time: clock.next_scrub,
+        };
+    }
+    best
+}
+
+fn inject_seu<R: Rng + ?Sized>(rng: &mut R, module: &mut MemoryModule, code: &RsCode) {
+    let pos = rng.gen_range(0..code.n());
+    let bit = rng.gen_range(0..code.symbol_bits());
+    module.flip_bit(pos, bit);
+}
+
+fn inject_permanent<R: Rng + ?Sized>(rng: &mut R, module: &mut MemoryModule, code: &RsCode) {
+    let pos = rng.gen_range(0..code.n());
+    let value = rng.gen_range(0..code.field().size()) as Symbol;
+    module.stick(pos, value);
+}
+
+/// A single simulated simplex memory word.
+///
+/// Holds the code and configuration; [`SimplexSim::run_trial`] plays one
+/// independent storage period: inject Poisson faults, scrub periodically,
+/// read back at the stopping time and classify the outcome.
+#[derive(Debug, Clone)]
+pub struct SimplexSim {
+    code: RsCode,
+    config: SimConfig,
+}
+
+impl SimplexSim {
+    /// Builds the simulator for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on invalid configuration or code parameters.
+    pub fn new(config: SimConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        let code = RsCode::new(config.n, config.k, config.m)?;
+        Ok(SimplexSim { code, config })
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &RsCode {
+        &self.code
+    }
+
+    /// Runs one independent trial.
+    pub fn run_trial<R: Rng + ?Sized>(&self, rng: &mut R) -> TrialOutcome {
+        let data = random_data(rng, &self.code);
+        let codeword = self.code.encode(&data).expect("validated parameters");
+        let mut module = MemoryModule::new(codeword, self.config.m);
+        let mut clock = FaultClock::new(rng, &self.config, 1);
+        let horizon = self.config.store_days;
+
+        loop {
+            match next_step(&clock, horizon) {
+                Step::Done => break,
+                Step::Seu { module: _, time } => {
+                    inject_seu(rng, &mut module, &self.code);
+                    let rate = self.config.seu_per_bit_day
+                        * self.config.m as f64
+                        * self.config.n as f64;
+                    clock.next_seu[0] = time + sample_exponential(rng, rate);
+                }
+                Step::Permanent { module: _, time } => {
+                    inject_permanent(rng, &mut module, &self.code);
+                    let rate = self.config.erasure_per_symbol_day * self.config.n as f64;
+                    clock.next_perm[0] = time + sample_exponential(rng, rate);
+                }
+                Step::Scrub { time } => {
+                    self.scrub(&mut module);
+                    clock.next_scrub = schedule_scrub(rng, time, self.config.scrub);
+                }
+            }
+        }
+
+        match self
+            .code
+            .decode(module.read(), &module.erasures())
+            .expect("well-formed stored word")
+        {
+            DecodeOutcome::Failure(_) => TrialOutcome::Detected,
+            out => {
+                if out.data() == Some(&data[..]) {
+                    TrialOutcome::Correct
+                } else {
+                    TrialOutcome::SilentCorruption
+                }
+            }
+        }
+    }
+
+    /// One scrub pass: read, decode, rewrite the corrected word.
+    /// An undecodable word is left untouched (the scrub simply fails).
+    fn scrub(&self, module: &mut MemoryModule) {
+        let erasures = module.erasures();
+        match self
+            .code
+            .decode(module.read(), &erasures)
+            .expect("well-formed stored word")
+        {
+            DecodeOutcome::Clean { .. } => {}
+            DecodeOutcome::Corrected { codeword, .. } => module.write(&codeword),
+            DecodeOutcome::Failure(_) => {}
+        }
+    }
+}
+
+/// A single simulated duplex memory word-pair with the Section-3 arbiter.
+#[derive(Debug, Clone)]
+pub struct DuplexSim {
+    code: RsCode,
+    config: SimConfig,
+}
+
+impl DuplexSim {
+    /// Builds the simulator for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on invalid configuration or code parameters.
+    pub fn new(config: SimConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        let code = RsCode::new(config.n, config.k, config.m)?;
+        Ok(DuplexSim { code, config })
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &RsCode {
+        &self.code
+    }
+
+    /// Runs one independent trial.
+    pub fn run_trial<R: Rng + ?Sized>(&self, rng: &mut R) -> TrialOutcome {
+        let data = random_data(rng, &self.code);
+        let codeword = self.code.encode(&data).expect("validated parameters");
+        let mut modules = [
+            MemoryModule::new(codeword.clone(), self.config.m),
+            MemoryModule::new(codeword, self.config.m),
+        ];
+        let mut clock = FaultClock::new(rng, &self.config, 2);
+        let horizon = self.config.store_days;
+        let seu_rate =
+            self.config.seu_per_bit_day * self.config.m as f64 * self.config.n as f64;
+        let perm_rate = self.config.erasure_per_symbol_day * self.config.n as f64;
+
+        loop {
+            match next_step(&clock, horizon) {
+                Step::Done => break,
+                Step::Seu { module, time } => {
+                    inject_seu(rng, &mut modules[module], &self.code);
+                    clock.next_seu[module] = time + sample_exponential(rng, seu_rate);
+                }
+                Step::Permanent { module, time } => {
+                    inject_permanent(rng, &mut modules[module], &self.code);
+                    clock.next_perm[module] = time + sample_exponential(rng, perm_rate);
+                }
+                Step::Scrub { time } => {
+                    self.scrub(&mut modules);
+                    clock.next_scrub = schedule_scrub(rng, time, self.config.scrub);
+                }
+            }
+        }
+
+        let [m1, m2] = &modules;
+        match arbitrate(
+            &self.code,
+            m1.read(),
+            &m1.erasures(),
+            m2.read(),
+            &m2.erasures(),
+        )
+        .expect("well-formed stored words")
+        {
+            ArbiterOutput::NoOutput => TrialOutcome::Detected,
+            ArbiterOutput::Data { data: d, .. } => {
+                if d == data {
+                    TrialOutcome::Correct
+                } else {
+                    TrialOutcome::SilentCorruption
+                }
+            }
+        }
+    }
+
+    /// Joint scrub: erasure-mask each word from its sibling, decode each,
+    /// rewrite every module whose word decoded. Undecodable words are
+    /// left in place.
+    fn scrub(&self, modules: &mut [MemoryModule; 2]) {
+        let e1 = modules[0].erasures();
+        let e2 = modules[1].erasures();
+        let mut w1 = modules[0].read().to_vec();
+        let mut w2 = modules[1].read().to_vec();
+        let mut common = Vec::new();
+        for &p in &e1 {
+            if e2.contains(&p) {
+                common.push(p);
+            } else {
+                w1[p] = w2[p];
+            }
+        }
+        for &p in &e2 {
+            if !e1.contains(&p) {
+                w2[p] = modules[0].read()[p];
+            }
+        }
+        for (idx, word) in [w1, w2].into_iter().enumerate() {
+            match self
+                .code
+                .decode(&word, &common)
+                .expect("well-formed stored word")
+            {
+                DecodeOutcome::Clean { .. } => modules[idx].write(&word),
+                DecodeOutcome::Corrected { codeword, .. } => modules[idx].write(&codeword),
+                DecodeOutcome::Failure(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fault_free_trials_always_succeed() {
+        let config = SimConfig::rs18_16_baseline();
+        let simplex = SimplexSim::new(config).unwrap();
+        let duplex = DuplexSim::new(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(simplex.run_trial(&mut rng), TrialOutcome::Correct);
+            assert_eq!(duplex.run_trial(&mut rng), TrialOutcome::Correct);
+        }
+    }
+
+    #[test]
+    fn overwhelming_seu_rate_always_fails_simplex() {
+        let mut config = SimConfig::rs18_16_baseline();
+        config.seu_per_bit_day = 50.0; // ~14k flips over 2 days
+        let simplex = SimplexSim::new(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let fails = (0..30)
+            .filter(|_| simplex.run_trial(&mut rng) != TrialOutcome::Correct)
+            .count();
+        assert!(fails >= 29, "only {fails}/30 trials failed");
+    }
+
+    #[test]
+    fn single_permanent_fault_is_always_recovered_by_duplex() {
+        // λe high enough for ~one fault per trial but two same-position
+        // faults vanishingly unlikely to matter across 30 trials.
+        let mut config = SimConfig::rs18_16_baseline();
+        config.erasure_per_symbol_day = 0.01; // ~0.36 faults/module over 2 days
+        let duplex = DuplexSim::new(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            assert_eq!(duplex.run_trial(&mut rng), TrialOutcome::Correct);
+        }
+    }
+
+    #[test]
+    fn scrubbing_rescues_high_seu_simplex() {
+        let mut config = SimConfig::rs18_16_baseline();
+        // ~1.4 flips expected in 2 days (would often kill the t=1 code
+        // without repair)...
+        config.seu_per_bit_day = 5e-3;
+        let no_scrub = SimplexSim::new(config).unwrap();
+        // ...but with 200 scrubs/day accumulation is nearly impossible.
+        config.scrub = Some((0.005, ScrubTiming::Periodic));
+        let scrubbed = SimplexSim::new(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 120;
+        let fail_no: usize = (0..trials)
+            .filter(|_| no_scrub.run_trial(&mut rng) != TrialOutcome::Correct)
+            .count();
+        let fail_scrub: usize = (0..trials)
+            .filter(|_| scrubbed.run_trial(&mut rng) != TrialOutcome::Correct)
+            .count();
+        assert!(
+            fail_scrub < fail_no,
+            "scrubbing should help: {fail_scrub} vs {fail_no}"
+        );
+    }
+
+    #[test]
+    fn trials_are_seed_deterministic() {
+        let mut config = SimConfig::rs18_16_baseline();
+        config.seu_per_bit_day = 1e-2;
+        config.erasure_per_symbol_day = 1e-3;
+        config.scrub = Some((0.25, ScrubTiming::Exponential));
+        let sim = DuplexSim::new(config).unwrap();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10).map(|_| sim.run_trial(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(99), run(99));
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's Section-6 decoder complexity analysis — the closed-form
+//! latency/area model from the Altera IP-core data — plus an empirical
+//! counterpart: timing this crate's software decoder on the same codes.
+//!
+//! The paper's claim: a simplex RS(36,16) needs >4× the decode latency of
+//! the RS(18,16) used by the duplex arrangement (308 vs 74 cycles), and
+//! one wide decoder outweighs two narrow ones in area.
+//!
+//! Run with `cargo run --release --example decoder_complexity`.
+
+use rsmem::{complexity, report, RsCode};
+use std::time::Instant;
+
+fn time_decoder(code: &RsCode, errors: usize, reps: u32) -> f64 {
+    let data: Vec<u16> = (0..code.k() as u16).collect();
+    let clean = code.encode(&data).expect("valid parameters");
+    let mut word = clean;
+    for i in 0..errors {
+        word[(i * 5) % code.n()] ^= 0x1d;
+    }
+    let start = Instant::now();
+    let mut guard = 0usize;
+    for _ in 0..reps {
+        let out = code.decode(&word, &[]).expect("well-formed word");
+        guard += out.data().map_or(0, <[u16]>::len);
+    }
+    assert!(guard > 0 || errors > code.max_random_errors());
+    start.elapsed().as_secs_f64() / reps as f64 * 1e6
+}
+
+fn main() -> Result<(), rsmem::Error> {
+    println!("closed-form model (paper Section 6):\n");
+    let rows = complexity::section6_comparison();
+    print!("{}", report::render_complexity(&rows));
+
+    let narrow = RsCode::new(18, 16, 8)?;
+    let wide = RsCode::new(36, 16, 8)?;
+    let reps = 20_000;
+
+    println!("\nempirical software-decoder latency (µs/decode, this machine):\n");
+    println!("{:<22} {:>12} {:>12}", "code", "clean word", "t errors");
+    let n_clean = time_decoder(&narrow, 0, reps);
+    let n_err = time_decoder(&narrow, narrow.max_random_errors(), reps);
+    let w_clean = time_decoder(&wide, 0, reps);
+    let w_err = time_decoder(&wide, wide.max_random_errors(), reps);
+    println!("{:<22} {:>12.3} {:>12.3}", "RS(18,16)", n_clean, n_err);
+    println!("{:<22} {:>12.3} {:>12.3}", "RS(36,16)", w_clean, w_err);
+    println!(
+        "\nworst-case latency ratio RS(36,16)/RS(18,16): {:.1}x (model predicts {:.1}x)",
+        w_err / n_err,
+        complexity::decode_cycles(36, 16) as f64 / complexity::decode_cycles(18, 16) as f64
+    );
+    Ok(())
+}

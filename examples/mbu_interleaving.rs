@@ -1,0 +1,60 @@
+//! Beyond the paper: multi-bit upsets (MBUs) and interleaving.
+//!
+//! The paper's Markov models assume each SEU corrupts a single symbol.
+//! This example uses the whole-memory array simulator to measure what
+//! happens when SEUs flip bursts of adjacent bits instead — and shows
+//! that symbol interleaving across codewords restores the models'
+//! assumption (and most of the lost reliability).
+//!
+//! Run with `cargo run --release --example mbu_interleaving`.
+
+use rsmem::SimConfig;
+use rsmem_sim::array::{run_simplex_array, ArrayConfig};
+
+fn config(seu: f64, mbu_bits: u32, depth: usize) -> ArrayConfig {
+    ArrayConfig {
+        base: SimConfig {
+            n: 18,
+            k: 16,
+            m: 8,
+            seu_per_bit_day: seu,
+            erasure_per_symbol_day: 0.0,
+            scrub: None,
+            store_days: 2.0,
+        },
+        words: 32,
+        mbu_width_bits: mbu_bits,
+        interleave_depth: depth,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seu = 1e-3; // accelerated so 200 trials resolve the effect
+    let trials = 200;
+    println!(
+        "simplex RS(18,16) array, 32 words, λ = {seu:e}/bit/day, 2-day store, {trials} trials\n"
+    );
+    println!(
+        "{:<12} {:<12} {:>16} {:>22}",
+        "MBU width", "interleave", "word failures", "silent corruptions"
+    );
+    for (mbu, depth) in [(1u32, 1usize), (2, 1), (4, 1), (2, 2), (4, 4)] {
+        let report = run_simplex_array(&config(seu, mbu, depth), trials, 99)?;
+        println!(
+            "{:<12} {:<12} {:>16.4} {:>22}",
+            format!("{mbu} bit(s)"),
+            format!("depth {depth}"),
+            report.word_failure_fraction,
+            report.silent_words
+        );
+    }
+    println!(
+        "\nReading the table: widening the upset from 1 to 4 bits multiplies the\n\
+         failure fraction (bursts crossing a byte boundary instantly exceed the\n\
+         t = 1 correction capability), while interleaving at a depth matching\n\
+         the burst width brings it back toward the single-bit baseline — the\n\
+         residual gap is the extra single-symbol errors the wider burst still\n\
+         injects."
+    );
+    Ok(())
+}

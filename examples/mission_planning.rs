@@ -1,0 +1,83 @@
+//! Mission planning with the extended metrics: reliability, MTTF,
+//! expected uptime, and the scrubbing trade-off — the questions the
+//! paper's conclusion says its models exist to answer ("assess the
+//! viability of SSMMs for long mission time in space exploration").
+//!
+//! Run with `cargo run --release --example mission_planning`.
+
+use rsmem::scrub::{minimum_scrub_period, ScrubOverhead, ScrubRecommendation};
+use rsmem::units::{ErasureRate, SeuRate, Time};
+use rsmem::{CodeParams, MemorySystem, Scrubbing};
+
+fn main() -> Result<(), rsmem::Error> {
+    // A 24-month mission with mid-range fault exposure.
+    let mission = Time::from_months(24.0);
+    let seu = SeuRate::per_bit_day(3.6e-6);
+    let erasure = ErasureRate::per_symbol_day(1e-7);
+
+    println!("mission horizon: {mission}, λ = 3.6e-6/bit/day, λe = 1e-7/sym/day\n");
+    println!(
+        "{:<26} {:>14} {:>16} {:>16}",
+        "arrangement", "R(mission)", "MTTF", "E[uptime]"
+    );
+
+    let candidates: Vec<(&str, MemorySystem)> = vec![
+        (
+            "simplex RS(18,16)",
+            MemorySystem::simplex(CodeParams::rs18_16()),
+        ),
+        (
+            "duplex RS(18,16)",
+            MemorySystem::duplex(CodeParams::rs18_16()),
+        ),
+        (
+            "simplex RS(36,16)",
+            MemorySystem::simplex(CodeParams::rs36_16()),
+        ),
+        (
+            "duplex + hourly scrub",
+            MemorySystem::duplex(CodeParams::rs18_16())
+                .with_scrubbing(Scrubbing::every_seconds(3600.0)),
+        ),
+    ];
+    for (label, base) in candidates {
+        let system = base.with_seu_rate(seu).with_erasure_rate(erasure);
+        let r = system.reliability(mission)?;
+        let mttf = system.mttf()?;
+        let uptime = system.expected_uptime(mission)?;
+        println!(
+            "{label:<26} {r:>14.6} {:>13.1} mo {:>13.2} mo",
+            mttf.as_months(),
+            uptime.as_months()
+        );
+    }
+
+    // How fast must the duplex scrub to hold BER ≤ 1e-9 over the mission?
+    println!("\nscrub advisor: duplex RS(18,16), target BER 1e-9 over the mission");
+    let duplex = MemorySystem::duplex(CodeParams::rs18_16())
+        .with_seu_rate(seu)
+        .with_erasure_rate(erasure);
+    match minimum_scrub_period(&duplex, 1e-9, mission, Time::from_seconds(10.0))? {
+        ScrubRecommendation::NotNeeded => println!("  no scrubbing needed"),
+        ScrubRecommendation::Period { period, achieved_ber } => {
+            println!(
+                "  scrub every {:.0} s → BER {achieved_ber:.2e}",
+                period.as_seconds()
+            );
+            // Cost of that policy, assuming a 50 ms scrub pass at 2 energy
+            // units per pass.
+            let cost = ScrubOverhead::of(period, Time::from_seconds(0.05), 2.0);
+            println!(
+                "  cost: {:.1} scrubs/day, availability loss {:.2e}, {:.1} energy/day",
+                cost.scrubs_per_day, cost.availability_loss, cost.energy_per_day
+            );
+        }
+        ScrubRecommendation::Unachievable { best_ber } => {
+            println!(
+                "  unachievable by scrubbing alone (best {best_ber:.2e}): permanent\n  \
+                 faults dominate — choose the duplex or the wider code instead"
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: configure the paper's memory arrangements and ask the
+//! three headline questions — what is the BER over a 48-hour store, how
+//! much does scrubbing help, and what does the decoder cost?
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rsmem::units::{SeuRate, Time, TimeGrid};
+use rsmem::{report, CodeParams, MemorySystem, Scrubbing};
+
+fn main() -> Result<(), rsmem::Error> {
+    let worst_case_seu = SeuRate::per_bit_day(1.7e-5);
+    let grid = TimeGrid::linspace(Time::zero(), Time::from_hours(48.0), 7);
+
+    // 1. Simplex RS(18,16) — one module, one decoder.
+    let simplex =
+        MemorySystem::simplex(CodeParams::rs18_16()).with_seu_rate(worst_case_seu);
+    let simplex_curve = simplex.ber_curve(grid.points())?;
+
+    // 2. Duplex RS(18,16) — two modules behind the flag-comparing arbiter.
+    let duplex = MemorySystem::duplex(CodeParams::rs18_16()).with_seu_rate(worst_case_seu);
+    let duplex_curve = duplex.ber_curve(grid.points())?;
+
+    // 3. Duplex with 15-minute scrubbing.
+    let scrubbed = duplex.with_scrubbing(Scrubbing::every_seconds(900.0));
+    let scrubbed_curve = scrubbed.ber_curve(grid.points())?;
+
+    println!("BER under the worst-case SEU rate (1.7e-5 /bit/day):\n");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}",
+        "hours", "simplex", "duplex", "duplex+scrub"
+    );
+    for (i, t) in grid.points().iter().enumerate() {
+        println!(
+            "{:>8.1}  {:>12.4e}  {:>12.4e}  {:>12.4e}",
+            t.as_hours(),
+            simplex_curve.ber[i],
+            duplex_curve.ber[i],
+            scrubbed_curve.ber[i]
+        );
+    }
+
+    println!("\nMarkov state spaces: simplex = {} states, duplex = {} states",
+        simplex.state_count()?,
+        duplex.state_count()?
+    );
+
+    println!("\nDecoder complexity (paper Section 6):");
+    let rows = rsmem::complexity::section6_comparison();
+    print!("{}", report::render_complexity(&rows));
+
+    Ok(())
+}

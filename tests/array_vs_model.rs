@@ -1,0 +1,105 @@
+//! The whole-memory extension, both ways: the analytic binomial
+//! composition (`rsmem_models::memory_array`) against the physical array
+//! simulator (`rsmem_sim::array`) — plus the MBU blind-spot demonstration
+//! at the integration level.
+
+use rsmem::array::{run_simplex_array, ArrayConfig};
+use rsmem::memory_array::{word_fail_probability, MemoryArray};
+use rsmem::units::{SeuRate, Time};
+use rsmem::{CodeParams, FaultRates, Scrubbing, SimConfig, SimplexModel};
+
+fn sim_config(seu: f64, mbu: u32, depth: usize, words: usize) -> ArrayConfig {
+    ArrayConfig {
+        base: SimConfig {
+            n: 18,
+            k: 16,
+            m: 8,
+            seu_per_bit_day: seu,
+            erasure_per_symbol_day: 0.0,
+            scrub: None,
+            store_days: 2.0,
+        },
+        words,
+        mbu_width_bits: mbu,
+        interleave_depth: depth,
+    }
+}
+
+fn analytic_word_p(seu: f64) -> f64 {
+    let model = SimplexModel::new(
+        CodeParams::rs18_16(),
+        FaultRates::transient_only(SeuRate::per_bit_day(seu)),
+        Scrubbing::None,
+    );
+    word_fail_probability(&model, Time::from_days(2.0)).expect("solve")
+}
+
+#[test]
+fn simulated_word_fraction_matches_analytic_composition() {
+    let seu = 4e-3;
+    let report = run_simplex_array(&sim_config(seu, 1, 1, 64), 60, 5).expect("sim");
+    let p = analytic_word_p(seu);
+    let (lo, hi) = report.wilson_95;
+    assert!(
+        p >= lo - 0.005 && p <= hi + 0.005,
+        "analytic {p:.4} outside simulated CI [{lo:.4}, {hi:.4}]"
+    );
+}
+
+#[test]
+fn any_word_failure_composition_is_consistent_with_simulation() {
+    // P(at least one of W words fails) from the model vs the empirical
+    // fraction of trials with ≥1 failed word. We don't get the latter
+    // directly from the report, so compare expected failed words instead:
+    // E[failed] = trials · W · p.
+    let seu = 4e-3;
+    let words = 64usize;
+    let trials = 60usize;
+    let report = run_simplex_array(&sim_config(seu, 1, 1, words), trials, 6).expect("sim");
+    let model = SimplexModel::new(
+        CodeParams::rs18_16(),
+        FaultRates::transient_only(SeuRate::per_bit_day(seu)),
+        Scrubbing::None,
+    );
+    let arr = MemoryArray::new(words as u64).expect("nonzero");
+    let expected_per_trial = arr
+        .expected_failed_words(&model, Time::from_days(2.0))
+        .expect("solve");
+    let expected_total = expected_per_trial * trials as f64;
+    let got = report.failed_words as f64;
+    // Binomial σ ≈ √(N·p); allow 4σ.
+    let sigma = (trials as f64 * words as f64 * analytic_word_p(seu)).sqrt();
+    assert!(
+        (got - expected_total).abs() < 4.0 * sigma + 2.0,
+        "observed {got} vs expected {expected_total} (σ = {sigma:.1})"
+    );
+}
+
+#[test]
+fn mbu_breaks_the_model_and_interleaving_restores_it() {
+    // The per-word Markov model assumes single-symbol SEUs. With 4-bit
+    // MBUs the simulated failure fraction leaves the model's CI upward;
+    // with matching interleaving it comes back to within a modest band.
+    let seu = 1e-3;
+    let p_model = analytic_word_p(seu);
+
+    let mbu = run_simplex_array(&sim_config(seu, 4, 1, 64), 60, 7).expect("sim");
+    assert!(
+        mbu.word_failure_fraction > 2.0 * p_model,
+        "MBU fraction {} should clearly exceed the model {p_model}",
+        mbu.word_failure_fraction
+    );
+
+    let healed = run_simplex_array(&sim_config(seu, 4, 4, 64), 60, 7).expect("sim");
+    assert!(
+        healed.word_failure_fraction < mbu.word_failure_fraction,
+        "interleaving must reduce the MBU failure fraction"
+    );
+}
+
+#[test]
+fn ber_estimates_are_prefactor_scaled_fractions() {
+    let report = run_simplex_array(&sim_config(5e-3, 1, 1, 16), 30, 8).expect("sim");
+    // RS(18,16), m = 8 → prefactor 1.
+    assert!((report.ber_estimate - report.word_failure_fraction).abs() < 1e-15);
+}

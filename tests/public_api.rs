@@ -1,0 +1,137 @@
+//! Public-API contract tests: the façade exposes everything a downstream
+//! user needs, types are well-behaved, and misuse fails with typed errors.
+
+use rsmem::units::{ErasureRate, SeuRate, Time, TimeGrid};
+use rsmem::{
+    Arrangement, CodeParams, DecodeOutcome, Error, MemorySystem, RsCode, ScrubTiming, Scrubbing,
+};
+
+#[test]
+fn facade_types_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MemorySystem>();
+    assert_send_sync::<RsCode>();
+    assert_send_sync::<CodeParams>();
+    assert_send_sync::<Error>();
+    assert_send_sync::<rsmem::BerCurve>();
+    assert_send_sync::<rsmem::MonteCarloReport>();
+}
+
+#[test]
+fn errors_implement_std_error_with_sources() {
+    let sys = MemorySystem::simplex(CodeParams::rs18_16())
+        .with_seu_rate(SeuRate::per_bit_day(f64::NAN));
+    let err = sys.ber_curve(&[Time::zero()]).unwrap_err();
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+    // Error chains down to the models layer.
+    let dyn_err: &dyn std::error::Error = &err;
+    assert!(dyn_err.source().is_some());
+}
+
+#[test]
+fn codec_roundtrip_via_facade_reexports() {
+    let code = RsCode::new(18, 16, 8).expect("paper code");
+    let data: Vec<u16> = (0..16).collect();
+    let mut word = code.encode(&data).expect("encode");
+    word[3] ^= 0x80;
+    match code.decode(&word, &[]).expect("decode") {
+        DecodeOutcome::Corrected { data: d, .. } => assert_eq!(d, data),
+        other => panic!("expected correction, got {other:?}"),
+    }
+}
+
+#[test]
+fn arrangement_accessors_report_configuration() {
+    let s = MemorySystem::simplex(CodeParams::rs36_16());
+    assert!(matches!(s.arrangement(), Arrangement::Simplex));
+    assert_eq!(s.code().n(), 36);
+    let d = MemorySystem::duplex(CodeParams::rs18_16())
+        .with_scrubbing(Scrubbing::every_seconds(900.0));
+    assert!(matches!(d.arrangement(), Arrangement::Duplex(_)));
+    assert!((d.scrubbing().rate_per_day() - 96.0).abs() < 1e-9);
+}
+
+#[test]
+fn ber_curve_zero_point_is_exact() {
+    let sys = MemorySystem::duplex(CodeParams::rs18_16())
+        .with_seu_rate(SeuRate::per_bit_day(1.7e-5));
+    let curve = sys.ber_curve(&[Time::zero()]).expect("solve");
+    assert_eq!(curve.ber, vec![0.0]);
+    assert_eq!(curve.fail_probability, vec![0.0]);
+    assert_eq!(curve.len(), 1);
+    assert!(!curve.is_empty());
+}
+
+#[test]
+fn time_grid_composes_with_ber_curve() {
+    let grid = TimeGrid::linspace(Time::zero(), Time::from_hours(48.0), 5);
+    let sys = MemorySystem::simplex(CodeParams::rs18_16())
+        .with_seu_rate(SeuRate::per_bit_day(1e-5));
+    let curve = sys.ber_curve(grid.points()).expect("solve");
+    assert_eq!(curve.len(), 5);
+    let series = curve.as_hours_series();
+    assert_eq!(series.len(), 5);
+    assert!((series[4].0 - 48.0).abs() < 1e-12);
+}
+
+#[test]
+fn monte_carlo_is_reproducible_through_facade() {
+    let sys = MemorySystem::simplex(CodeParams::rs18_16())
+        .with_seu_rate(SeuRate::per_bit_day(1e-2));
+    let a = sys
+        .monte_carlo(Time::from_days(1.0), 200, 5, ScrubTiming::Periodic)
+        .expect("mc");
+    let b = sys
+        .monte_carlo(Time::from_days(1.0), 200, 5, ScrubTiming::Periodic)
+        .expect("mc");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fail_bounds_require_acyclic_models() {
+    let scrubbed = MemorySystem::simplex(CodeParams::rs18_16())
+        .with_seu_rate(SeuRate::per_bit_day(1e-5))
+        .with_scrubbing(Scrubbing::every_seconds(900.0));
+    assert!(scrubbed.fail_bounds(Time::from_hours(48.0)).is_err());
+    let unscrubbed = scrubbed.with_scrubbing(Scrubbing::None);
+    let bounds = unscrubbed.fail_bounds(Time::from_hours(48.0)).expect("acyclic");
+    assert!(bounds.ln_upper.is_finite());
+}
+
+#[test]
+fn zero_trials_is_a_typed_error() {
+    let sys = MemorySystem::simplex(CodeParams::rs18_16());
+    let err = sys
+        .monte_carlo(Time::from_days(1.0), 0, 0, ScrubTiming::Periodic)
+        .unwrap_err();
+    assert!(matches!(err, Error::Sim(_)));
+}
+
+#[test]
+fn mixed_fault_environment_end_to_end() {
+    // Transients + permanents + scrubbing, analytic and simulated, through
+    // the single façade type.
+    let sys = MemorySystem::duplex(CodeParams::rs18_16())
+        .with_seu_rate(SeuRate::per_bit_day(1e-2))
+        .with_erasure_rate(ErasureRate::per_symbol_day(1e-3))
+        .with_scrubbing(Scrubbing::Periodic {
+            period: Time::from_days(0.5),
+        });
+    let curve = sys.ber_curve(&[Time::from_days(2.0)]).expect("analytic");
+    assert!(curve.ber[0] > 0.0);
+    let mc = sys
+        .monte_carlo(Time::from_days(2.0), 100, 1, ScrubTiming::Exponential)
+        .expect("simulated");
+    assert_eq!(mc.trials, 100);
+}
+
+#[test]
+fn decoder_complexity_via_facade() {
+    let sys = MemorySystem::duplex(CodeParams::rs18_16());
+    assert_eq!(sys.decode_cycles(), 74);
+    assert_eq!(sys.decoder_area_units(), 2 * 8 * 2);
+    let wide = MemorySystem::simplex(CodeParams::rs36_16());
+    assert_eq!(wide.decode_cycles(), 308);
+    assert_eq!(wide.decoder_area_units(), 8 * 20);
+}
