@@ -9,9 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rsmem::units::{ErasureRate, SeuRate, Time};
-use rsmem::{
-    CodeParams, DuplexFailCriterion, DuplexOptions, MemorySystem,
-};
+use rsmem::{CodeParams, DuplexFailCriterion, DuplexOptions, MemorySystem};
 use rsmem_bench::small_sample;
 use std::hint::black_box;
 
@@ -32,9 +30,24 @@ fn bench(c: &mut Criterion) {
         "scenario", "BothWords", "EitherWord", "ratio"
     );
     let scenarios: [(&str, f64, f64, Time); 3] = [
-        ("transient λ=1.7e-5, 48 h", 1.7e-5, 0.0, Time::from_hours(48.0)),
-        ("permanent λe=1e-6, 24 mo", 0.0, 1e-6, Time::from_months(24.0)),
-        ("mixed λ=1.7e-5 λe=1e-6, 48 h", 1.7e-5, 1e-6, Time::from_hours(48.0)),
+        (
+            "transient λ=1.7e-5, 48 h",
+            1.7e-5,
+            0.0,
+            Time::from_hours(48.0),
+        ),
+        (
+            "permanent λe=1e-6, 24 mo",
+            0.0,
+            1e-6,
+            Time::from_months(24.0),
+        ),
+        (
+            "mixed λ=1.7e-5 λe=1e-6, 48 h",
+            1.7e-5,
+            1e-6,
+            Time::from_hours(48.0),
+        ),
     ];
     for (label, seu, erasure, t) in scenarios {
         let both = with_criterion(DuplexFailCriterion::BothWords, seu, erasure)
@@ -45,7 +58,11 @@ fn bench(c: &mut Criterion) {
             .ber_curve(&[t])
             .expect("solve")
             .ber[0];
-        let ratio = if either > 0.0 { both / either } else { f64::NAN };
+        let ratio = if either > 0.0 {
+            both / either
+        } else {
+            f64::NAN
+        };
         println!("{label:<34} {both:>14.4e} {either:>14.4e} {ratio:>10.2e}");
     }
     println!();

@@ -64,9 +64,7 @@ fn bench(c: &mut Criterion) {
         let fail = space.index_of(&model.fail_state()).expect("reachable");
         c.bench_function(&format!("ablation_solvers/{short}/uniformization"), |b| {
             b.iter(|| {
-                black_box(
-                    transient(&space, t, &UniformizationOptions::default()).expect("uni"),
-                )
+                black_box(transient(&space, t, &UniformizationOptions::default()).expect("uni"))
             });
         });
         c.bench_function(&format!("ablation_solvers/{short}/rkf45"), |b| {
@@ -75,8 +73,7 @@ fn bench(c: &mut Criterion) {
         c.bench_function(&format!("ablation_solvers/{short}/path_bounds"), |b| {
             b.iter(|| {
                 black_box(
-                    absorption_bounds(&space, fail, t, &PathOptions::default())
-                        .expect("paths"),
+                    absorption_bounds(&space, fail, t, &PathOptions::default()).expect("paths"),
                 )
             });
         });

@@ -40,12 +40,8 @@ fn bench(c: &mut Criterion) {
         group.bench_function("decode_one_error_berlekamp", |b| {
             b.iter(|| {
                 black_box(
-                    code.decode_with(
-                        black_box(&one_err),
-                        &[],
-                        DecoderBackend::BerlekampMassey,
-                    )
-                    .expect("decode"),
+                    code.decode_with(black_box(&one_err), &[], DecoderBackend::BerlekampMassey)
+                        .expect("decode"),
                 )
             });
         });

@@ -91,9 +91,18 @@ impl Parsed {
                 if parts.len() != 3 {
                     return Err(format!("--code expects N,K,M — got {v:?}"));
                 }
-                let n = parts[0].trim().parse().map_err(|_| format!("bad N in {v:?}"))?;
-                let k = parts[1].trim().parse().map_err(|_| format!("bad K in {v:?}"))?;
-                let m = parts[2].trim().parse().map_err(|_| format!("bad M in {v:?}"))?;
+                let n = parts[0]
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad N in {v:?}"))?;
+                let k = parts[1]
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad K in {v:?}"))?;
+                let m = parts[2]
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad M in {v:?}"))?;
                 Ok((n, k, m))
             }
         }

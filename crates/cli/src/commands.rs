@@ -2,10 +2,10 @@
 //! CLI is unit-testable without spawning processes.
 
 use crate::args::{parse, Parsed};
-use rsmem::experiments::{run, ExperimentId};
+use rsmem::experiments::{run_with, ExperimentId};
 use rsmem::scrub::{minimum_scrub_period, ScrubRecommendation};
 use rsmem::units::{ErasureRate, SeuRate, Time, TimeGrid};
-use rsmem::{report, CodeParams, MemorySystem, ScrubTiming, Scrubbing};
+use rsmem::{report, CodeParams, MemorySystem, Parallelism, ScrubTiming, Scrubbing};
 use std::fmt::Write as _;
 
 const HELP: &str = "\
@@ -42,6 +42,8 @@ COMMAND FLAGS:
   --words N               array size for `array` (default: 32)
   --mbu B                 bits flipped per SEU for `array` (default: 1)
   --interleave D          interleaving depth for `array` (default: 1)
+  --threads N             worker threads for `experiment`/`simulate`
+                          (default: all cores; results do not depend on N)
 ";
 
 /// Dispatches a raw argv to a command, returning printable output.
@@ -76,13 +78,22 @@ fn experiment_id(name: &str) -> Result<ExperimentId, String> {
         .ok_or_else(|| format!("unknown experiment {name:?}"))
 }
 
+/// `--threads N` → a [`Parallelism`]; absent = all available cores.
+fn parallelism_from(parsed: &Parsed) -> Result<Parallelism, String> {
+    match parsed.value("--threads") {
+        None => Ok(Parallelism::Auto),
+        Some(_) => Ok(Parallelism::threads(parsed.usize_flag("--threads", 0)?)),
+    }
+}
+
 fn cmd_experiment(parsed: &Parsed) -> Result<String, String> {
     let name = parsed
         .positional
         .get(1)
         .ok_or("experiment requires an id (see `rsmem list`)")?;
     let id = experiment_id(name)?;
-    let output = run(id).map_err(|e| e.to_string())?;
+    let par = parallelism_from(parsed)?;
+    let output = run_with(id, &par).map_err(|e| e.to_string())?;
     match (output.figure(), output.table()) {
         (Some(fig), _) if parsed.has("--csv") => Ok(report::figure_to_csv(fig)),
         (Some(fig), _) if parsed.has("--plot") => Ok(rsmem::plot::ascii_plot(
@@ -200,8 +211,8 @@ fn cmd_array(parsed: &Parsed) -> Result<String, String> {
         mbu_width_bits: mbu,
         interleave_depth: depth,
     };
-    let report = rsmem::array::run_simplex_array(&config, trials, seed)
-        .map_err(|e| e.to_string())?;
+    let report =
+        rsmem::array::run_simplex_array(&config, trials, seed).map_err(|e| e.to_string())?;
     Ok(format!(
         "{} trials × {} words: {} failed words ({} silent); \
          fraction {:.4e} (95% CI [{:.4e}, {:.4e}]), BER ≈ {:.4e}\n",
@@ -221,12 +232,14 @@ fn cmd_simulate(parsed: &Parsed) -> Result<String, String> {
     let days = parsed.f64_flag("--days", 2.0)?;
     let trials = parsed.usize_flag("--trials", 1000)?;
     let seed = parsed.usize_flag("--seed", 42)? as u64;
+    let par = parallelism_from(parsed)?;
     let report = system
-        .monte_carlo(
+        .monte_carlo_with(
             Time::from_days(days),
             trials,
             seed,
             ScrubTiming::Periodic,
+            &par,
         )
         .map_err(|e| e.to_string())?;
     Ok(format!("{report}\n"))
@@ -242,7 +255,10 @@ fn cmd_advise(parsed: &Parsed) -> Result<String, String> {
         ScrubRecommendation::NotNeeded => {
             format!("target BER {target:e} met without scrubbing\n")
         }
-        ScrubRecommendation::Period { period, achieved_ber } => format!(
+        ScrubRecommendation::Period {
+            period,
+            achieved_ber,
+        } => format!(
             "scrub every {:.0} s ({}) → BER {achieved_ber:.3e} ≤ {target:e}\n",
             period.as_seconds(),
             period
@@ -303,10 +319,7 @@ mod tests {
         .unwrap();
         assert!(plain.contains("BER"));
         assert_eq!(plain.lines().count(), 6); // header + 5 points
-        let csv = run_cli(&[
-            "ber", "--seu", "1.7e-5", "--points", "3", "--csv",
-        ])
-        .unwrap();
+        let csv = run_cli(&["ber", "--seu", "1.7e-5", "--points", "3", "--csv"]).unwrap();
         assert!(csv.starts_with("hours,fail_probability,ber"));
         assert_eq!(csv.lines().count(), 4);
     }
@@ -314,8 +327,15 @@ mod tests {
     #[test]
     fn ber_honors_code_flag() {
         let out = run_cli(&[
-            "ber", "--code", "36,16,8", "--erasure", "1e-6", "--months", "24",
-            "--points", "3",
+            "ber",
+            "--code",
+            "36,16,8",
+            "--erasure",
+            "1e-6",
+            "--months",
+            "24",
+            "--points",
+            "3",
         ])
         .unwrap();
         assert!(out.contains("e-"));
@@ -333,10 +353,57 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_does_not_change_results() {
+        let serial = run_cli(&["experiment", "fig5", "--csv", "--threads", "1"]).unwrap();
+        let parallel = run_cli(&["experiment", "fig5", "--csv", "--threads", "4"]).unwrap();
+        assert_eq!(serial, parallel);
+        let sim_serial = run_cli(&[
+            "simulate",
+            "--seu",
+            "1e-2",
+            "--trials",
+            "300",
+            "--seed",
+            "7",
+            "--days",
+            "1",
+            "--threads",
+            "1",
+        ])
+        .unwrap();
+        let sim_parallel = run_cli(&[
+            "simulate",
+            "--seu",
+            "1e-2",
+            "--trials",
+            "300",
+            "--seed",
+            "7",
+            "--days",
+            "1",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(sim_serial, sim_parallel);
+    }
+
+    #[test]
+    fn threads_flag_rejects_garbage() {
+        assert!(run_cli(&["simulate", "--threads", "many"]).is_err());
+    }
+
+    #[test]
     fn advise_recovers_paper_guidance() {
         let out = run_cli(&[
-            "advise", "--duplex", "--seu", "1.7e-5", "--target-ber", "1e-6",
-            "--hours", "48",
+            "advise",
+            "--duplex",
+            "--seu",
+            "1.7e-5",
+            "--target-ber",
+            "1e-6",
+            "--hours",
+            "48",
         ])
         .unwrap();
         assert!(out.contains("scrub every"), "{out}");
@@ -344,10 +411,7 @@ mod tests {
 
     #[test]
     fn metrics_command_reports_all_quantities() {
-        let out = run_cli(&[
-            "metrics", "--duplex", "--seu", "1e-4", "--hours", "48",
-        ])
-        .unwrap();
+        let out = run_cli(&["metrics", "--duplex", "--seu", "1e-4", "--hours", "48"]).unwrap();
         assert!(out.contains("reliability"));
         assert!(out.contains("MTTF"));
         assert!(out.contains("uptime"));
@@ -359,8 +423,19 @@ mod tests {
     #[test]
     fn array_command_runs_mbu_campaign() {
         let out = run_cli(&[
-            "array", "--seu", "1e-3", "--mbu", "4", "--interleave", "4", "--words",
-            "8", "--trials", "10", "--days", "1",
+            "array",
+            "--seu",
+            "1e-3",
+            "--mbu",
+            "4",
+            "--interleave",
+            "4",
+            "--words",
+            "8",
+            "--trials",
+            "10",
+            "--days",
+            "1",
         ])
         .unwrap();
         assert!(out.contains("10 trials × 8 words"), "{out}");
@@ -371,7 +446,13 @@ mod tests {
     #[test]
     fn advise_reports_unachievable_for_permanent_faults() {
         let out = run_cli(&[
-            "advise", "--erasure", "1e-2", "--target-ber", "1e-12", "--hours", "720",
+            "advise",
+            "--erasure",
+            "1e-2",
+            "--target-ber",
+            "1e-12",
+            "--hours",
+            "720",
         ])
         .unwrap();
         assert!(out.contains("unachievable"), "{out}");

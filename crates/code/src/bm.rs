@@ -71,7 +71,7 @@ mod tests {
     fn errors_only_locator_has_expected_roots() {
         let code = RsCode::new(15, 9, 4).unwrap();
         let f = code.field();
-        let mut word = code.encode(&vec![0; 9]).unwrap();
+        let mut word = code.encode(&[0; 9]).unwrap();
         word[2] ^= 5;
         word[11] ^= 9;
         let s = syndromes(&code, &word);
@@ -85,7 +85,7 @@ mod tests {
     fn erasure_initialized_locator_covers_both_kinds() {
         let code = RsCode::new(15, 9, 4).unwrap();
         let f = code.field();
-        let mut word = code.encode(&vec![3; 9]).unwrap();
+        let mut word = code.encode(&[3; 9]).unwrap();
         word[1] ^= 4; // erasure (located)
         word[8] ^= 2; // random error
         let erasures = [1usize];
@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn clean_word_keeps_gamma() {
         let code = RsCode::new(15, 9, 4).unwrap();
-        let word = code.encode(&vec![7; 9]).unwrap();
+        let word = code.encode(&[7; 9]).unwrap();
         let erasures = [4usize, 9];
         let s = syndromes(&code, &word);
         let gamma = erasure_locator(&code, &erasures);

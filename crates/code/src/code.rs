@@ -206,7 +206,9 @@ impl RsCode {
             });
         }
         self.check_symbols(word)?;
-        Ok(crate::syndrome::syndromes(self, word).iter().all(|&s| s == 0))
+        Ok(crate::syndrome::syndromes(self, word)
+            .iter()
+            .all(|&s| s == 0))
     }
 
     /// Decodes `word` given `erasures` (distinct positions in `0..n` known
@@ -219,11 +221,7 @@ impl RsCode {
     ///
     /// [`CodeError`] only for malformed inputs (wrong lengths, bad erasure
     /// positions, out-of-field symbols).
-    pub fn decode(
-        &self,
-        word: &[Symbol],
-        erasures: &[usize],
-    ) -> Result<DecodeOutcome, CodeError> {
+    pub fn decode(&self, word: &[Symbol], erasures: &[usize]) -> Result<DecodeOutcome, CodeError> {
         decode_word(self, word, erasures, DecoderBackend::Sugiyama)
     }
 

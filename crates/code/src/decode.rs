@@ -80,12 +80,18 @@ pub enum DecodeFailure {
 impl fmt::Display for DecodeFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DecodeFailure::TooManyErasures { erasures, redundancy } => {
+            DecodeFailure::TooManyErasures {
+                erasures,
+                redundancy,
+            } => {
                 write!(f, "{erasures} erasures exceed redundancy {redundancy}")
             }
             DecodeFailure::KeyEquation => write!(f, "key equation has no valid solution"),
             DecodeFailure::CapabilityExceeded { erasures, errors } => {
-                write!(f, "pattern ({erasures} erasures, {errors} errors) beyond capability")
+                write!(
+                    f,
+                    "pattern ({erasures} erasures, {errors} errors) beyond capability"
+                )
             }
             DecodeFailure::RootCountMismatch => {
                 write!(f, "locator roots inconsistent with its degree")
@@ -300,7 +306,11 @@ mod tests {
             word[14] ^= 1;
             let out = code.decode_with(&word, &[], backend).unwrap();
             match out {
-                DecodeOutcome::Corrected { data: d, corrections, .. } => {
+                DecodeOutcome::Corrected {
+                    data: d,
+                    corrections,
+                    ..
+                } => {
                     assert_eq!(d, data, "{backend}");
                     assert_eq!(corrections.len(), 3);
                 }
@@ -357,12 +367,15 @@ mod tests {
     #[test]
     fn too_many_erasures_is_detected() {
         let code = code_15_9();
-        let word = code.encode(&vec![0; 9]).unwrap();
+        let word = code.encode(&[0; 9]).unwrap();
         let erased: Vec<usize> = (0..7).collect(); // 7 > n−k = 6
         let out = code.decode(&word, &erased).unwrap();
         assert!(matches!(
             out,
-            DecodeOutcome::Failure(DecodeFailure::TooManyErasures { erasures: 7, redundancy: 6 })
+            DecodeOutcome::Failure(DecodeFailure::TooManyErasures {
+                erasures: 7,
+                redundancy: 6
+            })
         ));
     }
 
@@ -393,7 +406,7 @@ mod tests {
     #[test]
     fn malformed_inputs_are_api_errors_not_failures() {
         let code = code_15_9();
-        let word = code.encode(&vec![0; 9]).unwrap();
+        let word = code.encode(&[0; 9]).unwrap();
         assert!(code.decode(&word[..14], &[]).is_err());
         assert!(code.decode(&word, &[15]).is_err()); // out of range
         assert!(code.decode(&word, &[3, 3]).is_err()); // duplicate

@@ -64,7 +64,7 @@ mod tests {
     #[test]
     fn zero_dataword_encodes_to_zero_codeword() {
         let code = RsCode::new(18, 16, 8).unwrap();
-        let word = code.encode(&vec![0; 16]).unwrap();
+        let word = code.encode(&[0; 16]).unwrap();
         assert!(word.iter().all(|&s| s == 0));
     }
 
@@ -87,7 +87,10 @@ mod tests {
         let code = RsCode::new(15, 9, 4).unwrap();
         assert!(matches!(
             code.encode(&[1, 2, 3]),
-            Err(CodeError::DatawordLength { got: 3, expected: 9 })
+            Err(CodeError::DatawordLength {
+                got: 3,
+                expected: 9
+            })
         ));
         let mut data = vec![0 as Symbol; 9];
         data[4] = 16; // out of GF(16)

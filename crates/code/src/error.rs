@@ -67,7 +67,10 @@ impl fmt::Display for CodeError {
                 write!(f, "codeword has {got} symbols, expected {expected}")
             }
             CodeError::BadErasure { position, n } => {
-                write!(f, "erasure position {position} invalid for codeword length {n}")
+                write!(
+                    f,
+                    "erasure position {position} invalid for codeword length {n}"
+                )
             }
             CodeError::SymbolOutOfRange { index, value } => {
                 write!(f, "symbol {value} at index {index} out of field range")

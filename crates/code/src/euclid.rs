@@ -32,8 +32,7 @@ pub(crate) fn solve_key_equation(
     let two_t = code.parity_symbols();
     let stop = (two_t + erasure_count).div_ceil(2);
     let x2t = Poly::monomial(1, two_t);
-    let (omega, lambda) =
-        Poly::partial_xgcd(&x2t, modified_syndrome, stop, field).ok()?;
+    let (omega, lambda) = Poly::partial_xgcd(&x2t, modified_syndrome, stop, field).ok()?;
     if lambda.is_zero() {
         return None;
     }
@@ -71,7 +70,7 @@ mod tests {
         let code = RsCode::new(15, 9, 4).unwrap();
         let f = code.field();
         let word = {
-            let mut w = code.encode(&vec![0; 9]).unwrap();
+            let mut w = code.encode(&[0; 9]).unwrap();
             w[6] ^= 9;
             w
         };
@@ -90,7 +89,7 @@ mod tests {
     fn erasures_only_yields_trivial_error_locator() {
         let code = RsCode::new(15, 9, 4).unwrap();
         let word = {
-            let mut w = code.encode(&vec![1; 9]).unwrap();
+            let mut w = code.encode(&[1; 9]).unwrap();
             w[2] ^= 3;
             w[10] ^= 7;
             w

@@ -42,9 +42,7 @@ impl<'c> LfsrEncoder<'c> {
     /// Builds the circuit for a code.
     pub fn new(code: &'c RsCode) -> Self {
         let redundancy = code.parity_symbols();
-        let taps: Vec<Symbol> = (0..redundancy)
-            .map(|i| code.generator().coeff(i))
-            .collect();
+        let taps: Vec<Symbol> = (0..redundancy).map(|i| code.generator().coeff(i)).collect();
         LfsrEncoder {
             code,
             taps,
@@ -141,7 +139,9 @@ mod tests {
             for seed in 0..8u64 {
                 let data: Vec<Symbol> = (0..code.k() as u64)
                     .map(|i| {
-                        ((seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i * 0x2545f491))
+                        ((seed
+                            .wrapping_mul(0x9e3779b97f4a7c15)
+                            .wrapping_add(i * 0x2545f491))
                             % size) as Symbol
                     })
                     .collect();
@@ -168,7 +168,7 @@ mod tests {
     #[test]
     fn zero_data_leaves_register_clear() {
         let code = RsCode::new(15, 9, 4).unwrap();
-        let word = LfsrEncoder::new(&code).encode(&vec![0; 9]).unwrap();
+        let word = LfsrEncoder::new(&code).encode(&[0; 9]).unwrap();
         assert!(word.iter().all(|&s| s == 0));
     }
 

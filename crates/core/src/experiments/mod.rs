@@ -21,7 +21,7 @@ mod complexity;
 mod permanent;
 mod transient;
 
-use crate::Error;
+use crate::{Error, Parallelism};
 use std::fmt;
 
 pub use rsmem_code::complexity::ComplexityRow;
@@ -36,8 +36,7 @@ pub const WORST_CASE_SEU: f64 = 1.7e-5;
 pub const SCRUB_PERIODS_S: [f64; 4] = [900.0, 1200.0, 1800.0, 3600.0];
 
 /// The paper's permanent-fault-rate sweep (per symbol/day), Figs. 8–10.
-pub const PERMANENT_RATES_PER_SYMBOL_DAY: [f64; 7] =
-    [1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10];
+pub const PERMANENT_RATES_PER_SYMBOL_DAY: [f64; 7] = [1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10];
 
 /// Storage horizon of the transient-fault studies (Figs. 5–7).
 pub const TRANSIENT_HORIZON_HOURS: f64 = 48.0;
@@ -150,20 +149,33 @@ impl ExperimentOutput {
     }
 }
 
-/// Regenerates one paper artifact.
+/// Regenerates one paper artifact with the default parallelism
+/// ([`Parallelism::Auto`]: one worker per available core).
 ///
 /// # Errors
 ///
 /// Solver/configuration errors from the underlying crates (none occur for
 /// the built-in parameterizations).
 pub fn run(id: ExperimentId) -> Result<ExperimentOutput, Error> {
+    run_with(id, &Parallelism::Auto)
+}
+
+/// Regenerates one paper artifact, fanning the sweep's rate curves
+/// across `par` workers. Results are identical for every parallelism
+/// degree — curves are solved independently and assembled in sweep
+/// order.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(id: ExperimentId, par: &Parallelism) -> Result<ExperimentOutput, Error> {
     match id {
-        ExperimentId::Fig5 => transient::fig5().map(ExperimentOutput::Figure),
-        ExperimentId::Fig6 => transient::fig6().map(ExperimentOutput::Figure),
-        ExperimentId::Fig7 => transient::fig7().map(ExperimentOutput::Figure),
-        ExperimentId::Fig8 => permanent::fig8().map(ExperimentOutput::Figure),
-        ExperimentId::Fig9 => permanent::fig9().map(ExperimentOutput::Figure),
-        ExperimentId::Fig10 => permanent::fig10().map(ExperimentOutput::Figure),
+        ExperimentId::Fig5 => transient::fig5(par).map(ExperimentOutput::Figure),
+        ExperimentId::Fig6 => transient::fig6(par).map(ExperimentOutput::Figure),
+        ExperimentId::Fig7 => transient::fig7(par).map(ExperimentOutput::Figure),
+        ExperimentId::Fig8 => permanent::fig8(par).map(ExperimentOutput::Figure),
+        ExperimentId::Fig9 => permanent::fig9(par).map(ExperimentOutput::Figure),
+        ExperimentId::Fig10 => permanent::fig10(par).map(ExperimentOutput::Figure),
         ExperimentId::Complexity => Ok(ExperimentOutput::Table(complexity::table())),
     }
 }
@@ -177,7 +189,15 @@ mod tests {
         let names: Vec<String> = ExperimentId::all().iter().map(|i| i.to_string()).collect();
         assert_eq!(
             names,
-            vec!["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "complexity"]
+            vec![
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "complexity"
+            ]
         );
     }
 
@@ -187,6 +207,16 @@ mod tests {
         assert!(out.table().is_some());
         assert!(out.figure().is_none());
         assert_eq!(out.table().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parallel_sweep_output_is_identical_to_serial() {
+        // Curves are independent jobs slotted back by index: every
+        // parallelism degree must reproduce the serial figure exactly.
+        let serial = run_with(ExperimentId::Fig5, &Parallelism::Serial).unwrap();
+        for par in [Parallelism::threads(2), Parallelism::threads(4)] {
+            assert_eq!(serial, run_with(ExperimentId::Fig5, &par).unwrap());
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use super::{
     ExperimentId, Figure, Series, GRID_POINTS, PERMANENT_HORIZON_MONTHS,
     PERMANENT_RATES_PER_SYMBOL_DAY,
 };
-use crate::{Error, MemorySystem};
+use crate::{Error, MemorySystem, Parallelism};
 use rsmem_models::units::{ErasureRate, Time, TimeGrid};
 use rsmem_models::CodeParams;
 
@@ -19,20 +19,23 @@ fn grid() -> TimeGrid {
 }
 
 fn permanent_sweep(
-    make: impl Fn(f64) -> MemorySystem,
+    make: impl Fn(f64) -> MemorySystem + Sync,
     id: ExperimentId,
     title: &str,
+    par: &Parallelism,
 ) -> Result<Figure, Error> {
     let grid = grid();
-    let mut series = Vec::new();
-    for &rate in &PERMANENT_RATES_PER_SYMBOL_DAY {
-        let system = make(rate);
-        let curve = system.ber_curve(grid.points())?;
-        series.push(Series {
-            label: format!("{rate:.0E}"),
-            points: curve.as_months_series(),
-        });
-    }
+    let series = par
+        .map(&PERMANENT_RATES_PER_SYMBOL_DAY, |&rate| {
+            let system = make(rate);
+            let curve = system.ber_curve(grid.points())?;
+            Ok(Series {
+                label: format!("{rate:.0E}"),
+                points: curve.as_months_series(),
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, Error>>()?;
     Ok(Figure {
         id,
         title: title.to_owned(),
@@ -43,7 +46,7 @@ fn permanent_sweep(
 }
 
 /// Fig. 8 — simplex RS(18,16) under varying permanent-fault rates.
-pub(super) fn fig8() -> Result<Figure, Error> {
+pub(super) fn fig8(par: &Parallelism) -> Result<Figure, Error> {
     permanent_sweep(
         |rate| {
             MemorySystem::simplex(CodeParams::rs18_16())
@@ -51,11 +54,12 @@ pub(super) fn fig8() -> Result<Figure, Error> {
         },
         ExperimentId::Fig8,
         "BER of Simplex RS(18,16) varying permanent faults rate",
+        par,
     )
 }
 
 /// Fig. 9 — duplex RS(18,16) under varying permanent-fault rates.
-pub(super) fn fig9() -> Result<Figure, Error> {
+pub(super) fn fig9(par: &Parallelism) -> Result<Figure, Error> {
     permanent_sweep(
         |rate| {
             MemorySystem::duplex(CodeParams::rs18_16())
@@ -63,11 +67,12 @@ pub(super) fn fig9() -> Result<Figure, Error> {
         },
         ExperimentId::Fig9,
         "BER of Duplex RS(18,16) varying permanent faults rate",
+        par,
     )
 }
 
 /// Fig. 10 — simplex RS(36,16) under varying permanent-fault rates.
-pub(super) fn fig10() -> Result<Figure, Error> {
+pub(super) fn fig10(par: &Parallelism) -> Result<Figure, Error> {
     permanent_sweep(
         |rate| {
             MemorySystem::simplex(CodeParams::rs36_16())
@@ -75,6 +80,7 @@ pub(super) fn fig10() -> Result<Figure, Error> {
         },
         ExperimentId::Fig10,
         "BER of Simplex RS(36,16) varying the permanent faults rate",
+        par,
     )
 }
 
@@ -88,7 +94,7 @@ mod tests {
 
     #[test]
     fn fig8_rates_order_the_curves() {
-        let fig = fig8().unwrap();
+        let fig = fig8(&Parallelism::Auto).unwrap();
         for i in 1..fig.series.len() {
             assert!(
                 final_ber(&fig, i - 1) > final_ber(&fig, i),
@@ -102,8 +108,8 @@ mod tests {
         // Paper: duplex BER floor reaches ~1e-60 where simplex sits at
         // ~1e-30 — the exponent roughly doubles because failure needs
         // double-erasure pairs.
-        let s = fig8().unwrap();
-        let d = fig9().unwrap();
+        let s = fig8(&Parallelism::Auto).unwrap();
+        let d = fig9(&Parallelism::Auto).unwrap();
         // Compare at the lowest rate (last series).
         let last = PERMANENT_RATES_PER_SYMBOL_DAY.len() - 1;
         let (sb, db) = (final_ber(&s, last), final_ber(&d, last));
@@ -117,8 +123,8 @@ mod tests {
 
     #[test]
     fn fig10_wide_code_beats_everything_at_low_rates() {
-        let s18 = fig8().unwrap();
-        let s36 = fig10().unwrap();
+        let s18 = fig8(&Parallelism::Auto).unwrap();
+        let s36 = fig10(&Parallelism::Auto).unwrap();
         let last = PERMANENT_RATES_PER_SYMBOL_DAY.len() - 1;
         let (b18, b36) = (final_ber(&s18, last), final_ber(&s36, last));
         // RS(36,16) needs 21 erasures to die vs 3: astronomically better.
@@ -133,8 +139,8 @@ mod tests {
         // Paper: "the RS(18,16) duplex ... shows a degradation in
         // performance compared with a simplex system employing a
         // RS(36,16) code" — i.e. wide simplex < duplex in BER.
-        let d = fig9().unwrap();
-        let w = fig10().unwrap();
+        let d = fig9(&Parallelism::Auto).unwrap();
+        let w = fig10(&Parallelism::Auto).unwrap();
         // Compare at the highest rate (first series), end of horizon.
         let (db, wb) = (final_ber(&d, 0), final_ber(&w, 0));
         assert!(wb < db, "RS(36,16) simplex {wb:e} must beat duplex {db:e}");
@@ -144,7 +150,7 @@ mod tests {
     fn tiny_ber_values_are_resolved_not_flushed() {
         // The whole point of the uniformization solver: the low-rate
         // duplex curves live at ~1e-60 and below and must remain nonzero.
-        let d = fig9().unwrap();
+        let d = fig9(&Parallelism::Auto).unwrap();
         let last = PERMANENT_RATES_PER_SYMBOL_DAY.len() - 1;
         let b = final_ber(&d, last);
         assert!(b > 0.0, "flushed to zero");

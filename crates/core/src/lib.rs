@@ -56,12 +56,14 @@
 
 mod error;
 pub mod experiments;
+pub mod parallel;
 pub mod plot;
 pub mod report;
 pub mod scrub;
 mod system;
 
 pub use error::Error;
+pub use parallel::Parallelism;
 pub use system::{Arrangement, MemorySystem};
 
 // Curated re-exports so downstream users need only this crate.

@@ -1,0 +1,166 @@
+//! Dependency-free parallelism for sweep-style workloads.
+//!
+//! The figure experiments and the Monte-Carlo runner fan independent
+//! jobs (one per rate curve, one per trial shard) across
+//! `std::thread::scope` workers — DESIGN §6 keeps the dependency set
+//! closed, so no rayon. Results are written back by job index, which
+//! makes the output **independent of the worker count**: `Serial`,
+//! `Threads(4)` and `Auto` produce identical values, in identical order.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// How many worker threads sweep-style work may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run every job on the calling thread.
+    Serial,
+    /// Use exactly this many worker threads.
+    Threads(NonZeroUsize),
+    /// Use [`std::thread::available_parallelism`] workers (the default).
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// A degree from a plain count: `0` or `1` mean serial execution,
+    /// anything larger that many workers.
+    pub fn threads(n: usize) -> Self {
+        match NonZeroUsize::new(n) {
+            Some(nz) if nz.get() > 1 => Parallelism::Threads(nz),
+            _ => Parallelism::Serial,
+        }
+    }
+
+    /// The number of workers a batch of `jobs` independent jobs will
+    /// actually use (never more workers than jobs, never zero).
+    pub fn worker_count(&self, jobs: usize) -> usize {
+        let base = match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.get(),
+            Parallelism::Auto => thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        base.min(jobs.max(1))
+    }
+
+    /// Maps `f` over `items`, preserving order. Jobs are pulled from a
+    /// shared atomic cursor (cheap work stealing — sweep curves have
+    /// very uneven solve times) and results are slotted back by index,
+    /// so the output is identical for every parallelism degree. A panic
+    /// in any job propagates to the caller.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let jobs = items.len();
+        let workers = self.worker_count(jobs);
+        if workers <= 1 || jobs <= 1 {
+            return items.iter().map(f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, U)>();
+        let mut slots: Vec<Option<U>> = (0..jobs).map(|_| None).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    if tx.send((i, f(&items[i]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, value) in rx {
+                slots[i] = Some(value);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job sends exactly one result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_constructor_folds_degenerate_counts() {
+        assert_eq!(Parallelism::threads(0), Parallelism::Serial);
+        assert_eq!(Parallelism::threads(1), Parallelism::Serial);
+        assert_eq!(
+            Parallelism::threads(4),
+            Parallelism::Threads(NonZeroUsize::new(4).unwrap())
+        );
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_jobs() {
+        let p = Parallelism::threads(8);
+        assert_eq!(p.worker_count(3), 3);
+        assert_eq!(p.worker_count(100), 8);
+        assert_eq!(p.worker_count(0), 1);
+        assert_eq!(Parallelism::Serial.worker_count(10), 1);
+        assert!(Parallelism::Auto.worker_count(64) >= 1);
+    }
+
+    #[test]
+    fn map_preserves_order_for_every_degree() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for par in [
+            Parallelism::Serial,
+            Parallelism::threads(2),
+            Parallelism::threads(7),
+            Parallelism::Auto,
+        ] {
+            assert_eq!(par.map(&items, |&x| x * x), expect, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single_inputs() {
+        let par = Parallelism::threads(4);
+        assert_eq!(par.map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par.map(&[9u32], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn map_propagates_errors_through_results() {
+        let par = Parallelism::threads(3);
+        let out = par.map(&[1i32, -2, 3], |&x| {
+            if x < 0 {
+                Err("negative")
+            } else {
+                Ok(x * 10)
+            }
+        });
+        assert_eq!(out, vec![Ok(10), Err("negative"), Ok(30)]);
+    }
+
+    #[test]
+    fn uneven_job_durations_still_slot_correctly() {
+        let items: Vec<u64> = (0..16).collect();
+        let par = Parallelism::threads(4);
+        let out = par.map(&items, |&x| {
+            // Earlier jobs sleep longer, inverting completion order.
+            std::thread::sleep(std::time::Duration::from_millis(16 - x));
+            x
+        });
+        assert_eq!(out, items);
+    }
+}

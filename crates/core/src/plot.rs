@@ -63,7 +63,11 @@ pub fn ascii_plot(fig: &Figure, opts: &PlotOptions) -> String {
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "{} — {} vs {} (log scale)", fig.title, fig.y_label, fig.x_label);
+    let _ = writeln!(
+        out,
+        "{} — {} vs {} (log scale)",
+        fig.title, fig.y_label, fig.x_label
+    );
     if !x_min.is_finite() {
         let _ = writeln!(out, "(no positive values to plot)");
         return out;
@@ -100,12 +104,7 @@ pub fn ascii_plot(fig: &Figure, opts: &PlotOptions) -> String {
         let line: String = row.iter().collect();
         let _ = writeln!(out, "{label}|{line}");
     }
-    let _ = writeln!(
-        out,
-        "{}+{}",
-        " ".repeat(7),
-        "-".repeat(width)
-    );
+    let _ = writeln!(out, "{}+{}", " ".repeat(7), "-".repeat(width));
     let _ = writeln!(
         out,
         "{}{:<10.1}{:>width$.1}",
@@ -161,7 +160,13 @@ mod tests {
     #[test]
     fn extremes_land_on_first_and_last_rows() {
         let fig = figure(vec![(0.0, 1e-12), (10.0, 1e0)]);
-        let art = ascii_plot(&fig, &PlotOptions { width: 40, height: 10 });
+        let art = ascii_plot(
+            &fig,
+            &PlotOptions {
+                width: 40,
+                height: 10,
+            },
+        );
         let lines: Vec<&str> = art.lines().collect();
         // Row 1 (top of canvas) holds the max, the last canvas row the min.
         assert!(lines[1].contains('*'), "top row: {}", lines[1]);

@@ -162,10 +162,10 @@ impl ScrubOverhead {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate as rsmem;
     use rsmem::units::SeuRate;
     use rsmem_models::units::ErasureRate;
     use rsmem_models::CodeParams;
-    use crate as rsmem;
 
     #[test]
     fn no_faults_needs_no_scrubbing() {
@@ -183,8 +183,8 @@ mod tests {
     #[test]
     fn paper_fig7_guidance_is_recovered() {
         // λ = 1.7e-5, target 1e-6 at 48 h → roughly hourly scrubbing.
-        let system = MemorySystem::duplex(CodeParams::rs18_16())
-            .with_seu_rate(SeuRate::per_bit_day(1.7e-5));
+        let system =
+            MemorySystem::duplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(1.7e-5));
         match minimum_scrub_period(
             &system,
             1e-6,
@@ -193,7 +193,10 @@ mod tests {
         )
         .unwrap()
         {
-            ScrubRecommendation::Period { period, achieved_ber } => {
+            ScrubRecommendation::Period {
+                period,
+                achieved_ber,
+            } => {
                 let s = period.as_seconds();
                 assert!(
                     (1800.0..7200.0).contains(&s),
@@ -234,11 +237,7 @@ mod tests {
 
     #[test]
     fn overhead_accounting() {
-        let o = ScrubOverhead::of(
-            Time::from_seconds(3600.0),
-            Time::from_seconds(36.0),
-            2.5,
-        );
+        let o = ScrubOverhead::of(Time::from_seconds(3600.0), Time::from_seconds(36.0), 2.5);
         assert!((o.scrubs_per_day - 24.0).abs() < 1e-9);
         assert!((o.availability_loss - 0.01).abs() < 1e-12);
         assert!((o.energy_per_day - 60.0).abs() < 1e-9);

@@ -1,15 +1,13 @@
 //! The [`MemorySystem`] façade: one type that answers every question the
 //! paper asks about an arrangement.
 
-use crate::Error;
+use crate::{Error, Parallelism};
 use rsmem_code::complexity;
 use rsmem_ctmc::paths::PathBound;
 use rsmem_ctmc::StateSpace;
 use rsmem_models::ber::{self, BerCurve};
 use rsmem_models::units::Time;
-use rsmem_models::{
-    CodeParams, DuplexModel, DuplexOptions, FaultRates, Scrubbing, SimplexModel,
-};
+use rsmem_models::{CodeParams, DuplexModel, DuplexOptions, FaultRates, Scrubbing, SimplexModel};
 use rsmem_sim::{runner, MonteCarloReport, ScrubTiming, SimConfig};
 
 /// Simplex or duplex module arrangement.
@@ -146,8 +144,7 @@ impl MemorySystem {
                 Ok(ber::ber_curve(&model, times)?)
             }
             Arrangement::Duplex(options) => {
-                let model =
-                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                let model = DuplexModel::with_options(self.code, self.rates, self.scrub, options);
                 Ok(ber::ber_curve(&model, times)?)
             }
         }
@@ -167,8 +164,7 @@ impl MemorySystem {
                 Ok(ber::fail_probability_bounds(&model, t)?)
             }
             Arrangement::Duplex(options) => {
-                let model =
-                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                let model = DuplexModel::with_options(self.code, self.rates, self.scrub, options);
                 Ok(ber::fail_probability_bounds(&model, t)?)
             }
         }
@@ -191,8 +187,7 @@ impl MemorySystem {
                     .len()
             }
             Arrangement::Duplex(options) => {
-                let model =
-                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                let model = DuplexModel::with_options(self.code, self.rates, self.scrub, options);
                 StateSpace::explore(&model)
                     .map_err(rsmem_models::ModelError::from)?
                     .len()
@@ -218,6 +213,26 @@ impl MemorySystem {
         seed: u64,
         scrub_timing: ScrubTiming,
     ) -> Result<MonteCarloReport, Error> {
+        self.monte_carlo_with(store, trials, seed, scrub_timing, &Parallelism::Serial)
+    }
+
+    /// Like [`MemorySystem::monte_carlo`], sharding the trials across
+    /// `par` workers. The report depends only on `(system, store, trials,
+    /// seed, scrub_timing)` — the worker count cannot change it, because
+    /// trials are sharded with per-shard seeds derived from
+    /// `(seed, shard_index)` and counts merge commutatively.
+    ///
+    /// # Errors
+    ///
+    /// See [`MemorySystem::monte_carlo`].
+    pub fn monte_carlo_with(
+        &self,
+        store: Time,
+        trials: usize,
+        seed: u64,
+        scrub_timing: ScrubTiming,
+        par: &Parallelism,
+    ) -> Result<MonteCarloReport, Error> {
         self.validate()?;
         let scrub = match self.scrub {
             Scrubbing::None => None,
@@ -232,9 +247,10 @@ impl MemorySystem {
             scrub,
             store_days: store.as_days(),
         };
+        let threads = par.worker_count(trials.div_ceil(rsmem_sim::runner::SHARD_TRIALS));
         let report = match self.arrangement {
-            Arrangement::Simplex => runner::run_simplex(&config, trials, seed)?,
-            Arrangement::Duplex(_) => runner::run_duplex(&config, trials, seed)?,
+            Arrangement::Simplex => runner::run_simplex_threaded(&config, trials, seed, threads)?,
+            Arrangement::Duplex(_) => runner::run_duplex_threaded(&config, trials, seed, threads)?,
         };
         Ok(report)
     }
@@ -253,8 +269,7 @@ impl MemorySystem {
                 rsmem_models::metrics::reliability(&model, t)?
             }
             Arrangement::Duplex(options) => {
-                let model =
-                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                let model = DuplexModel::with_options(self.code, self.rates, self.scrub, options);
                 rsmem_models::metrics::reliability(&model, t)?
             }
         };
@@ -275,8 +290,7 @@ impl MemorySystem {
                 rsmem_models::metrics::mttf_days(&model)?
             }
             Arrangement::Duplex(options) => {
-                let model =
-                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                let model = DuplexModel::with_options(self.code, self.rates, self.scrub, options);
                 rsmem_models::metrics::mttf_days(&model)?
             }
         };
@@ -297,8 +311,7 @@ impl MemorySystem {
                 rsmem_models::metrics::expected_uptime_days(&model, t)?
             }
             Arrangement::Duplex(options) => {
-                let model =
-                    DuplexModel::with_options(self.code, self.rates, self.scrub, options);
+                let model = DuplexModel::with_options(self.code, self.rates, self.scrub, options);
                 rsmem_models::metrics::expected_uptime_days(&model, t)?
             }
         };
@@ -343,12 +356,10 @@ mod tests {
 
     #[test]
     fn duplex_options_ignored_on_simplex() {
-        let sys = MemorySystem::simplex(CodeParams::rs18_16()).with_duplex_options(
-            DuplexOptions {
-                fail_criterion: DuplexFailCriterion::EitherWord,
-                ..Default::default()
-            },
-        );
+        let sys = MemorySystem::simplex(CodeParams::rs18_16()).with_duplex_options(DuplexOptions {
+            fail_criterion: DuplexFailCriterion::EitherWord,
+            ..Default::default()
+        });
         assert!(matches!(sys.arrangement(), Arrangement::Simplex));
     }
 
@@ -392,5 +403,27 @@ mod tests {
             .unwrap();
         assert_eq!(report.trials, 10);
         assert_eq!(report.correct, 10); // no faults configured
+    }
+
+    #[test]
+    fn monte_carlo_parallelism_is_invisible_in_the_report() {
+        // Sharded execution: the same (system, trials, seed) must yield a
+        // bit-identical report for every parallelism degree.
+        let sys =
+            MemorySystem::duplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(2e-2));
+        let store = Time::from_days(1.0);
+        let serial = sys
+            .monte_carlo_with(store, 600, 13, ScrubTiming::Periodic, &Parallelism::Serial)
+            .unwrap();
+        for par in [
+            Parallelism::threads(2),
+            Parallelism::threads(4),
+            Parallelism::Auto,
+        ] {
+            let parallel = sys
+                .monte_carlo_with(store, 600, 13, ScrubTiming::Periodic, &par)
+                .unwrap();
+            assert_eq!(serial, parallel);
+        }
     }
 }

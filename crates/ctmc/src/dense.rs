@@ -83,8 +83,7 @@ impl DenseMatrix {
             perm.swap(col, pivot_row);
             let prow = perm[col];
             let pivot = a[prow * n + col];
-            for row in (col + 1)..n {
-                let r = perm[row];
+            for &r in &perm[(col + 1)..n] {
                 let factor = a[r * n + col] / pivot;
                 if factor == 0.0 {
                     continue;
@@ -197,7 +196,10 @@ mod tests {
         let m = DenseMatrix::identity(3);
         assert!(matches!(
             m.solve(&[1.0]),
-            Err(CtmcError::DimensionMismatch { got: 1, expected: 3 })
+            Err(CtmcError::DimensionMismatch {
+                got: 1,
+                expected: 3
+            })
         ));
     }
 
@@ -208,7 +210,9 @@ mod tests {
         let mut m = DenseMatrix::zeros(n);
         let mut seed = 0x12345678u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for i in 0..n {

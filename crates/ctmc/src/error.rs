@@ -50,7 +50,10 @@ impl fmt::Display for CtmcError {
             CtmcError::InvalidRate { rate } => write!(f, "invalid transition rate {rate}"),
             CtmcError::InvalidTime { time } => write!(f, "invalid time {time}"),
             CtmcError::DimensionMismatch { got, expected } => {
-                write!(f, "vector length {got} does not match state count {expected}")
+                write!(
+                    f,
+                    "vector length {got} does not match state count {expected}"
+                )
             }
             CtmcError::NotConverged { iterations } => {
                 write!(f, "solver did not converge after {iterations} iterations")

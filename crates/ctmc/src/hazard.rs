@@ -44,13 +44,13 @@ where
     S: Clone + Eq + Hash + Debug,
 {
     let mut h = 0.0;
-    for i in 0..space.len() {
-        if p[i] == 0.0 || i == target {
+    for (i, &pi) in p.iter().enumerate().take(space.len()) {
+        if pi == 0.0 || i == target {
             continue;
         }
         for (j, rate) in space.rates().row(i) {
             if j == target {
-                h += p[i] * rate;
+                h += pi * rate;
             }
         }
     }

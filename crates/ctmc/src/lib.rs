@@ -58,8 +58,8 @@
 
 pub mod dense;
 mod error;
-mod model;
 pub mod hazard;
+mod model;
 pub mod ode;
 pub mod paths;
 pub mod poisson;

@@ -48,6 +48,9 @@ pub struct StateSpace<S> {
     initial: usize,
     /// Off-diagonal rates, row = source.
     rates: CsrMatrix,
+    /// Transpose of `rates` (row = target), cached so hot left-multiplies
+    /// run as sequential per-output gathers instead of scattered writes.
+    rates_t: CsrMatrix,
     /// Exit rate per state (sum of the row).
     exit: Vec<f64>,
 }
@@ -128,11 +131,13 @@ impl<S: Clone + Eq + Hash + Debug> StateSpace<S> {
 
         let n = states.len();
         let rates = CsrMatrix::from_rows(n, &adjacency)?;
+        let rates_t = rates.transpose();
         let exit: Vec<f64> = (0..n).map(|i| rates.row_sum(i)).collect();
         Ok(StateSpace {
             states,
             initial: 0,
             rates,
+            rates_t,
             exit,
         })
     }
@@ -177,6 +182,14 @@ impl<S: Clone + Eq + Hash + Debug> StateSpace<S> {
     /// Off-diagonal transition-rate matrix (row = source state).
     pub fn rates(&self) -> &CsrMatrix {
         &self.rates
+    }
+
+    /// Cached transpose of [`StateSpace::rates`] (row = target state).
+    /// `rates_transposed().acc_right_mul(p, y)` computes `y += p·rates`
+    /// with sequential writes per output component — the form the
+    /// uniformization inner loop wants.
+    pub fn rates_transposed(&self) -> &CsrMatrix {
+        &self.rates_t
     }
 
     /// Exit rate of state `i` (the negated generator diagonal).
@@ -244,11 +257,13 @@ impl<S: Clone + Eq + Hash + Debug> StateSpace<S> {
             }
         }
         let rates = CsrMatrix::from_rows(n, &adjacency)?;
+        let rates_t = rates.transpose();
         let exit: Vec<f64> = (0..n).map(|i| rates.row_sum(i)).collect();
         Ok(StateSpace {
             states: self.states.clone(),
             initial: self.initial,
             rates,
+            rates_t,
             exit,
         })
     }
@@ -442,6 +457,25 @@ mod tests {
         let space = StateSpace::explore(&Duplicated).unwrap();
         assert_eq!(space.exit_rate(0), 3.0);
         assert_eq!(space.rates().nnz(), 1);
+    }
+
+    #[test]
+    fn cached_transpose_tracks_rates() {
+        let space = StateSpace::explore(&BirthDeath {
+            n: 4,
+            lambda: 0.7,
+            mu: 1.3,
+        })
+        .unwrap();
+        assert_eq!(space.rates_transposed(), &space.rates().transpose());
+        let swapped = space
+            .with_model_rates(&BirthDeath {
+                n: 4,
+                lambda: 2.0,
+                mu: 0.1,
+            })
+            .unwrap();
+        assert_eq!(swapped.rates_transposed(), &swapped.rates().transpose());
     }
 
     #[test]

@@ -105,9 +105,22 @@ where
         [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
         [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
         [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+        [
+            -8.0 / 27.0,
+            2.0,
+            -3544.0 / 2565.0,
+            1859.0 / 4104.0,
+            -11.0 / 40.0,
+        ],
     ];
-    const B4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+    const B4: [f64; 6] = [
+        25.0 / 216.0,
+        0.0,
+        1408.0 / 2565.0,
+        2197.0 / 4104.0,
+        -1.0 / 5.0,
+        0.0,
+    ];
     const B5: [f64; 6] = [
         16.0 / 135.0,
         0.0,
@@ -134,10 +147,10 @@ where
         }
         let mut k: Vec<Vec<f64>> = Vec::with_capacity(6);
         k.push(space.apply_generator(&p)?);
-        for stage in 0..5 {
+        for a_row in A.iter().take(5) {
             let mut y = p.clone();
             for (s, krow) in k.iter().enumerate() {
-                let a = A[stage][s];
+                let a = a_row[s];
                 if a == 0.0 {
                     continue;
                 }
@@ -238,7 +251,10 @@ mod tests {
     fn zero_time_is_identity() {
         let space = StateSpace::explore(&Repairable).unwrap();
         assert_eq!(rk4(&space, 0.0, &Rk4Options::default()).unwrap()[0], 1.0);
-        assert_eq!(rkf45(&space, 0.0, &Rkf45Options::default()).unwrap()[0], 1.0);
+        assert_eq!(
+            rkf45(&space, 0.0, &Rkf45Options::default()).unwrap()[0],
+            1.0
+        );
     }
 
     #[test]

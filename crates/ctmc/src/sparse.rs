@@ -99,8 +99,7 @@ impl CsrMatrix {
     pub fn acc_left_mul(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.nrows);
         debug_assert_eq!(y.len(), self.ncols);
-        for i in 0..self.nrows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -117,6 +116,62 @@ impl CsrMatrix {
         let mut y = vec![0.0; self.ncols];
         self.acc_left_mul(x, &mut y);
         y
+    }
+
+    /// Accumulates `y += A · x` (right multiplication by a column
+    /// vector). Each output row is a sequential gather over one stored
+    /// row — cache-friendly and independently computable per row, unlike
+    /// [`CsrMatrix::acc_left_mul`]'s scattered writes. With `A = Bᵀ`
+    /// this evaluates `y += x · B`, which is how the uniformization hot
+    /// loop uses it (see [`CsrMatrix::transpose`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on dimension mismatch; callers validate lengths.
+    pub fn acc_right_mul(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.ncols);
+        debug_assert_eq!(y.len(), self.nrows);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += x[self.col_idx[k]] * self.values[k];
+            }
+            *yi += acc;
+        }
+    }
+
+    /// Builds the transpose as a new CSR matrix (a CSC view of `self`),
+    /// via a counting sort over columns: O(nnz + nrows + ncols). Column
+    /// indices of each transposed row come out sorted.
+    pub fn transpose(&self) -> CsrMatrix {
+        let nnz = self.nnz();
+        let mut row_ptr = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for c in 0..self.ncols {
+            row_ptr[c + 1] += row_ptr[c];
+        }
+        let mut cursor = row_ptr[..self.ncols].to_vec();
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0.0; nnz];
+        for i in 0..self.nrows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let slot = cursor[self.col_idx[k]];
+                cursor[self.col_idx[k]] += 1;
+                col_idx[slot] = i;
+                values[slot] = self.values[k];
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -171,5 +226,48 @@ mod tests {
         let m = sample();
         let x = [0.0, 1.0];
         assert_eq!(m.left_mul(&x), vec![3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_swaps_shape_and_entries() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.nnz(), 3);
+        // Column 0 of A held a single entry 3.0 at row 1.
+        let row0: Vec<(usize, f64)> = t.row(0).collect();
+        assert_eq!(row0, vec![(1, 3.0)]);
+        // Transposing twice round-trips.
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn transposed_rows_are_sorted() {
+        let m = CsrMatrix::from_rows(2, &[vec![(0, 1.0)], vec![(0, 2.0)], vec![(0, 3.0)]]).unwrap();
+        let t = m.transpose();
+        let cols: Vec<usize> = t.row(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn gather_mul_on_transpose_matches_scatter_left_mul() {
+        let m = CsrMatrix::from_rows(
+            4,
+            &[
+                vec![(1, 1.0), (3, 2.0)],
+                vec![(0, 0.5), (2, 4.0)],
+                vec![(3, 1.5)],
+            ],
+        )
+        .unwrap();
+        let t = m.transpose();
+        let x = [2.0, -1.0, 0.25];
+        let scattered = m.left_mul(&x);
+        let mut gathered = vec![0.0; 4];
+        t.acc_right_mul(&x, &mut gathered);
+        for (a, b) in scattered.iter().zip(&gathered) {
+            assert!((a - b).abs() < 1e-15, "{scattered:?} vs {gathered:?}");
+        }
     }
 }

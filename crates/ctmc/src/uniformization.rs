@@ -14,12 +14,34 @@
 //!
 //! The power sequence `p(0)·Pⁿ` does not depend on `t`, so a whole time
 //! grid is evaluated in one pass ([`transient_grid`]).
+//!
+//! # Performance
+//!
+//! The solver is engineered around three hot-path properties:
+//!
+//! 1. **Allocation-free iteration.** All per-term scratch lives in a
+//!    reusable [`UniformizationWorkspace`]; a grid solve's heap traffic
+//!    is independent of the number of Poisson terms (only the returned
+//!    distributions are allocated). Sweeps solving many grids pass one
+//!    workspace to [`transient_grid_with`] and reuse its buffers.
+//! 2. **Recurrent Poisson weights.** Weights advance by
+//!    `ln w_{n+1} = ln w_n + ln(Λt) − ln(n+1)` — one `exp` per active
+//!    term instead of a full log-gamma evaluation — and are resynced
+//!    against [`poisson_ln_pmf`] every [`LN_W_RESYNC`] terms so rounding
+//!    drift stays far below the truncation tolerance.
+//! 3. **Gather-form mat-vec.** `v·P` uses the state space's cached
+//!    transposed rate matrix ([`StateSpace::rates_transposed`]): each
+//!    output component is one sequential gather, fused with the diagonal
+//!    term in a single pass (no scattered writes, no inflow buffer).
 
 use crate::model::StateSpace;
 use crate::poisson::poisson_ln_pmf;
 use crate::CtmcError;
 use std::fmt::Debug;
 use std::hash::Hash;
+
+/// Terms between exact recomputations of the recurrent log-weights.
+const LN_W_RESYNC: usize = 64;
 
 /// Options for the uniformization solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +58,57 @@ impl Default for UniformizationOptions {
             rel_tol: 1e-12,
             max_terms: 5_000_000,
         }
+    }
+}
+
+/// Reusable scratch for the uniformization iteration: the double-buffered
+/// power-sequence vectors plus per-time-point bookkeeping.
+///
+/// A workspace may be reused across solves of *different* chains and
+/// grids; buffers are resized (never shrunk) on entry. Reuse makes a
+/// sweep's allocation count independent of both the term count and the
+/// number of grids solved.
+#[derive(Debug, Clone, Default)]
+pub struct UniformizationWorkspace {
+    /// Current power-sequence vector `p(0)·Pⁿ`.
+    v: Vec<f64>,
+    /// Write buffer for `v·P`, swapped with `v` each term.
+    next: Vec<f64>,
+    /// Poisson mean `Λ·t` per time point.
+    means: Vec<f64>,
+    /// `ln(Λ·t)` per time point (the recurrence increment numerator).
+    ln_mean: Vec<f64>,
+    /// Recurrent `ln w_n` per time point.
+    ln_w: Vec<f64>,
+    /// Time points whose series has converged.
+    converged: Vec<bool>,
+    /// Consecutive below-tolerance terms per time point.
+    streak: Vec<u32>,
+}
+
+impl UniformizationWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes and resets every buffer for a solve of `n_states` states
+    /// over `n_times` time points.
+    fn prepare(&mut self, p0: &[f64], n_times: usize) {
+        self.v.clear();
+        self.v.extend_from_slice(p0);
+        self.next.clear();
+        self.next.resize(p0.len(), 0.0);
+        self.means.clear();
+        self.means.resize(n_times, 0.0);
+        self.ln_mean.clear();
+        self.ln_mean.resize(n_times, 0.0);
+        self.ln_w.clear();
+        self.ln_w.resize(n_times, 0.0);
+        self.converged.clear();
+        self.converged.resize(n_times, false);
+        self.streak.clear();
+        self.streak.resize(n_times, 0);
     }
 }
 
@@ -108,6 +181,26 @@ pub fn transient_grid_from<S>(
 where
     S: Clone + Eq + Hash + Debug,
 {
+    transient_grid_with(space, p0, times, opts, &mut UniformizationWorkspace::new())
+}
+
+/// [`transient_grid_from`] with caller-owned scratch: sweeps that solve
+/// many grids reuse one [`UniformizationWorkspace`] so their allocation
+/// count stays constant across solves.
+///
+/// # Errors
+///
+/// See [`transient`].
+pub fn transient_grid_with<S>(
+    space: &StateSpace<S>,
+    p0: &[f64],
+    times: &[f64],
+    opts: &UniformizationOptions,
+    ws: &mut UniformizationWorkspace,
+) -> Result<Vec<Vec<f64>>, CtmcError>
+where
+    S: Clone + Eq + Hash + Debug,
+{
     let n_states = space.len();
     if p0.len() != n_states {
         return Err(CtmcError::DimensionMismatch {
@@ -123,33 +216,37 @@ where
 
     let lambda = space.max_exit_rate();
     if lambda == 0.0 || times.iter().all(|&t| t == 0.0) {
-        // No dynamics (or only t=0 requested where applicable).
-        return Ok(times
-            .iter()
-            .map(|&t| {
-                if t == 0.0 || lambda == 0.0 {
-                    p0.to_vec()
-                } else {
-                    p0.to_vec()
-                }
-            })
-            .collect());
+        // No dynamics: p(t) = p(0) at every requested time.
+        return Ok(times.iter().map(|_| p0.to_vec()).collect());
     }
 
-    let means: Vec<f64> = times.iter().map(|&t| lambda * t).collect();
-    let max_mean = means.iter().fold(0.0f64, |a, &b| a.max(b));
-
-    let mut v = p0.to_vec();
-    let mut acc: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n_states]).collect();
-    let mut converged: Vec<bool> = means.iter().map(|&m| m == 0.0).collect();
-    // For the m == 0 (t == 0) entries the answer is p0 itself.
-    for (k, &m) in means.iter().enumerate() {
+    ws.prepare(p0, times.len());
+    let mut max_mean = 0.0f64;
+    for (k, &t) in times.iter().enumerate() {
+        let m = lambda * t;
+        ws.means[k] = m;
+        max_mean = max_mean.max(m);
         if m == 0.0 {
-            acc[k] = p0.to_vec();
+            // The t == 0 answer is p0 itself, exactly.
+            ws.converged[k] = true;
+        } else {
+            ws.ln_mean[k] = m.ln();
+            // ln Poisson(0; m) = −m, the recurrence's exact anchor.
+            ws.ln_w[k] = -m;
         }
     }
-    let mut streak: Vec<u32> = vec![0; times.len()];
-    let rates = space.rates();
+    let mut acc: Vec<Vec<f64>> = ws
+        .converged
+        .iter()
+        .map(|&done| {
+            if done {
+                p0.to_vec()
+            } else {
+                vec![0.0; n_states]
+            }
+        })
+        .collect();
+    let rates_t = space.rates_transposed();
 
     // Minimum terms before convergence tests: past the Poisson mode and
     // past the state count (so reachability has settled).
@@ -157,30 +254,38 @@ where
 
     for n in 0..opts.max_terms {
         let mut all_done = true;
-        for k in 0..times.len() {
-            if converged[k] {
+        for (k, row) in acc.iter_mut().enumerate() {
+            if ws.converged[k] {
                 continue;
             }
             all_done = false;
-            let w = poisson_ln_pmf(n as u64, means[k]).exp();
+            if n > 0 {
+                if n % LN_W_RESYNC == 0 {
+                    // Cancel the recurrence's accumulated rounding.
+                    ws.ln_w[k] = poisson_ln_pmf(n as u64, ws.means[k]);
+                } else {
+                    ws.ln_w[k] += ws.ln_mean[k] - (n as f64).ln();
+                }
+            }
+            let w = ws.ln_w[k].exp();
             let mut small = true;
             if w > 0.0 {
-                for j in 0..n_states {
-                    let delta = w * v[j];
-                    acc[k][j] += delta;
-                    if delta > opts.rel_tol * acc[k][j] {
+                for (slot, &vj) in row.iter_mut().zip(&ws.v) {
+                    let delta = w * vj;
+                    *slot += delta;
+                    if delta > opts.rel_tol * *slot {
                         small = false;
                     }
                 }
             }
-            if n >= n_min && (n as f64) > means[k] {
+            if n >= n_min && (n as f64) > ws.means[k] {
                 if small {
-                    streak[k] += 1;
-                    if streak[k] >= 3 {
-                        converged[k] = true;
+                    ws.streak[k] += 1;
+                    if ws.streak[k] >= 3 {
+                        ws.converged[k] = true;
                     }
                 } else {
-                    streak[k] = 0;
+                    ws.streak[k] = 0;
                 }
             }
         }
@@ -188,18 +293,16 @@ where
             return Ok(acc);
         }
         // v ← v·P = v + (v·R − v∘exit)/Λ, computed without cancellation:
-        // v_next[j] = v[j]·(1 − exit_j/Λ) + Σ_i v[i]·r_ij/Λ.
-        let mut next = vec![0.0; n_states];
+        // v_next[j] = v[j]·(1 − exit_j/Λ) + Σ_i v[i]·r_ij/Λ. The inflow
+        // sum gathers row j of Rᵀ — sequential reads, no scatter buffer.
         for j in 0..n_states {
-            next[j] = v[j] * (1.0 - space.exit_rate(j) / lambda);
+            let mut inflow = 0.0;
+            for (i, r) in rates_t.row(j) {
+                inflow += ws.v[i] * r;
+            }
+            ws.next[j] = ws.v[j] * (1.0 - space.exit_rate(j) / lambda) + inflow / lambda;
         }
-        // Accumulate incoming flow scaled by 1/Λ.
-        let mut inflow = vec![0.0; n_states];
-        rates.acc_left_mul(&v, &mut inflow);
-        for j in 0..n_states {
-            next[j] += inflow[j] / lambda;
-        }
-        v = next;
+        std::mem::swap(&mut ws.v, &mut ws.next);
     }
     Err(CtmcError::NotConverged {
         iterations: opts.max_terms,

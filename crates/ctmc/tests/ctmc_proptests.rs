@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use rsmem_ctmc::ode::{rkf45, Rkf45Options};
 use rsmem_ctmc::rewards::{expected_time_in_states, RewardOptions};
-use rsmem_ctmc::uniformization::{transient, transient_grid, UniformizationOptions};
+use rsmem_ctmc::uniformization::{
+    transient, transient_grid, transient_grid_with, UniformizationOptions, UniformizationWorkspace,
+};
 use rsmem_ctmc::{MarkovModel, StateSpace};
 
 /// A random chain described by an explicit rate table.
@@ -94,6 +96,51 @@ proptest! {
         let total: f64 = l.iter().sum();
         prop_assert!((total - t).abs() < 1e-7 * t.max(1.0), "sum {total} vs {t}");
         prop_assert!(l.iter().all(|&x| x >= -1e-12));
+    }
+
+    #[test]
+    fn workspace_reuse_never_changes_the_answer(
+        raw_a in chain_strategy(),
+        raw_b in chain_strategy(),
+        t1 in 0.1f64..3.0,
+        t2 in 3.0f64..9.0,
+    ) {
+        // One workspace reused across two *different* random chains (and
+        // grids of different sizes) must reproduce the fresh-workspace
+        // solution exactly — stale buffer contents may not leak through.
+        let opts = UniformizationOptions::default();
+        let mut ws = UniformizationWorkspace::new();
+        for chain in [sanitize(raw_a), sanitize(raw_b)] {
+            let space = StateSpace::explore(&chain).expect("explore");
+            let p0 = space.initial_distribution();
+            let times = [0.0, t1, t2];
+            let fresh = transient_grid(&space, &times, &opts).expect("fresh");
+            let reused = transient_grid_with(&space, &p0, &times, &opts, &mut ws)
+                .expect("reused");
+            prop_assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn transposed_rates_stay_in_sync(raw in chain_strategy()) {
+        // The cached transpose must hold exactly the rate entries, with
+        // rows and columns swapped, for every random chain shape.
+        let chain = sanitize(raw);
+        let space = StateSpace::explore(&chain).expect("explore");
+        let rates = space.rates();
+        let rt = space.rates_transposed();
+        prop_assert_eq!(rates.nrows(), rt.ncols());
+        prop_assert_eq!(rates.ncols(), rt.nrows());
+        prop_assert_eq!(rates.nnz(), rt.nnz());
+        let mut forward: Vec<(usize, usize, f64)> = (0..rates.nrows())
+            .flat_map(|i| rates.row(i).map(move |(j, r)| (i, j, r)))
+            .collect();
+        let mut swapped: Vec<(usize, usize, f64)> = (0..rt.nrows())
+            .flat_map(|j| rt.row(j).map(move |(i, r)| (i, j, r)))
+            .collect();
+        forward.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        swapped.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(forward, swapped);
     }
 
     #[test]

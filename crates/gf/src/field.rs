@@ -322,7 +322,10 @@ mod tests {
         let f = gf16();
         let order = f.order() as i64;
         for i in -40..40i64 {
-            assert_eq!(f.alpha_pow_signed(i), f.alpha_pow(i.rem_euclid(order) as u32));
+            assert_eq!(
+                f.alpha_pow_signed(i),
+                f.alpha_pow(i.rem_euclid(order) as u32)
+            );
         }
     }
 

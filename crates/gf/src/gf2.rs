@@ -68,8 +68,7 @@ pub fn is_irreducible(poly: u64) -> bool {
         return poly == 0b10; // x itself is irreducible
     }
     for divisor in 2..=(1u64 << (d / 2 + 1)) {
-        if degree(divisor).is_some_and(|dd| dd >= 1 && dd <= d / 2)
-            && remainder(poly, divisor) == 0
+        if degree(divisor).is_some_and(|dd| dd >= 1 && dd <= d / 2) && remainder(poly, divisor) == 0
         {
             return false;
         }
@@ -174,8 +173,8 @@ mod tests {
             let mut result = n;
             let mut p = 2;
             while p * p <= n {
-                if n % p == 0 {
-                    while n % p == 0 {
+                if n.is_multiple_of(p) {
+                    while n.is_multiple_of(p) {
                         n /= p;
                     }
                     result -= result / p;

@@ -97,7 +97,7 @@ mod tests {
         let f = GfField::new(5).unwrap();
         let pts = [(1, 9), (2, 8), (3, 7), (4, 6)];
         let p = lagrange(&pts, &f).unwrap();
-        assert!(p.degree().map_or(true, |d| d < 4));
+        assert!(p.degree().is_none_or(|d| d < 4));
     }
 
     #[test]

@@ -181,7 +181,7 @@ impl Poly {
     pub fn div_rem(&self, divisor: &Poly, field: &GfField) -> Result<(Poly, Poly), GfError> {
         let dlead = divisor.leading_coeff().ok_or(GfError::DivisionByZero)?;
         let ddeg = divisor.degree().expect("nonzero divisor has a degree");
-        if self.degree().map_or(true, |d| d < ddeg) {
+        if self.degree().is_none_or(|d| d < ddeg) {
             return Ok((Poly::zero(), self.clone()));
         }
         let dlead_inv = field.inv(dlead)?;
@@ -273,7 +273,7 @@ impl Poly {
         let mut r = b.clone();
         let mut v_prev = Poly::zero();
         let mut v = Poly::one();
-        while r.degree().map_or(false, |d| d >= stop_deg) {
+        while r.degree().is_some_and(|d| d >= stop_deg) {
             let (q, rem) = r_prev.div_rem(&r, field)?;
             let v_next = v_prev.add(&q.mul(&v, field), field);
             r_prev = std::mem::replace(&mut r, rem);
@@ -366,7 +366,7 @@ mod tests {
         let a = Poly::from_coeffs([7, 3, 0, 1, 9]);
         let b = Poly::from_coeffs([2, 1, 4]);
         let (q, r) = a.div_rem(&b, &f).unwrap();
-        assert!(r.degree().map_or(true, |d| d < b.degree().unwrap()));
+        assert!(r.degree().is_none_or(|d| d < b.degree().unwrap()));
         let recombined = q.mul(&b, &f).add(&r, &f);
         assert_eq!(recombined, a);
     }

@@ -118,7 +118,10 @@ mod tests {
     fn default_polynomials_are_primitive() {
         for m in 2..=16 {
             let poly = default_polynomial(m).expect("supported width");
-            assert!(is_primitive(poly, m), "default poly for m={m} not primitive");
+            assert!(
+                is_primitive(poly, m),
+                "default poly for m={m} not primitive"
+            );
         }
     }
 

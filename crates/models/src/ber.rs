@@ -122,10 +122,7 @@ where
     let grid = transient_grid(&space, &days, opts)?;
     let fail = space.index_of(&model.fail_state());
     let prefactor = model.code_params().ber_prefactor();
-    let fail_probability: Vec<f64> = grid
-        .iter()
-        .map(|p| fail.map_or(0.0, |f| p[f]))
-        .collect();
+    let fail_probability: Vec<f64> = grid.iter().map(|p| fail.map_or(0.0, |f| p[f])).collect();
     let ber = fail_probability.iter().map(|&p| prefactor * p).collect();
     Ok(BerCurve {
         times: times.to_vec(),
@@ -228,7 +225,11 @@ mod tests {
         let td = t.as_days();
         let expect = (8.0 * lam).powi(2) * 18.0 * 17.0 * td * td / 2.0;
         let rel = (curve.fail_probability[0] - expect).abs() / expect;
-        assert!(rel < 1e-3, "got {} expect {expect}", curve.fail_probability[0]);
+        assert!(
+            rel < 1e-3,
+            "got {} expect {expect}",
+            curve.fail_probability[0]
+        );
     }
 
     #[test]
@@ -248,11 +249,7 @@ mod tests {
     fn scrubbing_improves_duplex_ber() {
         let t = Time::from_hours(48.0);
         let no = ber_curve(&duplex(1.7e-5, 0.0, Scrubbing::None), &[t]).unwrap();
-        let with = ber_curve(
-            &duplex(1.7e-5, 0.0, Scrubbing::every_seconds(900.0)),
-            &[t],
-        )
-        .unwrap();
+        let with = ber_curve(&duplex(1.7e-5, 0.0, Scrubbing::every_seconds(900.0)), &[t]).unwrap();
         assert!(with.ber[0] < no.ber[0]);
     }
 

@@ -203,13 +203,7 @@ impl MarkovModel for DuplexModel {
         let m_bits = self.code.m() as f64;
         let lam = self.rates.seu.as_per_bit_day();
         let lam_e = self.rates.erasure.as_per_symbol_day();
-        let clean = n
-            - x as f64
-            - y as f64
-            - b as f64
-            - e1 as f64
-            - e2 as f64
-            - ec as f64;
+        let clean = n - x as f64 - y as f64 - b as f64 - e1 as f64 - e2 as f64 - ec as f64;
         debug_assert!(clean >= 0.0, "pair counts exceed n");
         let pair_factor = if self.options.erasures_per_module {
             2.0
@@ -236,10 +230,16 @@ impl MarkovModel for DuplexModel {
             }
             // D/E: erasure supersedes a private random error (same symbol).
             if e1 > 0 {
-                out.push((self.classify(x, y + 1, b, e1 - 1, e2, ec), lam_e * e1 as f64));
+                out.push((
+                    self.classify(x, y + 1, b, e1 - 1, e2, ec),
+                    lam_e * e1 as f64,
+                ));
             }
             if e2 > 0 {
-                out.push((self.classify(x, y + 1, b, e1, e2 - 1, ec), lam_e * e2 as f64));
+                out.push((
+                    self.classify(x, y + 1, b, e1, e2 - 1, ec),
+                    lam_e * e2 as f64,
+                ));
             }
             // F: erasure on one half of a double-error pair (both halves
             // are exposed under the per-module convention).
@@ -251,10 +251,16 @@ impl MarkovModel for DuplexModel {
             }
             // G/H: erasure on the clean homologous of a private error.
             if e1 > 0 {
-                out.push((self.classify(x, y, b + 1, e1 - 1, e2, ec), lam_e * e1 as f64));
+                out.push((
+                    self.classify(x, y, b + 1, e1 - 1, e2, ec),
+                    lam_e * e1 as f64,
+                ));
             }
             if e2 > 0 {
-                out.push((self.classify(x, y, b + 1, e1, e2 - 1, ec), lam_e * e2 as f64));
+                out.push((
+                    self.classify(x, y, b + 1, e1, e2 - 1, ec),
+                    lam_e * e2 as f64,
+                ));
             }
         }
 
@@ -262,7 +268,10 @@ impl MarkovModel for DuplexModel {
             let bit_rate = m_bits * lam;
             // I: SEU on the clean homologous of a single erasure.
             if y > 0 {
-                out.push((self.classify(x, y - 1, b + 1, e1, e2, ec), bit_rate * y as f64));
+                out.push((
+                    self.classify(x, y - 1, b + 1, e1, e2, ec),
+                    bit_rate * y as f64,
+                ));
             }
             // L/M: SEU on a clean pair, in word 1 or word 2.
             if clean > 0.0 {
@@ -349,26 +358,35 @@ mod tests {
         let bit = 8.0 * 1e-5;
         // Expected (target, rate) multiset per Fig. 4 (A..O):
         let expect = [
-            ((1u16, 0u16, 1u16, 1u16, 1u16, 1u16), lam_e * 1.0),       // A
-            ((1, 1, 0, 1, 1, 1), lam_e * 1.0),                         // B
-            ((0, 2, 1, 1, 1, 1), lam_e * clean),                       // C
-            ((0, 2, 1, 0, 1, 1), lam_e * 1.0),                         // D
-            ((0, 2, 1, 1, 0, 1), lam_e * 1.0),                         // E
-            ((0, 1, 2, 1, 1, 0), lam_e * 1.0),                         // F
-            ((0, 1, 2, 0, 1, 1), lam_e * 1.0),                         // G
-            ((0, 1, 2, 1, 0, 1), lam_e * 1.0),                         // H
-            ((0, 0, 2, 1, 1, 1), bit * 1.0),                           // I
-            ((0, 1, 1, 2, 1, 1), bit * clean),                         // L
-            ((0, 1, 1, 1, 2, 1), bit * clean),                         // M
-            ((0, 1, 1, 0, 1, 2), bit * 1.0),                           // N
-            ((0, 1, 1, 1, 0, 2), bit * 1.0),                           // O
+            ((1u16, 0u16, 1u16, 1u16, 1u16, 1u16), lam_e * 1.0), // A
+            ((1, 1, 0, 1, 1, 1), lam_e * 1.0),                   // B
+            ((0, 2, 1, 1, 1, 1), lam_e * clean),                 // C
+            ((0, 2, 1, 0, 1, 1), lam_e * 1.0),                   // D
+            ((0, 2, 1, 1, 0, 1), lam_e * 1.0),                   // E
+            ((0, 1, 2, 1, 1, 0), lam_e * 1.0),                   // F
+            ((0, 1, 2, 0, 1, 1), lam_e * 1.0),                   // G
+            ((0, 1, 2, 1, 0, 1), lam_e * 1.0),                   // H
+            ((0, 0, 2, 1, 1, 1), bit * 1.0),                     // I
+            ((0, 1, 1, 2, 1, 1), bit * clean),                   // L
+            ((0, 1, 1, 1, 2, 1), bit * clean),                   // M
+            ((0, 1, 1, 0, 1, 2), bit * 1.0),                     // N
+            ((0, 1, 1, 1, 0, 2), bit * 1.0),                     // O
         ];
         assert_eq!(out.len(), expect.len());
         for ((x, y, b, e1, e2, ec), rate) in expect {
-            let target = DuplexState::Up { x, y, b, e1, e2, ec };
+            let target = DuplexState::Up {
+                x,
+                y,
+                b,
+                e1,
+                e2,
+                ec,
+            };
             let found: Vec<_> = out.iter().filter(|(s, _)| *s == target).collect();
             assert!(
-                found.iter().any(|(_, r)| (r - rate).abs() < 1e-18 * rate.max(1.0)),
+                found
+                    .iter()
+                    .any(|(_, r)| (r - rate).abs() < 1e-18 * rate.max(1.0)),
                 "missing transition to {target:?} at rate {rate}: found {found:?}"
             );
         }
@@ -457,12 +475,24 @@ mod tests {
 
     #[test]
     fn pair_counts_never_exceed_n() {
-        let space = StateSpace::explore(&model(1e-5, 1e-6, Scrubbing::every_seconds(900.0)))
-            .unwrap();
+        let space =
+            StateSpace::explore(&model(1e-5, 1e-6, Scrubbing::every_seconds(900.0))).unwrap();
         for s in space.states() {
-            if let DuplexState::Up { x, y, b, e1, e2, ec } = s {
-                let total = *x as usize + *y as usize + *b as usize
-                    + *e1 as usize + *e2 as usize + *ec as usize;
+            if let DuplexState::Up {
+                x,
+                y,
+                b,
+                e1,
+                e2,
+                ec,
+            } = s
+            {
+                let total = *x as usize
+                    + *y as usize
+                    + *b as usize
+                    + *e1 as usize
+                    + *e2 as usize
+                    + *ec as usize;
                 assert!(total <= 18, "state {s:?} exceeds n");
             }
         }
@@ -474,12 +504,24 @@ mod tests {
         // state, its mirror (e1 ↔ e2) is reachable too.
         let space = StateSpace::explore(&model(1e-5, 1e-6, Scrubbing::None)).unwrap();
         for s in space.states() {
-            if let DuplexState::Up { x, y, b, e1, e2, ec } = *s {
-                let mirror = DuplexState::Up { x, y, b, e1: e2, e2: e1, ec };
-                assert!(
-                    space.index_of(&mirror).is_some(),
-                    "mirror of {s:?} missing"
-                );
+            if let DuplexState::Up {
+                x,
+                y,
+                b,
+                e1,
+                e2,
+                ec,
+            } = *s
+            {
+                let mirror = DuplexState::Up {
+                    x,
+                    y,
+                    b,
+                    e1: e2,
+                    e2: e1,
+                    ec,
+                };
+                assert!(space.index_of(&mirror).is_some(), "mirror of {s:?} missing");
             }
         }
     }

@@ -52,9 +52,7 @@ where
     let space = StateSpace::explore(model)?;
     if space.index_of(&model.fail_state()).is_none() {
         // No failure is reachable (all rates zero): the MTTF diverges.
-        return Err(ModelError::Ctmc(
-            rsmem_ctmc::CtmcError::NoAbsorbingState,
-        ));
+        return Err(ModelError::Ctmc(rsmem_ctmc::CtmcError::NoAbsorbingState));
     }
     Ok(mean_time_to_absorption(&space)?)
 }
@@ -94,8 +92,7 @@ mod tests {
 
     #[test]
     fn reliability_complements_ber_fail_probability() {
-        let model =
-            SimplexModel::new(CodeParams::rs18_16(), rates(1e-3, 0.0), Scrubbing::None);
+        let model = SimplexModel::new(CodeParams::rs18_16(), rates(1e-3, 0.0), Scrubbing::None);
         let t = Time::from_days(2.0);
         let r = reliability(&model, t).unwrap();
         let curve = crate::ber::ber_curve(&model, &[t]).unwrap();
@@ -105,10 +102,8 @@ mod tests {
 
     #[test]
     fn mttf_decreases_with_fault_rate() {
-        let slow =
-            SimplexModel::new(CodeParams::rs18_16(), rates(1e-4, 0.0), Scrubbing::None);
-        let fast =
-            SimplexModel::new(CodeParams::rs18_16(), rates(1e-3, 0.0), Scrubbing::None);
+        let slow = SimplexModel::new(CodeParams::rs18_16(), rates(1e-4, 0.0), Scrubbing::None);
+        let fast = SimplexModel::new(CodeParams::rs18_16(), rates(1e-3, 0.0), Scrubbing::None);
         let (ms, mf) = (mttf_days(&slow).unwrap(), mttf_days(&fast).unwrap());
         assert!(ms > mf, "{ms} vs {mf}");
         // 10× the rate ⇒ roughly 1/10 the MTTF for a 2-event failure...
@@ -118,8 +113,7 @@ mod tests {
 
     #[test]
     fn scrubbing_multiplies_mttf() {
-        let bare =
-            SimplexModel::new(CodeParams::rs18_16(), rates(1e-3, 0.0), Scrubbing::None);
+        let bare = SimplexModel::new(CodeParams::rs18_16(), rates(1e-3, 0.0), Scrubbing::None);
         let scrubbed = SimplexModel::new(
             CodeParams::rs18_16(),
             rates(1e-3, 0.0),
@@ -128,10 +122,7 @@ mod tests {
             },
         );
         let (mb, ms) = (mttf_days(&bare).unwrap(), mttf_days(&scrubbed).unwrap());
-        assert!(
-            ms > 5.0 * mb,
-            "scrubbing should multiply MTTF: {mb} → {ms}"
-        );
+        assert!(ms > 5.0 * mb, "scrubbing should multiply MTTF: {mb} → {ms}");
     }
 
     #[test]
@@ -143,8 +134,7 @@ mod tests {
 
     #[test]
     fn uptime_bounded_by_horizon_and_consistent_with_reliability() {
-        let model =
-            SimplexModel::new(CodeParams::rs18_16(), rates(5e-3, 0.0), Scrubbing::None);
+        let model = SimplexModel::new(CodeParams::rs18_16(), rates(5e-3, 0.0), Scrubbing::None);
         let t = Time::from_days(2.0);
         let up = expected_uptime_days(&model, t).unwrap();
         assert!(up > 0.0 && up <= 2.0);
@@ -157,10 +147,7 @@ mod tests {
     fn fault_free_system_has_no_mttf() {
         let model = SimplexModel::new(CodeParams::rs18_16(), rates(0.0, 0.0), Scrubbing::None);
         assert!(mttf_days(&model).is_err());
-        assert_eq!(
-            reliability(&model, Time::from_days(100.0)).unwrap(),
-            1.0
-        );
+        assert_eq!(reliability(&model, Time::from_days(100.0)).unwrap(), 1.0);
     }
 
     #[test]

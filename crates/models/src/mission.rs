@@ -259,12 +259,8 @@ impl DuplexMission {
     ///
     /// Wrapped solver errors.
     pub fn fail_probability_after_each_phase(&self) -> Result<Vec<f64>, ModelError> {
-        let probe = crate::DuplexModel::with_options(
-            self.code,
-            superset_rates(),
-            self.scrub,
-            self.options,
-        );
+        let probe =
+            crate::DuplexModel::with_options(self.code, superset_rates(), self.scrub, self.options);
         let phases: Vec<(crate::DuplexModel, Time)> = self
             .phases
             .iter()
@@ -309,9 +305,12 @@ mod tests {
         let model = SimplexModel::new(CodeParams::rs18_16(), flare(), Scrubbing::None);
         let constant = ber::ber_curve(&model, &[Time::from_hours(48.0)]).unwrap();
         let p_mission = mission.fail_probability_at_end().unwrap();
-        let rel = (p_mission - constant.fail_probability[0]).abs()
-            / constant.fail_probability[0];
-        assert!(rel < 1e-9, "mission {p_mission} vs constant {}", constant.fail_probability[0]);
+        let rel = (p_mission - constant.fail_probability[0]).abs() / constant.fail_probability[0];
+        assert!(
+            rel < 1e-9,
+            "mission {p_mission} vs constant {}",
+            constant.fail_probability[0]
+        );
     }
 
     #[test]

@@ -216,10 +216,7 @@ mod tests {
         out.clear();
         m.transitions(&SimplexState::Up { er: 0, re: 1 }, &mut out);
         let scrub_target = SimplexState::Up { er: 0, re: 0 };
-        let scrub: Vec<_> = out
-            .iter()
-            .filter(|(s, _)| *s == scrub_target)
-            .collect();
+        let scrub: Vec<_> = out.iter().filter(|(s, _)| *s == scrub_target).collect();
         assert_eq!(scrub.len(), 1);
         assert!((scrub[0].1 - 24.0).abs() < 1e-9); // 1/(3600 s) = 24/day
     }

@@ -103,12 +103,10 @@ pub fn arbitrate(
     // Step 3: flag-based comparison.
     let verdict = match (&out1, &out2) {
         (DecodeOutcome::Failure(_), DecodeOutcome::Failure(_)) => ArbiterOutput::NoOutput,
-        (DecodeOutcome::Failure(_), ok) | (ok, DecodeOutcome::Failure(_)) => {
-            ArbiterOutput::Data {
-                data: ok.data().expect("non-failure produces data").to_vec(),
-                branch: ArbiterBranch::SingleSurvivor,
-            }
-        }
+        (DecodeOutcome::Failure(_), ok) | (ok, DecodeOutcome::Failure(_)) => ArbiterOutput::Data {
+            data: ok.data().expect("non-failure produces data").to_vec(),
+            branch: ArbiterBranch::SingleSurvivor,
+        },
         (a, b) => {
             let d1 = a.data().expect("checked");
             let d2 = b.data().expect("checked");
@@ -172,7 +170,7 @@ mod tests {
         let clean = code.encode(&data()).unwrap();
         let mut w1 = clean.clone();
         w1[4] = 0x00; // stuck symbol, located
-        // Masking replaces it with module 2's good symbol: no correction.
+                      // Masking replaces it with module 2's good symbol: no correction.
         let out = arbitrate(&code, &w1, &[4], &clean, &[]).unwrap();
         assert_eq!(out.data(), Some(&data()[..]));
         if let ArbiterOutput::Data { branch, .. } = out {

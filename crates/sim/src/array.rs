@@ -63,7 +63,7 @@ impl ArrayConfig {
                 value: 0.0,
             });
         }
-        if self.interleave_depth == 0 || self.words % self.interleave_depth != 0 {
+        if self.interleave_depth == 0 || !self.words.is_multiple_of(self.interleave_depth) {
             return Err(SimError::InvalidParameter {
                 name: "interleave_depth",
                 value: self.interleave_depth as f64,
@@ -274,9 +274,7 @@ fn run_one_duplex_trial(
             t_scrub += match config.base.scrub {
                 None => f64::INFINITY,
                 Some((period, ScrubTiming::Periodic)) => period,
-                Some((period, ScrubTiming::Exponential)) => {
-                    sample_exponential(rng, 1.0 / period)
-                }
+                Some((period, ScrubTiming::Exponential)) => sample_exponential(rng, 1.0 / period),
             };
             continue;
         }
@@ -307,20 +305,14 @@ fn run_one_duplex_trial(
     // Final read: every word-pair through the arbiter.
     let mut failed = 0usize;
     let mut silent = 0usize;
-    for w in 0..config.words {
+    for (w, original) in originals.iter().enumerate() {
         let (m1, m2) = (&replicas[0].modules[w], &replicas[1].modules[w]);
-        match crate::arbiter::arbitrate(
-            code,
-            m1.read(),
-            &m1.erasures(),
-            m2.read(),
-            &m2.erasures(),
-        )
-        .expect("well-formed stored words")
+        match crate::arbiter::arbitrate(code, m1.read(), &m1.erasures(), m2.read(), &m2.erasures())
+            .expect("well-formed stored words")
         {
             crate::arbiter::ArbiterOutput::NoOutput => failed += 1,
             crate::arbiter::ArbiterOutput::Data { data, .. } => {
-                if data != originals[w] {
+                if data != *original {
                     failed += 1;
                     silent += 1;
                 }
@@ -428,17 +420,16 @@ fn run_one_trial(
             // Scrub every word.
             for module in &mut array.modules {
                 let erasures = module.erasures();
-                match code.decode(module.read(), &erasures).expect("well-formed") {
-                    DecodeOutcome::Corrected { codeword, .. } => module.write(&codeword),
-                    _ => {}
+                if let DecodeOutcome::Corrected { codeword, .. } =
+                    code.decode(module.read(), &erasures).expect("well-formed")
+                {
+                    module.write(&codeword);
                 }
             }
             t_scrub += match config.base.scrub {
                 None => f64::INFINITY,
                 Some((period, ScrubTiming::Periodic)) => period,
-                Some((period, ScrubTiming::Exponential)) => {
-                    sample_exponential(rng, 1.0 / period)
-                }
+                Some((period, ScrubTiming::Exponential)) => sample_exponential(rng, 1.0 / period),
             };
         }
     }

@@ -49,17 +49,9 @@ impl SimConfig {
     pub fn validate(&self) -> Result<(), SimError> {
         let checks: [(&'static str, f64, bool); 4] = [
             ("seu_per_bit_day", self.seu_per_bit_day, false),
-            (
-                "erasure_per_symbol_day",
-                self.erasure_per_symbol_day,
-                false,
-            ),
+            ("erasure_per_symbol_day", self.erasure_per_symbol_day, false),
             ("store_days", self.store_days, false),
-            (
-                "scrub period",
-                self.scrub.map_or(1.0, |(p, _)| p),
-                true,
-            ),
+            ("scrub period", self.scrub.map_or(1.0, |(p, _)| p), true),
         ];
         for (name, value, must_be_positive) in checks {
             let ok = value.is_finite() && (value > 0.0 || (!must_be_positive && value >= 0.0));
@@ -100,7 +92,10 @@ mod tests {
         c.seu_per_bit_day = -1.0;
         assert!(matches!(
             c.validate(),
-            Err(SimError::InvalidParameter { name: "seu_per_bit_day", .. })
+            Err(SimError::InvalidParameter {
+                name: "seu_per_bit_day",
+                ..
+            })
         ));
     }
 

@@ -1,10 +1,36 @@
 //! Monte-Carlo campaign runner and statistics.
+//!
+//! Campaigns are **sharded**: trials are split into fixed-size blocks of
+//! [`SHARD_TRIALS`], each with its own RNG seeded deterministically from
+//! `(seed, shard_index)`. Shards are independent jobs, so they fan out
+//! across `std::thread::scope` workers — and because the shard layout
+//! depends only on `(trials, seed)`, never on the worker count, a
+//! campaign's report is **bit-identical for every thread count**.
+//! Outcome counts are merged by integer addition, which is
+//! order-independent.
 
 use crate::system::{DuplexSim, SimplexSim};
 use crate::{SimConfig, SimError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Trials per shard. Small enough that modest campaigns still spread
+/// across workers, large enough that per-shard overhead (one RNG seed,
+/// one task dispatch) stays negligible.
+pub const SHARD_TRIALS: usize = 256;
+
+/// The RNG seed of shard `shard` in a campaign seeded with `seed`:
+/// a SplitMix64 mix, so neighbouring shards (and neighbouring campaign
+/// seeds) get decorrelated streams.
+fn shard_seed(seed: u64, shard: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Classification of one storage-period trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,7 +96,11 @@ pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
     let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
     // At the boundaries the analytic endpoint is exactly 0 (or 1); pin it
     // so floating-point rounding cannot leak an ulp past the boundary.
-    let lo = if successes == 0 { 0.0 } else { (center - half).max(0.0) };
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        (center - half).max(0.0)
+    };
     let hi = if successes == trials {
         1.0
     } else {
@@ -79,59 +109,167 @@ pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
     (lo, hi)
 }
 
-fn summarize(outcomes: &[TrialOutcome], n: usize, k: usize, m: u32) -> MonteCarloReport {
-    let trials = outcomes.len();
-    let correct = outcomes
-        .iter()
-        .filter(|o| **o == TrialOutcome::Correct)
-        .count();
-    let silent = outcomes
-        .iter()
-        .filter(|o| **o == TrialOutcome::SilentCorruption)
-        .count();
-    let detected = trials - correct - silent;
-    let failures = silent + detected;
+/// Outcome counts of a (partial) campaign. Merging is integer addition:
+/// associative and commutative, so shard completion order cannot affect
+/// the final report.
+#[derive(Debug, Clone, Copy, Default)]
+struct OutcomeCounts {
+    correct: usize,
+    silent: usize,
+    detected: usize,
+}
+
+impl OutcomeCounts {
+    fn record(&mut self, outcome: TrialOutcome) {
+        match outcome {
+            TrialOutcome::Correct => self.correct += 1,
+            TrialOutcome::SilentCorruption => self.silent += 1,
+            TrialOutcome::Detected => self.detected += 1,
+        }
+    }
+
+    fn merge(mut self, other: OutcomeCounts) -> OutcomeCounts {
+        self.correct += other.correct;
+        self.silent += other.silent;
+        self.detected += other.detected;
+        self
+    }
+}
+
+fn summarize(counts: OutcomeCounts, n: usize, k: usize, m: u32) -> MonteCarloReport {
+    let trials = counts.correct + counts.silent + counts.detected;
+    let failures = counts.silent + counts.detected;
     let failure_fraction = failures as f64 / trials as f64;
     let prefactor = m as f64 * (n - k) as f64 / k as f64;
     MonteCarloReport {
         trials,
-        correct,
-        silent,
-        detected,
+        correct: counts.correct,
+        silent: counts.silent,
+        detected: counts.detected,
         failure_fraction,
         wilson_95: wilson_interval(failures, trials),
         ber_estimate: prefactor * failure_fraction,
     }
 }
 
-/// Runs `trials` independent simplex storage periods.
+/// Runs the sharded campaign: workers pull shard indices from an atomic
+/// cursor, simulate each shard with its own deterministically-seeded RNG,
+/// and the per-worker counts merge commutatively.
+fn run_sharded<F>(trials: usize, seed: u64, threads: usize, run_trial: F) -> OutcomeCounts
+where
+    F: Fn(&mut StdRng) -> TrialOutcome + Sync,
+{
+    let shards = trials.div_ceil(SHARD_TRIALS);
+    let run_shard = |shard: usize| {
+        let mut rng = StdRng::seed_from_u64(shard_seed(seed, shard as u64));
+        let in_shard = SHARD_TRIALS.min(trials - shard * SHARD_TRIALS);
+        let mut counts = OutcomeCounts::default();
+        for _ in 0..in_shard {
+            counts.record(run_trial(&mut rng));
+        }
+        counts
+    };
+
+    let workers = threads.max(1).min(shards);
+    if workers <= 1 {
+        return (0..shards)
+            .map(run_shard)
+            .fold(OutcomeCounts::default(), OutcomeCounts::merge);
+    }
+    let cursor = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let run_shard = &run_shard;
+                scope.spawn(move || {
+                    let mut counts = OutcomeCounts::default();
+                    loop {
+                        let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                        if shard >= shards {
+                            break;
+                        }
+                        counts = counts.merge(run_shard(shard));
+                    }
+                    counts
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("MC shard worker panicked"))
+            .fold(OutcomeCounts::default(), OutcomeCounts::merge)
+    })
+}
+
+/// Runs `trials` independent simplex storage periods on one thread.
+/// Identical to [`run_simplex_threaded`] with any worker count.
 ///
 /// # Errors
 ///
 /// [`SimError::NoTrials`] for `trials == 0`, or configuration errors.
-pub fn run_simplex(config: &SimConfig, trials: usize, seed: u64) -> Result<MonteCarloReport, SimError> {
-    if trials == 0 {
-        return Err(SimError::NoTrials);
-    }
-    let sim = SimplexSim::new(*config)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let outcomes: Vec<TrialOutcome> = (0..trials).map(|_| sim.run_trial(&mut rng)).collect();
-    Ok(summarize(&outcomes, config.n, config.k, config.m))
+pub fn run_simplex(
+    config: &SimConfig,
+    trials: usize,
+    seed: u64,
+) -> Result<MonteCarloReport, SimError> {
+    run_simplex_threaded(config, trials, seed, 1)
 }
 
-/// Runs `trials` independent duplex storage periods.
+/// Runs `trials` independent simplex storage periods across up to
+/// `threads` workers. The report depends only on `(config, trials,
+/// seed)` — see the module docs for why the worker count cannot change
+/// it.
 ///
 /// # Errors
 ///
 /// See [`run_simplex`].
-pub fn run_duplex(config: &SimConfig, trials: usize, seed: u64) -> Result<MonteCarloReport, SimError> {
+pub fn run_simplex_threaded(
+    config: &SimConfig,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<MonteCarloReport, SimError> {
+    if trials == 0 {
+        return Err(SimError::NoTrials);
+    }
+    let sim = SimplexSim::new(*config)?;
+    let counts = run_sharded(trials, seed, threads, |rng| sim.run_trial(rng));
+    Ok(summarize(counts, config.n, config.k, config.m))
+}
+
+/// Runs `trials` independent duplex storage periods on one thread.
+/// Identical to [`run_duplex_threaded`] with any worker count.
+///
+/// # Errors
+///
+/// See [`run_simplex`].
+pub fn run_duplex(
+    config: &SimConfig,
+    trials: usize,
+    seed: u64,
+) -> Result<MonteCarloReport, SimError> {
+    run_duplex_threaded(config, trials, seed, 1)
+}
+
+/// Runs `trials` independent duplex storage periods across up to
+/// `threads` workers; the worker count cannot change the report.
+///
+/// # Errors
+///
+/// See [`run_simplex`].
+pub fn run_duplex_threaded(
+    config: &SimConfig,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<MonteCarloReport, SimError> {
     if trials == 0 {
         return Err(SimError::NoTrials);
     }
     let sim = DuplexSim::new(*config)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let outcomes: Vec<TrialOutcome> = (0..trials).map(|_| sim.run_trial(&mut rng)).collect();
-    Ok(summarize(&outcomes, config.n, config.k, config.m))
+    let counts = run_sharded(trials, seed, threads, |rng| sim.run_trial(rng));
+    Ok(summarize(counts, config.n, config.k, config.m))
 }
 
 #[cfg(test)]
@@ -199,6 +337,44 @@ mod tests {
         let report = run_simplex(&config, 60, 3).unwrap();
         // RS(18,16), m=8: prefactor 1 → BER == failure fraction.
         assert!((report.ber_estimate - report.failure_fraction).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sharded_report_is_thread_count_invariant() {
+        // 600 trials span 3 shards (256 + 256 + 88): the report must be
+        // bit-identical for every worker count, including oversubscribed.
+        let mut config = SimConfig::rs18_16_baseline();
+        config.seu_per_bit_day = 2e-2;
+        let serial = run_duplex_threaded(&config, 600, 42, 1).unwrap();
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(
+                serial,
+                run_duplex_threaded(&config, 600, 42, threads).unwrap()
+            );
+        }
+        let simplex_serial = run_simplex_threaded(&config, 600, 42, 1).unwrap();
+        assert_eq!(
+            simplex_serial,
+            run_simplex_threaded(&config, 600, 42, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn partial_final_shard_counts_every_trial() {
+        // Trial count far from a shard multiple: totals must still add up.
+        let report = run_simplex(&SimConfig::rs18_16_baseline(), 300, 9).unwrap();
+        assert_eq!(report.trials, 300);
+        assert_eq!(report.correct + report.silent + report.detected, 300);
+    }
+
+    #[test]
+    fn shard_seeds_are_decorrelated() {
+        let a = shard_seed(1, 0);
+        let b = shard_seed(1, 1);
+        let c = shard_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
     }
 
     #[test]

@@ -34,9 +34,7 @@ fn schedule_scrub<R: Rng + ?Sized>(
     match scrub {
         None => f64::INFINITY,
         Some((period, ScrubTiming::Periodic)) => now + period,
-        Some((period, ScrubTiming::Exponential)) => {
-            now + sample_exponential(rng, 1.0 / period)
-        }
+        Some((period, ScrubTiming::Exponential)) => now + sample_exponential(rng, 1.0 / period),
     }
 }
 
@@ -140,9 +138,8 @@ impl SimplexSim {
                 Step::Done => break,
                 Step::Seu { module: _, time } => {
                     inject_seu(rng, &mut module, &self.code);
-                    let rate = self.config.seu_per_bit_day
-                        * self.config.m as f64
-                        * self.config.n as f64;
+                    let rate =
+                        self.config.seu_per_bit_day * self.config.m as f64 * self.config.n as f64;
                     clock.next_seu[0] = time + sample_exponential(rng, rate);
                 }
                 Step::Permanent { module: _, time } => {
@@ -223,8 +220,7 @@ impl DuplexSim {
         ];
         let mut clock = FaultClock::new(rng, &self.config, 2);
         let horizon = self.config.store_days;
-        let seu_rate =
-            self.config.seu_per_bit_day * self.config.m as f64 * self.config.n as f64;
+        let seu_rate = self.config.seu_per_bit_day * self.config.m as f64 * self.config.n as f64;
         let perm_rate = self.config.erasure_per_symbol_day * self.config.n as f64;
 
         loop {

@@ -59,7 +59,10 @@ fn main() -> Result<(), rsmem::Error> {
         .with_erasure_rate(erasure);
     match minimum_scrub_period(&duplex, 1e-9, mission, Time::from_seconds(10.0))? {
         ScrubRecommendation::NotNeeded => println!("  no scrubbing needed"),
-        ScrubRecommendation::Period { period, achieved_ber } => {
+        ScrubRecommendation::Period {
+            period,
+            achieved_ber,
+        } => {
             println!(
                 "  scrub every {:.0} s → BER {achieved_ber:.2e}",
                 period.as_seconds()

@@ -12,7 +12,12 @@
 use rsmem::units::{ErasureRate, SeuRate, Time};
 use rsmem::{CodeParams, DuplexFailCriterion, DuplexOptions, MemorySystem, ScrubTiming};
 
-fn check(label: &str, system: MemorySystem, store: Time, trials: usize) -> Result<(), rsmem::Error> {
+fn check(
+    label: &str,
+    system: MemorySystem,
+    store: Time,
+    trials: usize,
+) -> Result<(), rsmem::Error> {
     let analytic = system.ber_curve(&[store])?.fail_probability[0];
     let mc = system.monte_carlo(store, trials, 0xC0FFEE, ScrubTiming::Exponential)?;
     let (lo, hi) = mc.wilson_95;
@@ -38,8 +43,7 @@ fn main() -> Result<(), rsmem::Error> {
     // Simplex, transient faults only.
     check(
         "simplex RS(18,16), λ=5e-3/bit/day",
-        MemorySystem::simplex(CodeParams::rs18_16())
-            .with_seu_rate(SeuRate::per_bit_day(5e-3)),
+        MemorySystem::simplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(5e-3)),
         store,
         trials,
     )?;
@@ -74,8 +78,8 @@ fn main() -> Result<(), rsmem::Error> {
     // simulator sits near the EitherWord ablation — BELOW the paper's
     // conservative BothWords curve. Print both models to bracket it.
     println!("\nduplex transient faults — the simulator brackets the two fail criteria:");
-    let duplex = MemorySystem::duplex(CodeParams::rs18_16())
-        .with_seu_rate(SeuRate::per_bit_day(8e-3));
+    let duplex =
+        MemorySystem::duplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(8e-3));
     let both = duplex.ber_curve(&[store])?.fail_probability[0];
     let either = duplex
         .with_duplex_options(DuplexOptions {
@@ -87,8 +91,13 @@ fn main() -> Result<(), rsmem::Error> {
     let mc = duplex.monte_carlo(store, trials, 0xBEEF, ScrubTiming::Exponential)?;
     println!("  BothWords (paper) model: {both:.4}");
     println!("  EitherWord ablation:     {either:.4}");
-    println!("  simulated real arbiter:  {:.4} (CI [{:.4}, {:.4}])",
-        mc.failure_fraction, mc.wilson_95.0, mc.wilson_95.1);
-    println!("  silent corruptions: {} of {} trials", mc.silent, mc.trials);
+    println!(
+        "  simulated real arbiter:  {:.4} (CI [{:.4}, {:.4}])",
+        mc.failure_fraction, mc.wilson_95.0, mc.wilson_95.1
+    );
+    println!(
+        "  silent corruptions: {} of {} trials",
+        mc.silent, mc.trials
+    );
     Ok(())
 }

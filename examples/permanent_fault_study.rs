@@ -13,7 +13,10 @@ use rsmem::{report, CodeParams, MemorySystem};
 fn main() -> Result<(), rsmem::Error> {
     for id in [ExperimentId::Fig8, ExperimentId::Fig9, ExperimentId::Fig10] {
         let output = run(id)?;
-        println!("{}", report::render_figure(output.figure().expect("figure")));
+        println!(
+            "{}",
+            report::render_figure(output.figure().expect("figure"))
+        );
     }
 
     // Cross-check the extreme tail with the path-bound solver: the

@@ -12,8 +12,7 @@ fn main() -> Result<(), rsmem::Error> {
     let grid = TimeGrid::linspace(Time::zero(), Time::from_hours(48.0), 7);
 
     // 1. Simplex RS(18,16) — one module, one decoder.
-    let simplex =
-        MemorySystem::simplex(CodeParams::rs18_16()).with_seu_rate(worst_case_seu);
+    let simplex = MemorySystem::simplex(CodeParams::rs18_16()).with_seu_rate(worst_case_seu);
     let simplex_curve = simplex.ber_curve(grid.points())?;
 
     // 2. Duplex RS(18,16) — two modules behind the flag-comparing arbiter.
@@ -39,7 +38,8 @@ fn main() -> Result<(), rsmem::Error> {
         );
     }
 
-    println!("\nMarkov state spaces: simplex = {} states, duplex = {} states",
+    println!(
+        "\nMarkov state spaces: simplex = {} states, duplex = {} states",
         simplex.state_count()?,
         duplex.state_count()?
     );

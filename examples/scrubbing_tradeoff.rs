@@ -30,8 +30,10 @@ fn main() -> Result<(), rsmem::Error> {
         }
     }
     match crossing {
-        Some(p) => println!("\nBER(48 h) crosses 1e-6 near Tsc ≈ {p:.0} s — the paper's \
-             'scrub at least hourly' guidance sits just below this point."),
+        Some(p) => println!(
+            "\nBER(48 h) crosses 1e-6 near Tsc ≈ {p:.0} s — the paper's \
+             'scrub at least hourly' guidance sits just below this point."
+        ),
         None => println!("\nBER stayed below 1e-6 for every period swept."),
     }
     Ok(())

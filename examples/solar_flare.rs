@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let profiles: Vec<(&str, Vec<MissionPhase>)> = vec![
         ("48 h quiet", vec![phase(48.0, quiet)]),
-        ("47 h quiet + 1 h flare", vec![phase(47.0, quiet), phase(1.0, flare)]),
+        (
+            "47 h quiet + 1 h flare",
+            vec![phase(47.0, quiet), phase(1.0, flare)],
+        ),
         (
             "42 h quiet + 6 h flare at mid-mission",
             vec![phase(21.0, quiet), phase(6.0, flare), phase(21.0, quiet)],

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build + test the default members, then style gates.
+# Usage: scripts/verify.sh   (run from anywhere inside the repo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (default members, warnings are errors)"
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -31,8 +31,8 @@ fn assert_agrees(system: &MemorySystem, store: Time, trials: usize, seed: u64, s
 #[test]
 fn simplex_transient_faults_agree() {
     // λ = 5e-3/bit/day over 2 days: P_fail ≈ 2% — measurable in 3000 trials.
-    let system = MemorySystem::simplex(CodeParams::rs18_16())
-        .with_seu_rate(SeuRate::per_bit_day(5e-3));
+    let system =
+        MemorySystem::simplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(5e-3));
     assert_agrees(&system, Time::from_days(2.0), 3000, 11, 0.005);
 }
 
@@ -107,8 +107,8 @@ fn duplex_transient_sim_is_bracketed_by_the_two_criteria() {
     // between the two analytic curves (with CI slack).
     use rsmem::{DuplexFailCriterion, DuplexOptions};
     let store = Time::from_days(2.0);
-    let base = MemorySystem::duplex(CodeParams::rs18_16())
-        .with_seu_rate(SeuRate::per_bit_day(8e-3));
+    let base =
+        MemorySystem::duplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(8e-3));
     let both = base.ber_curve(&[store]).unwrap().fail_probability[0];
     let either = base
         .with_duplex_options(DuplexOptions {
@@ -160,8 +160,8 @@ fn deterministic_scrubbing_beats_exponential_slightly() {
 fn silent_corruption_is_rare_relative_to_detected_failures() {
     // Beyond-capability corruption usually *detects*; mis-correction that
     // also fools the arbiter is the rare tail. Sanity-check the ordering.
-    let system = MemorySystem::duplex(CodeParams::rs18_16())
-        .with_seu_rate(SeuRate::per_bit_day(2e-2));
+    let system =
+        MemorySystem::duplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(2e-2));
     let mc = system
         .monte_carlo(Time::from_days(2.0), 3000, 19, ScrubTiming::Exponential)
         .unwrap();

@@ -3,8 +3,8 @@
 //! who wins, by roughly what factor, and where the knees sit.
 
 use rsmem::experiments::{
-    run, ExperimentId, Figure, GRID_POINTS, PERMANENT_RATES_PER_SYMBOL_DAY,
-    SCRUB_PERIODS_S, SEU_RATES_PER_BIT_DAY,
+    run, ExperimentId, Figure, GRID_POINTS, PERMANENT_RATES_PER_SYMBOL_DAY, SCRUB_PERIODS_S,
+    SEU_RATES_PER_BIT_DAY,
 };
 
 fn figure(id: ExperimentId) -> Figure {
@@ -115,7 +115,11 @@ fn permanent_fault_hierarchy_simplex18_duplex_simplex36() {
     let s18 = figure(ExperimentId::Fig8);
     let dup = figure(ExperimentId::Fig9);
     let s36 = figure(ExperimentId::Fig10);
-    let (a, b, c) = (final_value(&s18, 0), final_value(&dup, 0), final_value(&s36, 0));
+    let (a, b, c) = (
+        final_value(&s18, 0),
+        final_value(&dup, 0),
+        final_value(&s36, 0),
+    );
     assert!(a > b, "simplex RS(18,16) {a:e} must be worst, duplex {b:e}");
     assert!(b > c, "duplex {b:e} must lose to simplex RS(36,16) {c:e}");
 }
@@ -125,7 +129,10 @@ fn fig8_low_rate_curves_are_tiny_but_nonzero() {
     let fig = figure(ExperimentId::Fig8);
     let lowest = final_value(&fig, PERMANENT_RATES_PER_SYMBOL_DAY.len() - 1);
     assert!(lowest > 0.0);
-    assert!(lowest < 1e-15, "λe = 1e-10 should give a tiny BER, got {lowest:e}");
+    assert!(
+        lowest < 1e-15,
+        "λe = 1e-10 should give a tiny BER, got {lowest:e}"
+    );
 }
 
 #[test]

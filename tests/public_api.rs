@@ -19,8 +19,8 @@ fn facade_types_are_send_sync() {
 
 #[test]
 fn errors_implement_std_error_with_sources() {
-    let sys = MemorySystem::simplex(CodeParams::rs18_16())
-        .with_seu_rate(SeuRate::per_bit_day(f64::NAN));
+    let sys =
+        MemorySystem::simplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(f64::NAN));
     let err = sys.ber_curve(&[Time::zero()]).unwrap_err();
     let msg = err.to_string();
     assert!(!msg.is_empty());
@@ -46,16 +46,16 @@ fn arrangement_accessors_report_configuration() {
     let s = MemorySystem::simplex(CodeParams::rs36_16());
     assert!(matches!(s.arrangement(), Arrangement::Simplex));
     assert_eq!(s.code().n(), 36);
-    let d = MemorySystem::duplex(CodeParams::rs18_16())
-        .with_scrubbing(Scrubbing::every_seconds(900.0));
+    let d =
+        MemorySystem::duplex(CodeParams::rs18_16()).with_scrubbing(Scrubbing::every_seconds(900.0));
     assert!(matches!(d.arrangement(), Arrangement::Duplex(_)));
     assert!((d.scrubbing().rate_per_day() - 96.0).abs() < 1e-9);
 }
 
 #[test]
 fn ber_curve_zero_point_is_exact() {
-    let sys = MemorySystem::duplex(CodeParams::rs18_16())
-        .with_seu_rate(SeuRate::per_bit_day(1.7e-5));
+    let sys =
+        MemorySystem::duplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(1.7e-5));
     let curve = sys.ber_curve(&[Time::zero()]).expect("solve");
     assert_eq!(curve.ber, vec![0.0]);
     assert_eq!(curve.fail_probability, vec![0.0]);
@@ -66,8 +66,8 @@ fn ber_curve_zero_point_is_exact() {
 #[test]
 fn time_grid_composes_with_ber_curve() {
     let grid = TimeGrid::linspace(Time::zero(), Time::from_hours(48.0), 5);
-    let sys = MemorySystem::simplex(CodeParams::rs18_16())
-        .with_seu_rate(SeuRate::per_bit_day(1e-5));
+    let sys =
+        MemorySystem::simplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(1e-5));
     let curve = sys.ber_curve(grid.points()).expect("solve");
     assert_eq!(curve.len(), 5);
     let series = curve.as_hours_series();
@@ -77,8 +77,8 @@ fn time_grid_composes_with_ber_curve() {
 
 #[test]
 fn monte_carlo_is_reproducible_through_facade() {
-    let sys = MemorySystem::simplex(CodeParams::rs18_16())
-        .with_seu_rate(SeuRate::per_bit_day(1e-2));
+    let sys =
+        MemorySystem::simplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(1e-2));
     let a = sys
         .monte_carlo(Time::from_days(1.0), 200, 5, ScrubTiming::Periodic)
         .expect("mc");
@@ -95,7 +95,9 @@ fn fail_bounds_require_acyclic_models() {
         .with_scrubbing(Scrubbing::every_seconds(900.0));
     assert!(scrubbed.fail_bounds(Time::from_hours(48.0)).is_err());
     let unscrubbed = scrubbed.with_scrubbing(Scrubbing::None);
-    let bounds = unscrubbed.fail_bounds(Time::from_hours(48.0)).expect("acyclic");
+    let bounds = unscrubbed
+        .fail_bounds(Time::from_hours(48.0))
+        .expect("acyclic");
     assert!(bounds.ln_upper.is_finite());
 }
 

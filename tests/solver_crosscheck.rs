@@ -64,8 +64,7 @@ fn path_bounds_bracket_uniformization_on_paper_models() {
         ("permanent", 0.0, 1e-7),
         ("mixed", 1e-6, 1e-7),
     ] {
-        let model =
-            SimplexModel::new(CodeParams::rs18_16(), rates(seu, erasure), Scrubbing::None);
+        let model = SimplexModel::new(CodeParams::rs18_16(), rates(seu, erasure), Scrubbing::None);
         let space = StateSpace::explore(&model).expect("explore");
         let Some(fail) = space.index_of(&model.fail_state()) else {
             continue;

@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset `rsmem-bench` uses — `Criterion` builder,
+//! `bench_function`, `benchmark_group`/`Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — as a plain wall-clock
+//! harness: calibrate an iteration count, take `sample_size` timed
+//! samples, print mean/min/max per iteration (plus throughput when set).
+//! No statistics engine, plots, or baseline storage.
+//!
+//! Wired in via `[patch.crates-io]` in the workspace `Cargo.toml`;
+//! removing the patch entry restores the real crate unchanged.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Units for reporting throughput alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Runs one benchmark's timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`; the result is black-boxed so
+    /// the optimizer cannot elide the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Accepted for source compatibility; CLI args are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, id, f, None);
+        self
+    }
+
+    /// Starts a named group whose benchmarks share a throughput label.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// No-op; the real crate prints a final summary here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A set of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput reported with each timing.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `f` as `group_name/id`.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_bench(self.criterion, &full, f, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for source compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(cfg: &Criterion, id: &str, mut f: F, throughput: Option<Throughput>)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: grow the iteration count until one sample costs at
+    // least ~1/sample_size of the measurement budget (or 1 ms).
+    let floor = (cfg.measurement_time / cfg.sample_size as u32).max(Duration::from_millis(1));
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_up_start = Instant::now();
+    loop {
+        f(&mut b);
+        if b.elapsed >= floor || b.iters >= 1 << 40 {
+            break;
+        }
+        if warm_up_start.elapsed() >= cfg.warm_up_time && b.elapsed > Duration::ZERO {
+            // Budget spent: extrapolate the remaining growth in one step.
+            let scale = floor.as_secs_f64() / b.elapsed.as_secs_f64();
+            b.iters = ((b.iters as f64 * scale).ceil() as u64).max(b.iters + 1);
+            f(&mut b);
+            break;
+        }
+        b.iters *= 2;
+    }
+
+    let mut per_iter_ns = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+    }
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter_ns.iter().cloned().fold(0.0f64, f64::max);
+
+    print!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mib_s = bytes as f64 / (mean * 1e-9) / (1024.0 * 1024.0);
+            print!("  thrpt: {mib_s:.2} MiB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / (mean * 1e-9);
+            print!("  thrpt: {elem_s:.2} elem/s");
+        }
+        None => {}
+    }
+    println!("  ({} samples × {} iters)", cfg.sample_size, b.iters);
+}
+
+/// Defines a bench group function, either `criterion_group!(name, t1, t2)`
+/// or the block form with an explicit `config =` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            });
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_report_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim_group");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

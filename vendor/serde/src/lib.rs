@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Exists so the workspace's *optional* `serde` dependencies resolve in
+//! network-restricted environments. No rsmem crate enables its `serde`
+//! feature by default, so this library is resolved but never compiled in
+//! tier-1 builds. It does **not** provide the `Serialize`/`Deserialize`
+//! derive macros — building with `--features serde` offline is
+//! unsupported; remove the `[patch.crates-io]` entry to use the real
+//! crate when the registry is reachable.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
