@@ -1,6 +1,7 @@
 //! Minimal flag parser — no external dependency needed for a handful of
 //! flags.
 
+use rsmem::CodeParams;
 use std::collections::HashMap;
 
 /// Parsed command line: positional arguments plus `--flag [value]` pairs.
@@ -78,33 +79,16 @@ impl Parsed {
         }
     }
 
-    /// Parses `--code N,K,M`.
+    /// Parses `--code N,K,M` into validated [`CodeParams`] (default
+    /// RS(18,16) over GF(2^8)), via `CodeParams::from_str`.
     ///
     /// # Errors
     ///
-    /// Message on a malformed triple.
-    pub fn code_flag(&self) -> Result<(usize, usize, u32), String> {
+    /// Message on a malformed triple or invalid code.
+    pub fn code_flag(&self) -> Result<CodeParams, String> {
         match self.value("--code") {
-            None => Ok((18, 16, 8)),
-            Some(v) => {
-                let parts: Vec<&str> = v.split(',').collect();
-                if parts.len() != 3 {
-                    return Err(format!("--code expects N,K,M — got {v:?}"));
-                }
-                let n = parts[0]
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad N in {v:?}"))?;
-                let k = parts[1]
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad K in {v:?}"))?;
-                let m = parts[2]
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad M in {v:?}"))?;
-                Ok((n, k, m))
-            }
+            None => Ok(CodeParams::rs18_16()),
+            Some(v) => v.parse().map_err(|e| format!("--code {v:?}: {e}")),
         }
     }
 }
@@ -149,9 +133,9 @@ mod tests {
     #[test]
     fn code_triple() {
         let p = parse(&argv(&["x", "--code", "36,16,8"])).unwrap();
-        assert_eq!(p.code_flag().unwrap(), (36, 16, 8));
+        assert_eq!(p.code_flag().unwrap(), CodeParams::rs36_16());
         let d = parse(&argv(&["x"])).unwrap();
-        assert_eq!(d.code_flag().unwrap(), (18, 16, 8));
+        assert_eq!(d.code_flag().unwrap(), CodeParams::rs18_16());
         let bad = parse(&argv(&["x", "--code", "36,16"])).unwrap();
         assert!(bad.code_flag().is_err());
     }

@@ -2,10 +2,10 @@
 //! CLI is unit-testable without spawning processes.
 
 use crate::args::{parse, Parsed};
-use rsmem::experiments::{run_with, ExperimentId};
+use rsmem::experiments::{run_with, ExperimentId, ParseExperimentIdError};
 use rsmem::scrub::{minimum_scrub_period, ScrubRecommendation};
 use rsmem::units::{ErasureRate, SeuRate, Time, TimeGrid};
-use rsmem::{report, CodeParams, MemorySystem, Parallelism, ScrubTiming, Scrubbing};
+use rsmem::{report, MemorySystem, Parallelism, ScrubTiming, Scrubbing};
 use std::fmt::Write as _;
 
 const HELP: &str = "\
@@ -19,6 +19,7 @@ USAGE:
   rsmem array [flags]                 whole-memory simulation with MBUs
   rsmem advise [flags]                slowest scrub period meeting a BER target
   rsmem complexity                    Section-6 decoder comparison
+  rsmem serve [flags]                 run the analysis daemon (rsmem-service)
   rsmem list                          list experiment ids
   rsmem help                          this message
 
@@ -44,6 +45,12 @@ COMMAND FLAGS:
   --interleave D          interleaving depth for `array` (default: 1)
   --threads N             worker threads for `experiment`/`simulate`
                           (default: all cores; results do not depend on N)
+
+SERVE FLAGS:
+  --addr HOST:PORT        bind address (default: 127.0.0.1:7373; port 0 = ephemeral)
+  --threads N             worker threads (default: all cores)
+  --cache-cap N           result-cache capacity in entries (default: 128)
+  --backlog N             queued connections before shedding 503 (default: 64)
 ";
 
 /// Dispatches a raw argv to a command, returning printable output.
@@ -56,7 +63,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
     let parsed = parse(argv)?;
     match parsed.positional.first().map(String::as_str) {
         None | Some("help") => Ok(HELP.to_owned()),
-        Some("list") => Ok("fig5\nfig6\nfig7\nfig8\nfig9\nfig10\ncomplexity\n".to_owned()),
+        Some("list") => Ok(ExperimentId::ALL
+            .iter()
+            .map(|id| format!("{id}\n"))
+            .collect()),
         Some("experiment") => cmd_experiment(&parsed),
         Some("ber") => cmd_ber(&parsed),
         Some("metrics") => cmd_metrics(&parsed),
@@ -67,15 +77,14 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
             let rows = rsmem::complexity::section6_comparison();
             Ok(report::render_complexity(&rows))
         }
+        Some("serve") => cmd_serve(&parsed),
         Some(other) => Err(format!("unknown command {other:?}")),
     }
 }
 
 fn experiment_id(name: &str) -> Result<ExperimentId, String> {
-    ExperimentId::all()
-        .into_iter()
-        .find(|id| id.to_string() == name)
-        .ok_or_else(|| format!("unknown experiment {name:?}"))
+    name.parse()
+        .map_err(|e: ParseExperimentIdError| e.to_string())
 }
 
 /// `--threads N` → a [`Parallelism`]; absent = all available cores.
@@ -107,8 +116,7 @@ fn cmd_experiment(parsed: &Parsed) -> Result<String, String> {
 }
 
 fn system_from(parsed: &Parsed) -> Result<MemorySystem, String> {
-    let (n, k, m) = parsed.code_flag()?;
-    let code = CodeParams::new(n, k, m).map_err(|e| e.to_string())?;
+    let code = parsed.code_flag()?;
     let mut system = if parsed.has("--duplex") {
         MemorySystem::duplex(code)
     } else {
@@ -185,7 +193,8 @@ fn cmd_metrics(parsed: &Parsed) -> Result<String, String> {
 }
 
 fn cmd_array(parsed: &Parsed) -> Result<String, String> {
-    let (n, k, m) = parsed.code_flag()?;
+    let code = parsed.code_flag()?;
+    let (n, k, m) = (code.n(), code.k(), code.m());
     let words = parsed.usize_flag("--words", 32)?;
     let mbu = parsed.usize_flag("--mbu", 1)? as u32;
     let depth = parsed.usize_flag("--interleave", 1)?;
@@ -243,6 +252,23 @@ fn cmd_simulate(parsed: &Parsed) -> Result<String, String> {
         )
         .map_err(|e| e.to_string())?;
     Ok(format!("{report}\n"))
+}
+
+fn cmd_serve(parsed: &Parsed) -> Result<String, String> {
+    let config = rsmem_service::ServiceConfig {
+        addr: parsed
+            .value("--addr")
+            .unwrap_or("127.0.0.1:7373")
+            .to_owned(),
+        workers: parsed.usize_flag("--threads", 0)?,
+        cache_capacity: parsed.usize_flag("--cache-cap", 128)?,
+        backlog: parsed.usize_flag("--backlog", 64)?,
+    };
+    let server = rsmem_service::Server::bind(config).map_err(|e| e.to_string())?;
+    // Announce on stderr before blocking so scripts can scrape the port.
+    eprintln!("rsmem-service listening on {}", server.local_addr());
+    server.run();
+    Ok("server stopped\n".to_owned())
 }
 
 fn cmd_advise(parsed: &Parsed) -> Result<String, String> {
@@ -441,6 +467,12 @@ mod tests {
         assert!(out.contains("10 trials × 8 words"), "{out}");
         // Bad interleave depth (does not divide words) is a typed error.
         assert!(run_cli(&["array", "--interleave", "3", "--words", "8"]).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_unbindable_addresses() {
+        assert!(run_cli(&["serve", "--addr", "not-an-address"]).is_err());
+        assert!(run_cli(&["serve", "--cache-cap", "lots"]).is_err());
     }
 
     #[test]

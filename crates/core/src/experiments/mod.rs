@@ -69,16 +69,51 @@ pub enum ExperimentId {
 
 impl ExperimentId {
     /// All artifacts, in paper order.
+    pub const ALL: [ExperimentId; 7] = [
+        ExperimentId::Fig5,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::Fig10,
+        ExperimentId::Complexity,
+    ];
+
+    /// All artifacts, in paper order (alias for [`ExperimentId::ALL`]).
     pub fn all() -> [ExperimentId; 7] {
-        [
-            ExperimentId::Fig5,
-            ExperimentId::Fig6,
-            ExperimentId::Fig7,
-            ExperimentId::Fig8,
-            ExperimentId::Fig9,
-            ExperimentId::Fig10,
-            ExperimentId::Complexity,
-        ]
+        Self::ALL
+    }
+}
+
+/// Error returned when parsing an [`ExperimentId`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExperimentIdError {
+    input: String,
+}
+
+impl fmt::Display for ParseExperimentIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown experiment {:?} (expected one of fig5..fig10, complexity)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseExperimentIdError {}
+
+impl std::str::FromStr for ExperimentId {
+    type Err = ParseExperimentIdError;
+
+    /// Parses the names printed by `Display`: `fig5`…`fig10`, `complexity`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ExperimentId::ALL
+            .into_iter()
+            .find(|id| id.to_string() == s)
+            .ok_or_else(|| ParseExperimentIdError {
+                input: s.to_owned(),
+            })
     }
 }
 
@@ -199,6 +234,17 @@ mod tests {
                 "complexity"
             ]
         );
+    }
+
+    #[test]
+    fn ids_roundtrip_through_fromstr() {
+        for id in ExperimentId::ALL {
+            let parsed: ExperimentId = id.to_string().parse().unwrap();
+            assert_eq!(parsed, id);
+        }
+        let err = "fig99".parse::<ExperimentId>().unwrap_err();
+        assert!(err.to_string().contains("fig99"));
+        assert!("FIG5".parse::<ExperimentId>().is_err()); // names are lowercase
     }
 
     #[test]

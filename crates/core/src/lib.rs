@@ -70,7 +70,7 @@ pub use system::{Arrangement, MemorySystem};
 pub use rsmem_code::{complexity, DecodeOutcome, DecoderBackend, RsCode};
 pub use rsmem_models::ber::{BerCurve, MemoryModel};
 pub use rsmem_models::{
-    CodeParams, DuplexFailCriterion, DuplexModel, DuplexOptions, FaultRates, Scrubbing,
+    CodeParams, DuplexFailCriterion, DuplexModel, DuplexOptions, FaultRates, ModelError, Scrubbing,
     SimplexModel,
 };
 pub use rsmem_sim::{MonteCarloReport, ScrubTiming, SimConfig, TrialOutcome};

@@ -2,7 +2,7 @@
 //!
 //! The figure experiments and the Monte-Carlo runner fan independent
 //! jobs (one per rate curve, one per trial shard) across
-//! `std::thread::scope` workers — DESIGN §6 keeps the dependency set
+//! `std::thread::scope` workers — DESIGN §7 keeps the dependency set
 //! closed, so no rayon. Results are written back by job index, which
 //! makes the output **independent of the worker count**: `Serial`,
 //! `Threads(4)` and `Auto` produce identical values, in identical order.

@@ -39,12 +39,23 @@ pub fn render_figure(fig: &Figure) -> String {
     out
 }
 
-/// Renders a figure as CSV (`x,label1,label2,...`).
+/// Escapes one CSV field per RFC 4180: fields containing a comma, a
+/// double quote, or a line break are wrapped in double quotes, with
+/// embedded quotes doubled. Other fields pass through unchanged.
+fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Renders a figure as CSV (`x,label1,label2,...`), RFC-4180 quoted.
 pub fn figure_to_csv(fig: &Figure) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{}", fig.x_label);
+    let _ = write!(out, "{}", csv_field(&fig.x_label));
     for s in &fig.series {
-        let _ = write!(out, ",{}", s.label.replace(',', ";"));
+        let _ = write!(out, ",{}", csv_field(&s.label));
     }
     out.push('\n');
     let npoints = fig.series.first().map_or(0, |s| s.points.len());
@@ -54,6 +65,24 @@ pub fn figure_to_csv(fig: &Figure) -> String {
             let _ = write!(out, ",{:e}", s.points[i].1);
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Renders the Section-6 complexity comparison as CSV, RFC-4180 quoted.
+pub fn complexity_to_csv(rows: &[ComplexityRow]) -> String {
+    let mut out = String::from("arrangement,n,k,decode_cycles,area_units,redundant_symbols\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            csv_field(&r.label),
+            r.n,
+            r.k,
+            r.decode_cycles,
+            r.area_units,
+            r.redundant_symbols
+        );
     }
     out
 }
@@ -115,6 +144,32 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "hours,a,b");
         assert!(lines[2].starts_with('1'));
+    }
+
+    #[test]
+    fn csv_labels_with_commas_are_rfc4180_quoted() {
+        // Regression: labels used to be mangled via `replace(',', ";")`.
+        let mut fig = tiny_figure();
+        fig.series[0].label = "λ = 1.7e-5, scrubbed".into();
+        fig.series[1].label = "say \"worst\"".into();
+        let csv = figure_to_csv(&fig);
+        let header = csv.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "hours,\"λ = 1.7e-5, scrubbed\",\"say \"\"worst\"\"\""
+        );
+        assert!(!csv.contains(';'));
+    }
+
+    #[test]
+    fn complexity_csv_has_header_and_rows() {
+        let rows = rsmem_code::complexity::section6_comparison();
+        let csv = complexity_to_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + rows.len());
+        assert!(lines[0].starts_with("arrangement,n,k"));
+        // Labels like "simplex RS(18,16)" contain commas → quoted.
+        assert!(lines[1].starts_with('"'), "{}", lines[1]);
     }
 
     #[test]

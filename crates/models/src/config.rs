@@ -110,6 +110,31 @@ impl fmt::Display for CodeParams {
     }
 }
 
+impl std::str::FromStr for CodeParams {
+    type Err = ModelError;
+
+    /// Parses the `N,K,M` triple used by the CLI `--code` flag and the
+    /// service JSON string form (e.g. `"18,16,8"`). Whitespace around
+    /// each component is ignored; the result is validated by
+    /// [`CodeParams::new`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let invalid = || ModelError::InvalidCode {
+            n: 0,
+            k: 0,
+            m: 0,
+            reason: "expected an N,K,M triple",
+        };
+        let parts: Vec<&str> = s.split(',').collect();
+        if parts.len() != 3 {
+            return Err(invalid());
+        }
+        let n = parts[0].trim().parse().map_err(|_| invalid())?;
+        let k = parts[1].trim().parse().map_err(|_| invalid())?;
+        let m = parts[2].trim().parse().map_err(|_| invalid())?;
+        CodeParams::new(n, k, m)
+    }
+}
+
 /// The fault environment: SEU and permanent-fault exposure rates.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -149,6 +174,28 @@ impl FaultRates {
             erasure,
         }
     }
+
+    /// Validates and canonicalizes the rates for use as part of a cache
+    /// key: `-0.0` is normalized to `+0.0` so that configurations that
+    /// solve identically hash identically.
+    ///
+    /// # Errors
+    ///
+    /// See [`FaultRates::validate`].
+    pub fn canonicalized(self) -> Result<Self, ModelError> {
+        self.validate()?;
+        fn unsign_zero(x: f64) -> f64 {
+            if x == 0.0 {
+                0.0
+            } else {
+                x
+            }
+        }
+        Ok(FaultRates {
+            seu: SeuRate::per_bit_day(unsign_zero(self.seu.as_per_bit_day())),
+            erasure: ErasureRate::per_symbol_day(unsign_zero(self.erasure.as_per_symbol_day())),
+        })
+    }
 }
 
 /// The scrubbing policy.
@@ -185,6 +232,24 @@ impl Scrubbing {
             Scrubbing::None => 0.0,
             Scrubbing::Periodic { period } => 1.0 / period.as_days(),
         }
+    }
+
+    /// Validates and canonicalizes the policy for use as part of a cache
+    /// key: the period is re-expressed in whole days (the internal unit
+    /// every solver sees), so `Periodic { 900 s }` and
+    /// `Periodic { 0.25 h }` produce the same canonical value.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scrubbing::validate`].
+    pub fn canonicalized(self) -> Result<Self, ModelError> {
+        self.validate()?;
+        Ok(match self {
+            Scrubbing::None => Scrubbing::None,
+            Scrubbing::Periodic { period } => Scrubbing::Periodic {
+                period: Time::from_days(period.as_days()),
+            },
+        })
     }
 
     /// Validates the policy.
@@ -256,6 +321,43 @@ mod tests {
         assert!(Scrubbing::every_seconds(0.0).validate().is_err());
         assert!(Scrubbing::every_seconds(-5.0).validate().is_err());
         assert!(Scrubbing::every_seconds(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn code_params_parse_from_triple() {
+        let code: CodeParams = "18,16,8".parse().unwrap();
+        assert_eq!(code, CodeParams::rs18_16());
+        let spaced: CodeParams = " 36 , 16 , 8 ".parse().unwrap();
+        assert_eq!(spaced, CodeParams::rs36_16());
+        assert!("18,16".parse::<CodeParams>().is_err());
+        assert!("18,16,8,9".parse::<CodeParams>().is_err());
+        assert!("a,b,c".parse::<CodeParams>().is_err());
+        assert!("16,18,8".parse::<CodeParams>().is_err()); // k > n
+    }
+
+    #[test]
+    fn canonicalization_normalizes_negative_zero() {
+        let rates = FaultRates {
+            seu: SeuRate::per_bit_day(-0.0),
+            erasure: ErasureRate::per_symbol_day(1e-6),
+        };
+        let canon = rates.canonicalized().unwrap();
+        assert!(canon.seu.as_per_bit_day().is_sign_positive());
+        assert_eq!(canon.erasure.as_per_symbol_day(), 1e-6);
+        let bad = FaultRates {
+            seu: SeuRate::per_bit_day(f64::NAN),
+            erasure: ErasureRate::default(),
+        };
+        assert!(bad.canonicalized().is_err());
+    }
+
+    #[test]
+    fn scrub_canonicalization_validates() {
+        assert_eq!(
+            Scrubbing::every_seconds(900.0).canonicalized().unwrap(),
+            Scrubbing::every_seconds(900.0)
+        );
+        assert!(Scrubbing::every_seconds(-1.0).canonicalized().is_err());
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! # rsmem-service — the analysis daemon
+//!
+//! A long-running HTTP service over the `rsmem` toolkit, built entirely
+//! on `std` (the workspace builds offline): hand-rolled HTTP/1.1
+//! ([`http`]), a small canonical JSON codec ([`json`]), a bounded LRU
+//! result cache with single-flight deduplication ([`cache`]), and a
+//! plain-text metrics registry ([`metrics`]).
+//!
+//! ## Endpoints
+//!
+//! | route | behaviour |
+//! |---|---|
+//! | `POST /v1/analyze` | JSON config → BER/unreliability curves (cached, deduplicated) |
+//! | `GET /v1/experiments/{id}` | a regenerated paper figure/table, JSON or CSV (`?format=` / `Accept`) |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | Prometheus-style counters, gauges, histograms |
+//!
+//! ## Thread model
+//!
+//! One acceptor thread plus a fixed pool of worker threads connected by
+//! a bounded channel. When the channel is full the acceptor answers
+//! `503` immediately instead of queueing unboundedly — the service sheds
+//! load rather than building invisible latency. [`Server::shutdown`]
+//! stops the acceptor, lets workers drain queued and in-flight requests,
+//! and joins every thread before returning.
+//!
+//! ```no_run
+//! use rsmem_service::{Server, ServiceConfig};
+//!
+//! let server = Server::bind(ServiceConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..Default::default()
+//! })?;
+//! println!("listening on {}", server.local_addr());
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod metrics;
+
+use analyze::AnalyzeRequest;
+use cache::{Outcome, SingleFlightCache};
+use http::{ReadError, Request, Response};
+use json::Value;
+use metrics::Metrics;
+use rsmem::experiments::{run_with, ExperimentId, ExperimentOutput, Figure};
+use rsmem::{report, Parallelism};
+use std::io::{BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Per-connection socket read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Bind address, e.g. `127.0.0.1:7373` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Completed-result cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Accepted connections that may wait for a worker before the
+    /// acceptor starts shedding with `503`.
+    pub backlog: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:7373".into(),
+            workers: 0,
+            cache_capacity: 128,
+            backlog: 64,
+        }
+    }
+}
+
+/// Shared state every worker sees.
+struct Ctx {
+    cache: SingleFlightCache<Arc<Vec<u8>>>,
+    metrics: Metrics,
+}
+
+/// A running service; dropping it does **not** stop the threads — call
+/// [`Server::shutdown`] (or [`Server::run`] to block until another actor
+/// shuts the process down).
+pub struct Server {
+    local_addr: SocketAddr,
+    shutting_down: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    ctx: Arc<Ctx>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the acceptor + worker pool.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the address.
+    pub fn bind(config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let worker_count = if config.workers == 0 {
+            thread::available_parallelism().map_or(2, usize::from)
+        } else {
+            config.workers
+        };
+
+        let ctx = Arc::new(Ctx {
+            cache: SingleFlightCache::new(config.cache_capacity),
+            metrics: Metrics::new(),
+        });
+        let shutting_down = Arc::new(AtomicBool::new(false));
+
+        // Backlog of 0 means rendezvous: a connection is only accepted
+        // into the pool if a worker is free right now.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.backlog);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..worker_count.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let ctx = Arc::clone(&ctx);
+                thread::Builder::new()
+                    .name(format!("rsmem-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &ctx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shutting_down = Arc::clone(&shutting_down);
+            let ctx = Arc::clone(&ctx);
+            thread::Builder::new()
+                .name("rsmem-acceptor".into())
+                .spawn(move || accept_loop(&listener, &tx, &shutting_down, &ctx))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            local_addr,
+            shutting_down,
+            acceptor,
+            workers,
+            ctx,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests by `(endpoint, status)` — exposed for tests and the
+    /// in-process client example.
+    pub fn metrics_text(&self) -> String {
+        render_metrics(&self.ctx)
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, join every thread. Responses for requests that were
+    /// already accepted are written in full.
+    pub fn shutdown(self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking `accept`.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.acceptor.join();
+        // The acceptor dropped the sender; workers drain the channel and
+        // exit on the disconnect.
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Blocks until the acceptor stops (i.e. forever, for a daemon that
+    /// is terminated by signal), then drains workers.
+    pub fn run(self) {
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<TcpStream>,
+    shutting_down: &AtomicBool,
+    ctx: &Ctx,
+) {
+    for stream in listener.incoming() {
+        if shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                ctx.metrics.record_shed();
+                shed(stream);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` here disconnects the workers once the queue drains.
+}
+
+/// Answers `503 Service Unavailable` on the acceptor thread — cheap
+/// enough not to stall accepting, and honest about overload.
+fn shed(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut stream = stream;
+    let body = error_body("overloaded: request backlog is full, retry later");
+    let _ = Response::json(503, body)
+        .with_header("Retry-After", "1")
+        .write_to(&mut stream);
+    // Closing with unread request bytes in the socket buffer makes the
+    // kernel send RST, which can discard the queued 503 before the
+    // client reads it. Signal end-of-response, then drain what the
+    // client already sent so the close is graceful.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, ctx: &Ctx) {
+    loop {
+        let stream = match rx.lock().expect("worker queue lock").recv() {
+            Ok(stream) => stream,
+            Err(_) => return, // acceptor gone and queue drained
+        };
+        handle_connection(stream, ctx);
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _inflight = ctx.metrics.inflight_guard();
+    let mut reader = BufReader::new(stream);
+
+    let started = Instant::now();
+    let (endpoint, response) = match http::read_request(&mut reader) {
+        Ok(request) => route(&request, ctx),
+        Err(ReadError::Closed) => return, // shutdown wake-up or port scan
+        Err(ReadError::Bad(message)) => ("other", Response::json(400, error_body(&message))),
+        Err(ReadError::Io(_)) => return, // peer vanished mid-request
+    };
+
+    ctx.metrics
+        .record_request(endpoint, response.status, started.elapsed());
+    let mut stream = reader.into_inner();
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+/// `{"error": message}`, encoded.
+fn error_body(message: &str) -> String {
+    Value::object(vec![("error", Value::String(message.into()))]).encode()
+}
+
+/// Dispatches a parsed request; returns the endpoint label for metrics
+/// and the response.
+fn route(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/analyze") => ("analyze", handle_analyze(request, ctx)),
+        ("GET", path) if path.starts_with("/v1/experiments/") => {
+            ("experiment", handle_experiment(request, ctx))
+        }
+        ("GET", "/healthz") => (
+            "healthz",
+            Response::json(
+                200,
+                Value::object(vec![("status", Value::String("ok".into()))]).encode(),
+            ),
+        ),
+        ("GET", "/metrics") => ("metrics", Response::text(200, render_metrics(ctx))),
+        ("GET", "/v1/analyze") | ("POST", "/healthz" | "/metrics") => (
+            "other",
+            Response::json(405, error_body("method not allowed for this route")),
+        ),
+        _ => ("other", Response::json(404, error_body("no such route"))),
+    }
+}
+
+fn render_metrics(ctx: &Ctx) -> String {
+    ctx.metrics
+        .render(ctx.cache.stats(), ctx.cache.len(), ctx.cache.capacity())
+}
+
+fn handle_analyze(request: &Request, ctx: &Ctx) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::json(400, error_body("body must be UTF-8 JSON")),
+    };
+    let parsed = match json::parse(body) {
+        Ok(value) => value,
+        Err(e) => return Response::json(400, error_body(&e.to_string())),
+    };
+    let analyze = match AnalyzeRequest::from_json(&parsed) {
+        Ok(analyze) => analyze,
+        Err(message) => return Response::json(400, error_body(&message)),
+    };
+
+    let key = analyze.cache_key();
+    let (result, outcome) = ctx.cache.get_or_compute(&key, || {
+        analyze.solve().map(|v| Arc::new(v.encode().into_bytes()))
+    });
+    match result {
+        Ok(bytes) => Response::json(200, bytes.as_slice().to_vec())
+            .with_header("X-Cache", cache_header(outcome))
+            .with_header("X-Config-Id", &analyze.config_id()),
+        // Solver failures on a validated config are server-side errors.
+        Err(message) => Response::json(500, error_body(&message)),
+    }
+}
+
+fn cache_header(outcome: Outcome) -> &'static str {
+    match outcome {
+        Outcome::Hit => "hit",
+        Outcome::Miss => "miss",
+        Outcome::Shared => "shared",
+    }
+}
+
+/// Output format of the experiment endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Json,
+    Csv,
+}
+
+/// Content negotiation: explicit `?format=` wins, then the `Accept`
+/// header; default JSON.
+fn negotiate_format(request: &Request) -> Result<Format, String> {
+    if let Some(format) = request.query_param("format") {
+        return match format {
+            "json" => Ok(Format::Json),
+            "csv" => Ok(Format::Csv),
+            other => Err(format!("unknown format {other:?} (expected json or csv)")),
+        };
+    }
+    match request.header("accept") {
+        Some(accept) if accept.contains("text/csv") => Ok(Format::Csv),
+        _ => Ok(Format::Json),
+    }
+}
+
+fn handle_experiment(request: &Request, ctx: &Ctx) -> Response {
+    let name = request
+        .path
+        .strip_prefix("/v1/experiments/")
+        .expect("routed by prefix");
+    let id: ExperimentId = match name.parse() {
+        Ok(id) => id,
+        Err(e) => return Response::json(404, error_body(&e.to_string())),
+    };
+    let format = match negotiate_format(request) {
+        Ok(format) => format,
+        Err(message) => return Response::json(400, error_body(&message)),
+    };
+
+    // Rendered bytes are cached per (experiment, format); a JSON and a
+    // CSV request each solve at most once.
+    let key = format!("experiment/{id}/{format:?}");
+    let (result, outcome) = ctx.cache.get_or_compute(&key, || {
+        let output = run_with(id, &Parallelism::Serial).map_err(|e| e.to_string())?;
+        let bytes = match (&output, format) {
+            (ExperimentOutput::Figure(figure), Format::Json) => {
+                figure_to_json(figure).encode().into_bytes()
+            }
+            (ExperimentOutput::Figure(figure), Format::Csv) => {
+                report::figure_to_csv(figure).into_bytes()
+            }
+            (ExperimentOutput::Table(rows), Format::Json) => Value::object(vec![
+                ("id", Value::String(id.to_string())),
+                (
+                    "rows",
+                    Value::Array(
+                        rows.iter()
+                            .map(|r| {
+                                Value::object(vec![
+                                    ("label", Value::String(r.label.clone())),
+                                    ("n", Value::Number(r.n as f64)),
+                                    ("k", Value::Number(r.k as f64)),
+                                    ("decode_cycles", Value::Number(r.decode_cycles as f64)),
+                                    ("area_units", Value::Number(r.area_units as f64)),
+                                    (
+                                        "redundant_symbols",
+                                        Value::Number(r.redundant_symbols as f64),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+            .encode()
+            .into_bytes(),
+            (ExperimentOutput::Table(rows), Format::Csv) => {
+                report::complexity_to_csv(rows).into_bytes()
+            }
+        };
+        Ok(Arc::new(bytes))
+    });
+
+    match result {
+        Ok(bytes) => {
+            let body = bytes.as_slice().to_vec();
+            let response = match format {
+                Format::Json => Response::json(200, body),
+                Format::Csv => Response::csv(200, body),
+            };
+            response.with_header("X-Cache", cache_header(outcome))
+        }
+        Err(message) => Response::json(500, error_body(&message)),
+    }
+}
+
+/// Encodes a figure as the API's JSON shape.
+fn figure_to_json(figure: &Figure) -> Value {
+    Value::object(vec![
+        ("id", Value::String(figure.id.to_string())),
+        ("title", Value::String(figure.title.clone())),
+        ("x_label", Value::String(figure.x_label.clone())),
+        ("y_label", Value::String(figure.y_label.clone())),
+        (
+            "series",
+            Value::Array(
+                figure
+                    .series
+                    .iter()
+                    .map(|series| {
+                        Value::object(vec![
+                            ("label", Value::String(series.label.clone())),
+                            (
+                                "points",
+                                Value::Array(
+                                    series
+                                        .points
+                                        .iter()
+                                        .map(|&(x, y)| Value::numbers(&[x, y]))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.split('?').next().unwrap().into(),
+            query: path
+                .split_once('?')
+                .map(|(_, q)| {
+                    q.split('&')
+                        .filter_map(|p| p.split_once('='))
+                        .map(|(k, v)| (k.to_owned(), v.to_owned()))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn test_ctx() -> Ctx {
+        Ctx {
+            cache: SingleFlightCache::new(8),
+            metrics: Metrics::new(),
+        }
+    }
+
+    #[test]
+    fn router_statuses() {
+        let ctx = test_ctx();
+        assert_eq!(route(&get("/healthz"), &ctx).1.status, 200);
+        assert_eq!(route(&get("/metrics"), &ctx).1.status, 200);
+        assert_eq!(route(&get("/nope"), &ctx).1.status, 404);
+        assert_eq!(route(&get("/v1/analyze"), &ctx).1.status, 405);
+        assert_eq!(route(&get("/v1/experiments/fig99"), &ctx).1.status, 404);
+        let mut post = get("/v1/analyze");
+        post.method = "POST".into();
+        post.body = b"{not json".to_vec();
+        assert_eq!(route(&post, &ctx).1.status, 400);
+    }
+
+    #[test]
+    fn format_negotiation() {
+        assert_eq!(
+            negotiate_format(&get("/x?format=csv")).unwrap(),
+            Format::Csv
+        );
+        assert_eq!(
+            negotiate_format(&get("/x?format=json")).unwrap(),
+            Format::Json
+        );
+        assert!(negotiate_format(&get("/x?format=xml")).is_err());
+        let mut r = get("/x");
+        r.headers.push(("accept".into(), "text/csv".into()));
+        assert_eq!(negotiate_format(&r).unwrap(), Format::Csv);
+        assert_eq!(negotiate_format(&get("/x")).unwrap(), Format::Json);
+        // Explicit query parameter beats the Accept header.
+        let mut r = get("/x?format=json");
+        r.headers.push(("accept".into(), "text/csv".into()));
+        assert_eq!(negotiate_format(&r).unwrap(), Format::Json);
+    }
+
+    #[test]
+    fn experiment_complexity_table_renders_both_formats() {
+        let ctx = test_ctx();
+        let (_, json_response) = route(&get("/v1/experiments/complexity"), &ctx);
+        assert_eq!(json_response.status, 200);
+        let body = String::from_utf8(json_response.body).unwrap();
+        assert!(body.contains("\"rows\""), "{body}");
+        let (_, csv_response) = route(&get("/v1/experiments/complexity?format=csv"), &ctx);
+        assert_eq!(csv_response.status, 200);
+        assert_eq!(csv_response.content_type, "text/csv; charset=utf-8");
+        assert!(String::from_utf8(csv_response.body)
+            .unwrap()
+            .starts_with("arrangement,"));
+    }
+}

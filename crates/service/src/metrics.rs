@@ -1,0 +1,266 @@
+//! Plain-text service metrics: request counters by endpoint/status,
+//! cache counters, an in-flight gauge, and per-endpoint latency
+//! histograms. Rendered in the Prometheus text exposition format so any
+//! scraper (or `curl`) can read it.
+
+use crate::cache::CacheStats;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Upper bounds of the latency histogram buckets, in microseconds. The
+/// last implicit bucket is `+Inf`.
+pub const LATENCY_BUCKETS_US: [u64; 7] = [100, 500, 1_000, 5_000, 25_000, 100_000, 1_000_000];
+
+/// One endpoint's latency histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Histogram {
+    /// Cumulative-style counts per bucket of `LATENCY_BUCKETS_US`, plus
+    /// one overflow bucket (stored non-cumulative, rendered cumulative).
+    buckets: [u64; LATENCY_BUCKETS_US.len() + 1],
+    count: u64,
+    sum_us: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+    }
+}
+
+/// The service's metrics registry. One instance is shared by every
+/// worker; counters are atomics, the labelled maps sit behind short
+/// mutexed sections.
+pub struct Metrics {
+    started: Instant,
+    /// `(endpoint, status) -> count`.
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// `endpoint -> latency histogram`.
+    latency: Mutex<BTreeMap<&'static str, Histogram>>,
+    inflight: AtomicI64,
+    shed: AtomicU64,
+}
+
+impl Metrics {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests: Mutex::new(BTreeMap::new()),
+            latency: Mutex::new(BTreeMap::new()),
+            inflight: AtomicI64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one completed request.
+    pub fn record_request(&self, endpoint: &'static str, status: u16, elapsed: Duration) {
+        *self
+            .requests
+            .lock()
+            .expect("metrics lock")
+            .entry((endpoint, status))
+            .or_insert(0) += 1;
+        self.latency
+            .lock()
+            .expect("metrics lock")
+            .entry(endpoint)
+            .or_default()
+            .observe(elapsed);
+    }
+
+    /// Marks a request as started; the guard decrements on drop.
+    pub fn inflight_guard(&self) -> InflightGuard<'_> {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        InflightGuard { metrics: self }
+    }
+
+    /// Current number of requests being handled.
+    pub fn inflight(&self) -> i64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Records a connection shed with `503` because the backlog was full.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Total requests recorded for `endpoint` with `status`.
+    pub fn request_count(&self, endpoint: &'static str, status: u16) -> u64 {
+        self.requests
+            .lock()
+            .expect("metrics lock")
+            .get(&(endpoint, status))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Renders the registry (plus the cache counters) as Prometheus text.
+    pub fn render(&self, cache: CacheStats, cache_len: usize, cache_capacity: usize) -> String {
+        let mut out = String::new();
+
+        let _ = writeln!(out, "# TYPE rsmem_uptime_seconds gauge");
+        let _ = writeln!(
+            out,
+            "rsmem_uptime_seconds {}",
+            self.started.elapsed().as_secs()
+        );
+
+        let _ = writeln!(out, "# TYPE rsmem_requests_total counter");
+        for ((endpoint, status), count) in self.requests.lock().expect("metrics lock").iter() {
+            let _ = writeln!(
+                out,
+                "rsmem_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}"
+            );
+        }
+
+        let _ = writeln!(out, "# TYPE rsmem_requests_inflight gauge");
+        let _ = writeln!(out, "rsmem_requests_inflight {}", self.inflight());
+
+        let _ = writeln!(out, "# TYPE rsmem_connections_shed_total counter");
+        let _ = writeln!(out, "rsmem_connections_shed_total {}", self.shed());
+
+        let _ = writeln!(out, "# TYPE rsmem_cache_hits_total counter");
+        let _ = writeln!(out, "rsmem_cache_hits_total {}", cache.hits);
+        let _ = writeln!(out, "# TYPE rsmem_cache_misses_total counter");
+        let _ = writeln!(out, "rsmem_cache_misses_total {}", cache.misses);
+        let _ = writeln!(out, "# TYPE rsmem_cache_singleflight_shared_total counter");
+        let _ = writeln!(
+            out,
+            "rsmem_cache_singleflight_shared_total {}",
+            cache.shared
+        );
+        let _ = writeln!(out, "# TYPE rsmem_cache_evictions_total counter");
+        let _ = writeln!(out, "rsmem_cache_evictions_total {}", cache.evictions);
+        let _ = writeln!(out, "# TYPE rsmem_cache_entries gauge");
+        let _ = writeln!(out, "rsmem_cache_entries {cache_len}");
+        let _ = writeln!(out, "# TYPE rsmem_cache_capacity gauge");
+        let _ = writeln!(out, "rsmem_cache_capacity {cache_capacity}");
+
+        let _ = writeln!(out, "# TYPE rsmem_request_duration_us histogram");
+        for (endpoint, histogram) in self.latency.lock().expect("metrics lock").iter() {
+            let mut cumulative = 0;
+            for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+                cumulative += histogram.buckets[i];
+                let _ = writeln!(
+                    out,
+                    "rsmem_request_duration_us_bucket{{endpoint=\"{endpoint}\",le=\"{bound}\"}} {cumulative}"
+                );
+            }
+            cumulative += histogram.buckets[LATENCY_BUCKETS_US.len()];
+            let _ = writeln!(
+                out,
+                "rsmem_request_duration_us_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {cumulative}"
+            );
+            let _ = writeln!(
+                out,
+                "rsmem_request_duration_us_sum{{endpoint=\"{endpoint}\"}} {}",
+                histogram.sum_us
+            );
+            let _ = writeln!(
+                out,
+                "rsmem_request_duration_us_count{{endpoint=\"{endpoint}\"}} {}",
+                histogram.count
+            );
+        }
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+/// Decrements the in-flight gauge when dropped.
+pub struct InflightGuard<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_counters_accumulate_by_endpoint_and_status() {
+        let m = Metrics::new();
+        m.record_request("analyze", 200, Duration::from_micros(300));
+        m.record_request("analyze", 200, Duration::from_micros(700));
+        m.record_request("analyze", 400, Duration::from_micros(50));
+        assert_eq!(m.request_count("analyze", 200), 2);
+        assert_eq!(m.request_count("analyze", 400), 1);
+        assert_eq!(m.request_count("experiment", 200), 0);
+    }
+
+    #[test]
+    fn inflight_gauge_tracks_guards() {
+        let m = Metrics::new();
+        assert_eq!(m.inflight(), 0);
+        {
+            let _a = m.inflight_guard();
+            let _b = m.inflight_guard();
+            assert_eq!(m.inflight(), 2);
+        }
+        assert_eq!(m.inflight(), 0);
+    }
+
+    #[test]
+    fn render_includes_every_family() {
+        let m = Metrics::new();
+        m.record_request("analyze", 200, Duration::from_micros(300));
+        m.record_shed();
+        let text = m.render(
+            CacheStats {
+                hits: 3,
+                misses: 1,
+                shared: 2,
+                evictions: 0,
+            },
+            1,
+            128,
+        );
+        assert!(text.contains("rsmem_requests_total{endpoint=\"analyze\",status=\"200\"} 1"));
+        assert!(text.contains("rsmem_cache_hits_total 3"));
+        assert!(text.contains("rsmem_cache_singleflight_shared_total 2"));
+        assert!(text.contains("rsmem_connections_shed_total 1"));
+        assert!(text.contains("rsmem_requests_inflight 0"));
+        assert!(text.contains("rsmem_cache_capacity 128"));
+        assert!(
+            text.contains("rsmem_request_duration_us_bucket{endpoint=\"analyze\",le=\"500\"} 1")
+        );
+        assert!(text.contains("rsmem_request_duration_us_count{endpoint=\"analyze\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_render() {
+        let m = Metrics::new();
+        m.record_request("x", 200, Duration::from_micros(50));
+        m.record_request("x", 200, Duration::from_micros(400));
+        m.record_request("x", 200, Duration::from_secs(10)); // overflow
+        let text = m.render(CacheStats::default(), 0, 0);
+        assert!(text.contains("rsmem_request_duration_us_bucket{endpoint=\"x\",le=\"100\"} 1"));
+        assert!(text.contains("rsmem_request_duration_us_bucket{endpoint=\"x\",le=\"500\"} 2"));
+        assert!(text.contains("rsmem_request_duration_us_bucket{endpoint=\"x\",le=\"+Inf\"} 3"));
+    }
+}

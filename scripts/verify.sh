@@ -17,4 +17,7 @@ cargo fmt --check
 echo "==> cargo clippy (default members, warnings are errors)"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> service loopback smoke test (boots the daemon on an ephemeral port)"
+cargo run -q --release -p rsmem-service --example service_client
+
 echo "verify: OK"
