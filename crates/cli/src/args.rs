@@ -79,6 +79,28 @@ impl Parsed {
         }
     }
 
+    /// Parses a flag as `u64`, accepting both decimal and `0x`-prefixed
+    /// hexadecimal (seeds are conventionally quoted in hex, e.g.
+    /// `--seed 0xDA7E`).
+    ///
+    /// # Errors
+    ///
+    /// Message on an unparsable value.
+    pub fn u64_flag(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(v) => {
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                parsed.map_err(|_| {
+                    format!("flag {flag}: expected an integer (decimal or 0x-hex), got {v:?}")
+                })
+            }
+        }
+    }
+
     /// Parses `--code N,K,M` into validated [`CodeParams`] (default
     /// RS(18,16) over GF(2^8)), via `CodeParams::from_str`.
     ///
@@ -128,6 +150,22 @@ mod tests {
     fn bad_numbers_are_reported() {
         let p = parse(&argv(&["x", "--seu", "abc"])).unwrap();
         assert!(p.f64_flag("--seu", 0.0).is_err());
+    }
+
+    #[test]
+    fn seed_flag_accepts_hex_and_decimal() {
+        let p = parse(&argv(&["stress", "--seed", "0xDA7E"])).unwrap();
+        assert_eq!(p.u64_flag("--seed", 0).unwrap(), 0xDA7E);
+        let p = parse(&argv(&["stress", "--seed", "0Xda7e"])).unwrap();
+        assert_eq!(p.u64_flag("--seed", 0).unwrap(), 0xDA7E);
+        let p = parse(&argv(&["stress", "--seed", "42"])).unwrap();
+        assert_eq!(p.u64_flag("--seed", 0).unwrap(), 42);
+        let p = parse(&argv(&["stress"])).unwrap();
+        assert_eq!(p.u64_flag("--seed", 7).unwrap(), 7);
+        let bad = parse(&argv(&["stress", "--seed", "0xZZ"])).unwrap();
+        assert!(bad.u64_flag("--seed", 0).is_err());
+        let bad = parse(&argv(&["stress", "--seed", "-3"])).unwrap();
+        assert!(bad.u64_flag("--seed", 0).is_err());
     }
 
     #[test]

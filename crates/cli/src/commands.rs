@@ -19,6 +19,7 @@ USAGE:
   rsmem array [flags]                 whole-memory simulation with MBUs
   rsmem advise [flags]                slowest scrub period meeting a BER target
   rsmem complexity                    Section-6 decoder comparison
+  rsmem stress [flags]                differential stress/fault-injection run
   rsmem serve [flags]                 run the analysis daemon (rsmem-service)
   rsmem list                          list experiment ids
   rsmem help                          this message
@@ -37,7 +38,7 @@ COMMAND FLAGS:
   --points N              grid points for `ber` (default: 25)
   --csv                   CSV output for `experiment`/`ber`
   --trials N              Monte-Carlo trials (default: 1000)
-  --seed S                RNG seed (default: 42)
+  --seed S                RNG seed, decimal or 0x-hex (default: 42)
   --days D                per-trial storage days for `simulate` (default: 2)
   --target-ber B          BER target for `advise` (default: 1e-6)
   --words N               array size for `array` (default: 32)
@@ -45,6 +46,11 @@ COMMAND FLAGS:
   --interleave D          interleaving depth for `array` (default: 1)
   --threads N             worker threads for `experiment`/`simulate`
                           (default: all cores; results do not depend on N)
+
+STRESS FLAGS:
+  --seed S                corpus seed, decimal or 0x-hex (default: 0xDA7E)
+  --budget N              random decode cases; arbiter/exhaustive/x-val
+                          budgets scale from it (default: 100000)
 
 SERVE FLAGS:
   --addr HOST:PORT        bind address (default: 127.0.0.1:7373; port 0 = ephemeral)
@@ -77,6 +83,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
             let rows = rsmem::complexity::section6_comparison();
             Ok(report::render_complexity(&rows))
         }
+        Some("stress") => cmd_stress(&parsed),
         Some("serve") => cmd_serve(&parsed),
         Some(other) => Err(format!("unknown command {other:?}")),
     }
@@ -199,7 +206,7 @@ fn cmd_array(parsed: &Parsed) -> Result<String, String> {
     let mbu = parsed.usize_flag("--mbu", 1)? as u32;
     let depth = parsed.usize_flag("--interleave", 1)?;
     let trials = parsed.usize_flag("--trials", 200)?;
-    let seed = parsed.usize_flag("--seed", 42)? as u64;
+    let seed = parsed.u64_flag("--seed", 42)?;
     let config = rsmem::array::ArrayConfig {
         base: rsmem::SimConfig {
             n,
@@ -240,7 +247,7 @@ fn cmd_simulate(parsed: &Parsed) -> Result<String, String> {
     let system = system_from(parsed)?;
     let days = parsed.f64_flag("--days", 2.0)?;
     let trials = parsed.usize_flag("--trials", 1000)?;
-    let seed = parsed.usize_flag("--seed", 42)? as u64;
+    let seed = parsed.u64_flag("--seed", 42)?;
     let par = parallelism_from(parsed)?;
     let report = system
         .monte_carlo_with(
@@ -252,6 +259,25 @@ fn cmd_simulate(parsed: &Parsed) -> Result<String, String> {
         )
         .map_err(|e| e.to_string())?;
     Ok(format!("{report}\n"))
+}
+
+fn cmd_stress(parsed: &Parsed) -> Result<String, String> {
+    let seed = parsed.u64_flag("--seed", 0xDA7E)?;
+    let budget = parsed.usize_flag("--budget", 100_000)?;
+    let config = rsmem_stress::StressConfig::with_budget(seed, budget);
+    let report = rsmem_stress::run(&config);
+    let text = report.to_string();
+    if report.is_clean() {
+        Ok(text)
+    } else {
+        // Divergences are a hard failure: print the full report (with
+        // the minimized repros) through the error channel so scripts
+        // and CI fail loudly.
+        Err(format!(
+            "{text}\nstress: {} divergence(s) found",
+            report.divergence_count()
+        ))
+    }
 }
 
 fn cmd_serve(parsed: &Parsed) -> Result<String, String> {
@@ -316,6 +342,13 @@ mod tests {
     #[test]
     fn unknown_command_is_an_error() {
         assert!(run_cli(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn stress_small_budget_runs_clean() {
+        let out = run_cli(&["stress", "--seed", "0xDA7E", "--budget", "500"]).unwrap();
+        assert!(out.contains("stress run"), "{out}");
+        assert!(out.contains("divergences:   none"), "{out}");
     }
 
     #[test]

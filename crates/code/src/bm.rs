@@ -12,7 +12,15 @@ use rsmem_gf::{Poly, Symbol};
 
 /// Runs Berlekamp–Massey over the raw syndromes `s` (0-indexed,
 /// `s[j] = r(α^{b+j})`), starting from the erasure locator `gamma` of
-/// degree `rho`. Returns the combined locator `Ψ(x)`.
+/// degree `rho`. Returns the combined locator `Ψ(x)` **and the final
+/// LFSR length `l`**.
+///
+/// The length is the algorithm's own claim about how many error+erasure
+/// positions the locator accounts for; a correctable pattern always has
+/// `deg Ψ = l`, so the decoder uses `l` both for the capability check
+/// (`ν = l − ρ`) and as a structural validity gate — a shorter Ψ means
+/// no LFSR of the claimed length generates the syndromes and the word is
+/// uncorrectable.
 ///
 /// Returns `None` if the field arithmetic degenerates (cannot happen for
 /// well-formed inputs; kept for defensive symmetry with the Euclidean
@@ -22,7 +30,7 @@ pub(crate) fn berlekamp_massey(
     s: &[Symbol],
     gamma: &Poly,
     rho: usize,
-) -> Option<Poly> {
+) -> Option<(Poly, usize)> {
     let field = code.field();
     let two_t = code.parity_symbols();
     debug_assert_eq!(s.len(), two_t);
@@ -58,7 +66,7 @@ pub(crate) fn berlekamp_massey(
             mm += 1;
         }
     }
-    Some(c)
+    Some((c, l))
 }
 
 #[cfg(test)]
@@ -75,7 +83,8 @@ mod tests {
         word[2] ^= 5;
         word[11] ^= 9;
         let s = syndromes(&code, &word);
-        let psi = berlekamp_massey(&code, &s, &Poly::one(), 0).unwrap();
+        let (psi, l) = berlekamp_massey(&code, &s, &Poly::one(), 0).unwrap();
+        assert_eq!(l, 2);
         assert_eq!(psi.degree(), Some(2));
         assert_eq!(psi.eval(f, f.alpha_pow_signed(-2)), 0);
         assert_eq!(psi.eval(f, f.alpha_pow_signed(-11)), 0);
@@ -91,7 +100,8 @@ mod tests {
         let erasures = [1usize];
         let s = syndromes(&code, &word);
         let gamma = erasure_locator(&code, &erasures);
-        let psi = berlekamp_massey(&code, &s, &gamma, erasures.len()).unwrap();
+        let (psi, l) = berlekamp_massey(&code, &s, &gamma, erasures.len()).unwrap();
+        assert_eq!(l, 2, "one erasure + one error");
         assert_eq!(psi.eval(f, f.alpha_pow_signed(-1)), 0, "erasure root");
         assert_eq!(psi.eval(f, f.alpha_pow_signed(-8)), 0, "error root");
     }
@@ -103,8 +113,9 @@ mod tests {
         let erasures = [4usize, 9];
         let s = syndromes(&code, &word);
         let gamma = erasure_locator(&code, &erasures);
-        let psi = berlekamp_massey(&code, &s, &gamma, erasures.len()).unwrap();
-        // Zero syndromes produce zero discrepancies; Ψ stays Γ.
+        let (psi, l) = berlekamp_massey(&code, &s, &gamma, erasures.len()).unwrap();
+        // Zero syndromes produce zero discrepancies; Ψ stays Γ at length ρ.
         assert_eq!(psi, gamma);
+        assert_eq!(l, erasures.len());
     }
 }

@@ -216,15 +216,26 @@ pub(crate) fn decode_word(
             lambda.mul(&gamma, field)
         }
         DecoderBackend::BerlekampMassey => {
-            let Some(psi) = berlekamp_massey(code, &syn, &gamma, rho) else {
+            let Some((psi, l)) = berlekamp_massey(code, &syn, &gamma, rho) else {
                 return Ok(DecodeOutcome::Failure(DecodeFailure::KeyEquation));
             };
-            let nu = psi.degree_or_zero().saturating_sub(rho);
+            // Capability from the LFSR length, not deg Ψ: a degenerate
+            // locator can come out *shorter* than the length BM claims,
+            // which would understate ν and let a beyond-capability
+            // pattern masquerade as a light one. (The Chien/Forney/
+            // syndrome gates below would still catch it, but the claim
+            // must be rejected here, symmetrically with Sugiyama.)
+            let nu = l.saturating_sub(rho);
             if rho + 2 * nu > redundancy {
                 return Ok(DecodeOutcome::Failure(DecodeFailure::CapabilityExceeded {
                     erasures: rho,
                     errors: nu,
                 }));
+            }
+            // Structural gate: a correctable pattern always satisfies
+            // deg Ψ = l. Anything else is a detected failure.
+            if psi.degree_or_zero() != l {
+                return Ok(DecodeOutcome::Failure(DecodeFailure::RootCountMismatch));
             }
             psi
         }
@@ -400,6 +411,87 @@ mod tests {
                 }
                 DecodeOutcome::Clean { .. } => panic!("{backend}: corrupt word passed clean"),
             }
+        }
+    }
+
+    /// Shared assertions for a pattern strictly beyond the capability
+    /// bound: the decoder must never accept the word as `Clean`, never
+    /// return the original data (the true codeword is out of reach of a
+    /// bounded-distance decoder), and any mis-correction it does emit
+    /// must be a valid codeword whose claimed pattern is *within*
+    /// capability. Both back-ends must also agree whenever both succeed
+    /// (bounded-distance uniqueness).
+    fn assert_beyond_bound_contract(
+        code: &RsCode,
+        data: &[Symbol],
+        word: &[Symbol],
+        erasures: &[usize],
+    ) {
+        let mut successes = Vec::new();
+        for backend in [DecoderBackend::Sugiyama, DecoderBackend::BerlekampMassey] {
+            match code.decode_with(word, erasures, backend).unwrap() {
+                DecodeOutcome::Clean { .. } => panic!("{backend}: corrupt word passed clean"),
+                DecodeOutcome::Corrected {
+                    data: d,
+                    codeword,
+                    corrections,
+                } => {
+                    assert_ne!(d, data, "{backend}: decoded the unreachable original");
+                    assert!(code.is_codeword(&codeword).unwrap(), "{backend}");
+                    let claimed = corrections.iter().filter(|c| !c.was_erasure).count();
+                    assert!(
+                        erasures.len() + 2 * claimed <= code.parity_symbols(),
+                        "{backend}: accepted a beyond-capability claim"
+                    );
+                    successes.push(codeword);
+                }
+                DecodeOutcome::Failure(_) => {}
+            }
+        }
+        if successes.len() == 2 {
+            assert_eq!(successes[0], successes[1], "back-ends disagree");
+        }
+    }
+
+    #[test]
+    fn one_past_the_bound_is_never_silently_wrong() {
+        // er + 2·re = n − k + 1 = 7 for RS(15,9): one declared erasure
+        // (with a wrong stored value) plus three random errors.
+        let code = code_15_9();
+        let data: Vec<Symbol> = (3..12).collect();
+        let clean = code.encode(&data).unwrap();
+        for seed in 0..20u32 {
+            let mut word = clean.clone();
+            let e = (seed as usize) % 15;
+            word[e] ^= 1 + (seed % 15) as Symbol;
+            let mut placed = 0;
+            for off in 1..15 {
+                if placed == 3 {
+                    break;
+                }
+                let p = (e + off * 4) % 15;
+                if p != e {
+                    word[p] ^= 1 + ((seed + off as u32) % 15) as Symbol;
+                    placed += 1;
+                }
+            }
+            assert_beyond_bound_contract(&code, &data, &word, &[e]);
+        }
+    }
+
+    #[test]
+    fn two_past_the_bound_is_never_silently_wrong() {
+        // er + 2·re = n − k + 2 = 8 for RS(15,9): four random errors.
+        let code = code_15_9();
+        let data: Vec<Symbol> = (0..9).map(|i| (i * 2 + 1) % 16).collect();
+        let clean = code.encode(&data).unwrap();
+        for seed in 0..20u32 {
+            let mut word = clean.clone();
+            for j in 0..4usize {
+                let p = ((seed as usize) + j * 4) % 15;
+                word[p] ^= 1 + ((seed + j as u32) % 15) as Symbol;
+            }
+            assert_beyond_bound_contract(&code, &data, &word, &[]);
         }
     }
 

@@ -1,0 +1,64 @@
+//! Property tests for the symbol interleaver: round-trips, coordinate
+//! mapping, and the burst-dispersal guarantee the paper relies on when
+//! stacking RS words across memory modules.
+
+use proptest::prelude::*;
+use rsmem_code::Interleaver;
+use rsmem_gf::Symbol;
+
+fn words_strategy() -> impl Strategy<Value = (usize, Vec<Vec<Symbol>>)> {
+    (1usize..8, 0usize..24).prop_flat_map(|(depth, word_len)| {
+        let word = prop::collection::vec(0u32..256u32, word_len)
+            .prop_map(|v| v.into_iter().map(|s| s as Symbol).collect::<Vec<_>>());
+        (Just(depth), prop::collection::vec(word, depth))
+    })
+}
+
+proptest! {
+    #[test]
+    fn interleave_deinterleave_round_trips((depth, words) in words_strategy()) {
+        let il = Interleaver::new(depth).unwrap();
+        let word_len = words[0].len();
+        let physical = il.interleave(&words).unwrap();
+        prop_assert_eq!(physical.len(), depth * word_len);
+        let back = il.deinterleave(&physical, word_len).unwrap();
+        prop_assert_eq!(back, words);
+    }
+
+    #[test]
+    fn locate_agrees_with_the_physical_layout((depth, words) in words_strategy()) {
+        let il = Interleaver::new(depth).unwrap();
+        let physical = il.interleave(&words).unwrap();
+        for (p, &symbol) in physical.iter().enumerate() {
+            let (w, s) = il.locate(p);
+            prop_assert!(w < depth);
+            prop_assert_eq!(symbol, words[w][s], "physical index {}", p);
+        }
+    }
+
+    #[test]
+    fn bursts_up_to_depth_hit_distinct_words(
+        (depth, words) in words_strategy(),
+        start_raw in 0usize..1024,
+    ) {
+        let il = Interleaver::new(depth).unwrap();
+        let total = depth * words[0].len();
+        prop_assume!(total >= depth && depth > 1);
+        // A contiguous physical burst of length `depth` touches every
+        // word exactly once — the dispersal property that turns a burst
+        // into single-symbol (correctable) faults per RS word.
+        let start = start_raw % (total - depth + 1);
+        let hit: Vec<usize> = (start..start + depth).map(|p| il.locate(p).0).collect();
+        let mut sorted = hit.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), depth, "burst at {} reused a word: {:?}", start, hit);
+    }
+}
+
+#[test]
+fn deinterleave_rejects_wrong_length() {
+    let il = Interleaver::new(3).unwrap();
+    assert!(il.deinterleave(&[0; 7], 2).is_err());
+    assert!(il.deinterleave(&[0; 6], 2).is_ok());
+}

@@ -67,6 +67,25 @@ proptest! {
     }
 
     #[test]
+    fn poly_mul_associative_and_distributive(
+        m in field_m(),
+        a_raw in prop::collection::vec(0u32..65536, 0..7),
+        b_raw in prop::collection::vec(0u32..65536, 0..7),
+        c_raw in prop::collection::vec(0u32..65536, 0..7),
+    ) {
+        let f = GfField::new(m).unwrap();
+        let reduce = |raw: &[u32]| Poly::from_coeffs(raw.iter().map(|&v| (v % f.size()) as Symbol));
+        let a = reduce(&a_raw);
+        let b = reduce(&b_raw);
+        let c = reduce(&c_raw);
+        prop_assert_eq!(a.mul(&b, &f).mul(&c, &f), a.mul(&b.mul(&c, &f), &f));
+        prop_assert_eq!(
+            a.mul(&b.add(&c, &f), &f),
+            a.mul(&b, &f).add(&a.mul(&c, &f), &f)
+        );
+    }
+
+    #[test]
     fn poly_div_rem_roundtrip(a_raw in prop::collection::vec(0u32..16, 0..12), b_raw in prop::collection::vec(0u32..16, 1..6)) {
         let f = GfField::new(4).unwrap();
         let a = Poly::from_coeffs(a_raw.iter().map(|&v| v as Symbol));

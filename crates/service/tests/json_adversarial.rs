@@ -1,0 +1,170 @@
+//! Adversarial tests for the vendored JSON codec.
+//!
+//! Grown out of the seeded fuzz probe that found the original lone-
+//! surrogate and non-shortest-escape edge cases; the fixed corpus in
+//! `adversarial_strings` pins those findings, and the seeded fuzz loops
+//! keep sweeping the grammar with a bounded, deterministic budget.
+
+use rsmem_service::json::{parse, Value};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+const ALPHABET: &[u8] = br#"{}[]",:\/u0123456789abcdefABCDEF.eE+-truefalsnl \uD800\uDC00"#;
+
+#[test]
+fn random_bytes_never_panic_and_accepted_docs_roundtrip() {
+    let mut st = 7u64;
+    let mut accepted = 0u64;
+    for case in 0..30_000u64 {
+        let len = (splitmix(&mut st) % 40) as usize;
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| ALPHABET[(splitmix(&mut st) as usize) % ALPHABET.len()])
+            .collect();
+        let Ok(text) = String::from_utf8(bytes) else {
+            continue;
+        };
+        let out = std::panic::catch_unwind(|| parse(&text));
+        let parsed = match out {
+            Ok(r) => r,
+            Err(_) => panic!("parse PANICKED on input {text:?} (case {case})"),
+        };
+        if let Ok(v) = parsed {
+            accepted += 1;
+            // canonical round-trip: encode must parse back equal and be a
+            // fixed point of encode(parse(.))
+            let enc = v.encode();
+            let back = parse(&enc).unwrap_or_else(|e| {
+                panic!("canonical encoding {enc:?} of {text:?} does not re-parse: {e}")
+            });
+            assert_eq!(back.encode(), enc, "encode not canonical for {text:?}");
+        }
+    }
+    eprintln!("accepted {accepted} documents");
+}
+
+/// Mutate *valid* seed documents to exercise deeper string/number paths.
+#[test]
+fn mutated_valid_docs_never_panic() {
+    let seeds: [&str; 8] = [
+        r#"{"n":18,"k":16,"m":8,"seu_per_bit_day":1.7e-5}"#,
+        r#"["a\u0041\ud83d\ude00",0.1,-3,null,true]"#,
+        "\"\\ud800\\udc00x\\u0000\"",
+        r#"{"s":"\n\t\b\f\r\/\\\""}"#,
+        "123456789012345678901234567890",
+        "[1e308,-1e308,5e-324]",
+        "\"\u{e9}\u{2028}\u{10FFFF}\"",
+        r#"{"a":{"b":[{"c":[]}]}}"#,
+    ];
+    let mut st = 99u64;
+    for case in 0..30_000u64 {
+        let seed = seeds[(splitmix(&mut st) as usize) % seeds.len()];
+        let mut bytes = seed.as_bytes().to_vec();
+        for _ in 0..=(splitmix(&mut st) % 4) {
+            let op = splitmix(&mut st) % 3;
+            if bytes.is_empty() {
+                break;
+            }
+            let i = (splitmix(&mut st) as usize) % bytes.len();
+            match op {
+                0 => bytes[i] = (splitmix(&mut st) % 128) as u8,
+                1 => {
+                    bytes.remove(i);
+                }
+                _ => bytes.insert(i, ALPHABET[(splitmix(&mut st) as usize) % ALPHABET.len()]),
+            }
+        }
+        let Ok(text) = String::from_utf8(bytes) else {
+            continue;
+        };
+        let out = std::panic::catch_unwind(|| parse(&text));
+        let parsed = match out {
+            Ok(r) => r,
+            Err(_) => panic!("parse PANICKED on {text:?} (case {case})"),
+        };
+        if let Ok(v) = parsed {
+            let enc = v.encode();
+            let back =
+                parse(&enc).unwrap_or_else(|e| panic!("{enc:?} from {text:?} fails re-parse: {e}"));
+            assert_eq!(back.encode(), enc, "not canonical: {text:?}");
+            assert_eq!(back, v, "value changed in round-trip: {text:?}");
+        }
+    }
+}
+
+#[test]
+fn adversarial_strings() {
+    // Lone surrogate halves in every syntactic position.
+    for text in [
+        "\"\\ud800\"",
+        "\"\\udfff\"",
+        "\"\\ud800x\"",
+        "\"\\ud800\\n\"",
+        "\"\\ud800\\u0041\"",
+        "\"\\udc00\\ud800\"",
+        "{\"\\ud800\":1}",
+        "\"\\uD800\\uD800\"",
+        "\"\\ud8\"",
+        "\"\\u\"",
+        "\"\\ud800\\u\"",
+        "\"\\ud800\\udbff\"",
+    ] {
+        let out = std::panic::catch_unwind(|| parse(text));
+        match out {
+            Ok(r) => assert!(
+                r.is_err(),
+                "lone/invalid surrogate accepted: {text:?} -> {r:?}"
+            ),
+            Err(_) => panic!("parse PANICKED on {text:?}"),
+        }
+    }
+    // Non-shortest escapes must round-trip canonically (decode to the char,
+    // encode back shortest).
+    let v = parse("\"\\u0041\\u00e9\"").unwrap();
+    assert_eq!(v.encode(), "\"A\u{e9}\"");
+    // NUL and control characters round-trip escaped.
+    let v = parse("\"\\u0000\\u001f\"").unwrap();
+    let enc = v.encode();
+    assert_eq!(parse(&enc).unwrap(), v);
+}
+
+#[test]
+fn encoder_side_fuzz() {
+    // Every BMP char (and some astral) as a one-char string must encode to
+    // parseable canonical JSON.
+    let mut st = 5u64;
+    for cp in (0u32..0x300).chain([0x2028, 0x2029, 0xFEFF, 0xFFFD, 0x1F600, 0x10FFFF]) {
+        let Some(c) = char::from_u32(cp) else {
+            continue;
+        };
+        let v = Value::String(format!("a{c}b"));
+        let enc = v.encode();
+        let back = parse(&enc).unwrap_or_else(|e| panic!("cp {cp:#x}: {enc:?} fails: {e}"));
+        assert_eq!(back, v, "cp {cp:#x}");
+        assert_eq!(back.encode(), enc, "cp {cp:#x} not canonical");
+    }
+    // Random f64 bit patterns.
+    for _ in 0..50_000 {
+        let bits = splitmix(&mut st);
+        let x = f64::from_bits(bits);
+        let v = Value::Number(x);
+        let enc = v.encode();
+        let back = parse(&enc).unwrap_or_else(|e| panic!("{x:?} -> {enc:?} fails: {e}"));
+        if x.is_finite() {
+            let y = back
+                .as_f64()
+                .unwrap_or_else(|| panic!("{x:?} -> {enc:?} -> non-number"));
+            // canonical fixpoint
+            assert_eq!(back.encode(), enc, "{x:?}");
+            // round trip may normalize -0.0 to 0.0 but must otherwise be exact
+            if x != 0.0 {
+                assert_eq!(y.to_bits(), x.to_bits(), "{x:?} -> {enc:?} -> {y:?}");
+            }
+        }
+    }
+}

@@ -61,15 +61,51 @@ pub enum ArbiterBranch {
     SingleSurvivor,
 }
 
+/// Validates one module's inputs *before* the masking step touches them:
+/// the word must have exactly `n` symbols and every erasure position must
+/// be in range and unique. (Symbol-range checks are left to the decoder,
+/// which sees every masked symbol anyway.)
+fn validate_module(code: &RsCode, word: &[Symbol], erasures: &[usize]) -> Result<(), CodeError> {
+    if word.len() != code.n() {
+        return Err(CodeError::CodewordLength {
+            got: word.len(),
+            expected: code.n(),
+        });
+    }
+    let mut seen = vec![false; code.n()];
+    for &position in erasures {
+        if position >= code.n() || seen[position] {
+            return Err(CodeError::BadErasure {
+                position,
+                n: code.n(),
+            });
+        }
+        seen[position] = true;
+    }
+    Ok(())
+}
+
 /// Runs the Section-3 arbiter over the two module words.
 ///
 /// `word1`/`word2` are the raw stored words; `erasures1`/`erasures2` the
 /// located permanent-fault positions per module.
 ///
+/// # Tie-break policy
+///
+/// When both words are flagged (each decoder performed a correction) and
+/// the decoded datawords still differ, the arbiter emits **no output** —
+/// even though one of the two words may in fact be correct. This is the
+/// paper's rule, and it is the only sound one at this level: the flags
+/// are symmetric and the arbiter has no third copy to break the tie with,
+/// so any choice would convert a detectable event into a potential silent
+/// corruption half of the time. The cost is availability (a detected,
+/// uncorrected access), never integrity.
+///
 /// # Errors
 ///
-/// Only [`CodeError`] for malformed inputs — uncorrectable corruption is
-/// a [`ArbiterOutput::NoOutput`], not an error.
+/// Only [`CodeError`] for malformed inputs (wrong word length,
+/// out-of-range or duplicate erasure positions) — uncorrectable
+/// corruption is a [`ArbiterOutput::NoOutput`], not an error.
 pub fn arbitrate(
     code: &RsCode,
     word1: &[Symbol],
@@ -77,6 +113,12 @@ pub fn arbitrate(
     word2: &[Symbol],
     erasures2: &[usize],
 ) -> Result<ArbiterOutput, CodeError> {
+    // Malformed inputs must surface as typed errors before the masking
+    // step indexes into the words (found by rsmem-stress: out-of-range
+    // erasure positions and short words used to panic here).
+    validate_module(code, word1, erasures1)?;
+    validate_module(code, word2, erasures2)?;
+
     // Step 1: erasure recovery (masking).
     let mut w1 = word1.to_vec();
     let mut w2 = word2.to_vec();
@@ -243,6 +285,63 @@ mod tests {
         if let ArbiterOutput::Data { branch, .. } = out {
             assert_eq!(branch, ArbiterBranch::EqualFlagged);
         }
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        // found by rsmem-stress: the masking step used to index into the
+        // words before any validation, so these inputs panicked.
+        let code = RsCode::new(15, 9, 4).unwrap();
+        let w = code.encode(&[0; 9]).unwrap();
+        // Out-of-range erasure position (either module).
+        assert!(arbitrate(&code, &w, &[99], &w, &[]).is_err());
+        assert!(arbitrate(&code, &w, &[], &w, &[15]).is_err());
+        // Duplicate erasure position.
+        assert!(arbitrate(&code, &w, &[3, 3], &w, &[]).is_err());
+        // Short and long words (either module).
+        assert!(arbitrate(&code, &w[..10], &[12], &w, &[]).is_err());
+        let long: Vec<Symbol> = w.iter().copied().chain([0]).collect();
+        assert!(arbitrate(&code, &w, &[], &long, &[]).is_err());
+    }
+
+    #[test]
+    fn both_flagged_disagreeing_withholds_output_even_when_one_is_right() {
+        // Word 2 has a single SEU: its decoder corrects it (flag set,
+        // data RIGHT). Word 1 has 2 SEUs chosen so that its decoder
+        // mis-corrects (flag set, data WRONG). Both flagged + different
+        // → the paper's tie-break refuses to output although word 2 is
+        // actually correct: the arbiter cannot know which flag to trust.
+        let code = code(); // RS(18,16), t = 1
+        let clean = code.encode(&data()).unwrap();
+
+        // Deterministically search a small pattern space for a 2-error
+        // word that mis-corrects (GF(256) shortening detects most).
+        let mut miscorrecting: Option<Vec<Symbol>> = None;
+        'search: for p2 in 1..code.n() {
+            for magnitude in 1..=255u16 {
+                let mut w = clean.clone();
+                w[0] ^= 0x01;
+                w[p2] ^= magnitude;
+                if let DecodeOutcome::Corrected { data: d, .. } = code.decode(&w, &[]).unwrap() {
+                    if d != data() {
+                        miscorrecting = Some(w);
+                        break 'search;
+                    }
+                }
+            }
+        }
+        let w1 = miscorrecting.expect("RS(18,16) has 2-error mis-corrections");
+
+        let mut w2 = clean.clone();
+        w2[9] ^= 0x08; // single correctable SEU → flagged, correct data
+        assert_eq!(
+            code.decode(&w2, &[]).unwrap().data(),
+            Some(&data()[..]),
+            "w2 must decode correctly"
+        );
+
+        let out = arbitrate(&code, &w1, &[], &w2, &[]).unwrap();
+        assert_eq!(out, ArbiterOutput::NoOutput);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Result types for a stress run.
+
+use std::fmt;
+
+/// One confirmed invariant violation, with a minimized reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which suite found it (`"decode"`, `"arbiter"`, `"xval"`).
+    pub suite: &'static str,
+    /// Stable machine-readable violation kind (e.g. `"miscorrect-within"`).
+    pub kind: &'static str,
+    /// Human-readable one-line description of the failing case.
+    pub summary: String,
+    /// A ready-to-paste `#[test]` reproducing the minimized case.
+    pub repro: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {}: {}", self.suite, self.kind, self.summary)?;
+        writeln!(f, "minimized reproduction (paste as a unit test):")?;
+        for line in self.repro.lines() {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome counters for the decode-chain differential suite.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecodeReport {
+    /// Injection cases executed (each case decodes with both back-ends).
+    pub cases: u64,
+    /// Cases strictly inside the capability bound (`er + 2·re < n−k`).
+    pub inside: u64,
+    /// Cases exactly on the bound (`er + 2·re = n−k`).
+    pub on_bound: u64,
+    /// Cases beyond the bound (`er + 2·re > n−k`).
+    pub beyond: u64,
+    /// Default-backend outcomes: word accepted unchanged.
+    pub clean: u64,
+    /// Default-backend outcomes: corrected back to the stored data.
+    pub corrected: u64,
+    /// Default-backend outcomes: detected-uncorrectable.
+    pub detected: u64,
+    /// Default-backend outcomes: silently decoded to *wrong* data.
+    pub miscorrected: u64,
+    /// Confirmed invariant violations (shrunk).
+    pub divergences: Vec<Divergence>,
+}
+
+/// Outcome counters for the duplex-arbiter suite.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArbiterReport {
+    /// Correlated two-module injection cases executed.
+    pub cases: u64,
+    /// Cases inside the paper's guaranteed-recoverable set.
+    pub guaranteed: u64,
+    /// Cases where the arbiter returned the stored data.
+    pub recovered: u64,
+    /// Cases where the arbiter withheld output.
+    pub no_output: u64,
+    /// Cases (necessarily beyond the guaranteed set) with wrong output —
+    /// the silent-corruption channel the paper's Section 3 accepts.
+    pub wrong_beyond: u64,
+    /// Malformed-input probes executed (must reject, never panic).
+    pub malformed_probes: u64,
+    /// Confirmed invariant violations (shrunk).
+    pub divergences: Vec<Divergence>,
+}
+
+/// Outcome counters for the analytic-vs-Monte-Carlo cross-validation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct XvalReport {
+    /// Randomized configurations compared.
+    pub configs: u64,
+    /// One formatted line per configuration (for the CLI report).
+    pub lines: Vec<String>,
+    /// Configurations whose analytic transient fell outside the
+    /// tolerance band around the Monte-Carlo estimate.
+    pub divergences: Vec<Divergence>,
+}
+
+/// The full result of [`crate::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressReport {
+    /// The seed the run is reproducible from.
+    pub seed: u64,
+    /// Decode-chain differential suite results.
+    pub decode: DecodeReport,
+    /// Duplex-arbiter suite results.
+    pub arbiter: ArbiterReport,
+    /// Analytic-vs-simulation cross-validation results.
+    pub xval: XvalReport,
+}
+
+impl StressReport {
+    /// Total confirmed divergences across all suites.
+    pub fn divergence_count(&self) -> usize {
+        self.decode.divergences.len() + self.arbiter.divergences.len() + self.xval.divergences.len()
+    }
+
+    /// True when no suite found any invariant violation.
+    pub fn is_clean(&self) -> bool {
+        self.divergence_count() == 0
+    }
+
+    /// All divergences across suites, in discovery order.
+    pub fn divergences(&self) -> impl Iterator<Item = &Divergence> {
+        self.decode
+            .divergences
+            .iter()
+            .chain(&self.arbiter.divergences)
+            .chain(&self.xval.divergences)
+    }
+}
+
+impl fmt::Display for StressReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stress run, seed {:#x}", self.seed)?;
+        let d = &self.decode;
+        writeln!(
+            f,
+            "decode suite:  {} cases (lattice: {} inside / {} on / {} beyond the bound)",
+            d.cases, d.inside, d.on_bound, d.beyond
+        )?;
+        writeln!(
+            f,
+            "               outcomes: {} clean, {} corrected, {} detected, {} miscorrected",
+            d.clean, d.corrected, d.detected, d.miscorrected
+        )?;
+        let a = &self.arbiter;
+        writeln!(
+            f,
+            "arbiter suite: {} cases ({} in the guaranteed set), {} malformed-input probes",
+            a.cases, a.guaranteed, a.malformed_probes
+        )?;
+        writeln!(
+            f,
+            "               outcomes: {} recovered, {} no-output, {} wrong-beyond-guarantee",
+            a.recovered, a.no_output, a.wrong_beyond
+        )?;
+        writeln!(f, "ctmc x-val:    {} configurations", self.xval.configs)?;
+        for line in &self.xval.lines {
+            writeln!(f, "               {line}")?;
+        }
+        if self.is_clean() {
+            writeln!(f, "divergences:   none")?;
+        } else {
+            writeln!(f, "divergences:   {}", self.divergence_count())?;
+            for div in self.divergences() {
+                writeln!(f)?;
+                write!(f, "{div}")?;
+            }
+        }
+        Ok(())
+    }
+}

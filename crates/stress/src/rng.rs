@@ -1,0 +1,92 @@
+//! Deterministic PRNG for the stress harness.
+//!
+//! The harness must replay a pinned seed corpus bit-for-bit across
+//! platforms and releases, so it carries its own tiny generator instead
+//! of depending on a `rand` distribution whose stream could change.
+
+/// SplitMix64 (Steele, Lea & Flood 2014): 64 bits of state, full period,
+/// passes BigCrush, and is trivially portable — exactly what a
+/// reproducible stress corpus needs.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed` (any value is fine, including 0).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..bound` (`bound > 0`). Uses a plain modulo: the bias
+    /// for the small bounds the harness draws (≤ 2^16) is ≪ 2^-47 and
+    /// irrelevant for fault-pattern generation.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// A `usize` in `0..bound` (`bound > 0`).
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below_usize(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Derives an independent child stream (used to give each suite its
+    /// own stream so budgets can change without reshuffling the others).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = SplitMix64::new(0xDA7E);
+        let mut b = SplitMix64::new(0xDA7E);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn reference_values() {
+        // First outputs for seed 1234567, matching the published
+        // SplitMix64 reference implementation. Pinning them here means
+        // the replay corpus cannot drift silently if the constants are
+        // ever touched.
+        let mut g = SplitMix64::new(1_234_567);
+        assert_eq!(g.next_u64(), 0x599E_D017_FB08_FC85);
+        assert_eq!(g.next_u64(), 0x2C73_F084_5854_0FA5);
+        assert_eq!(g.next_u64(), 0x883E_BCE5_A3F2_7C77);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = SplitMix64::new(9);
+        let mut xs: Vec<usize> = (0..50).collect();
+        g.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

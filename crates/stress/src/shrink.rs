@@ -1,0 +1,286 @@
+//! Case minimization and reproduction rendering.
+//!
+//! When a suite finds an invariant violation it rarely finds a *small*
+//! one. The shrinker greedily simplifies the failing case — dropping
+//! erasures, restoring corrupted symbols, collapsing magnitudes to 1 and
+//! zeroing data symbols — re-checking after each step that the *same
+//! kind* of violation still reproduces, until a fixpoint. The minimized
+//! case is then rendered as a self-contained `#[test]` the developer can
+//! paste into `crates/code` (or `crates/sim`) verbatim.
+
+use crate::decode::{check_case, DecodeCase};
+use rsmem_code::{RsCode, Symbol};
+use std::fmt::Write as _;
+
+/// Greedily minimizes a failing decode case while the violation `kind`
+/// keeps reproducing (see [`shrink_decode_with`]).
+pub fn shrink_decode(code: &RsCode, case: DecodeCase, kind: &'static str) -> DecodeCase {
+    shrink_decode_with(
+        code,
+        case,
+        |c| matches!(check_case(code, c), Some((k, _)) if k == kind),
+    )
+}
+
+/// Greedy shrink loop with an injected failure predicate. Each accepted
+/// step strictly reduces the case (fewer erasures, fewer/smaller
+/// corruptions, more zero data symbols), so termination is guaranteed.
+pub fn shrink_decode_with<F>(code: &RsCode, case: DecodeCase, still_fails: F) -> DecodeCase
+where
+    F: Fn(&DecodeCase) -> bool,
+{
+    // Work on the error *pattern* (word ⊕ clean) so data simplification
+    // can re-encode without losing the injected corruption.
+    let mut data = case.data.clone();
+    let mut delta: Vec<Symbol> = {
+        let clean = code.encode(&data).expect("valid dataword");
+        case.word.iter().zip(&clean).map(|(w, c)| w ^ c).collect()
+    };
+    let mut erasures = case.erasures.clone();
+
+    let rebuild = |data: &[Symbol], delta: &[Symbol], erasures: &[usize]| {
+        let clean = code.encode(data).expect("valid dataword");
+        DecodeCase {
+            word: clean.iter().zip(delta).map(|(c, d)| c ^ d).collect(),
+            data: data.to_vec(),
+            erasures: erasures.to_vec(),
+            ..case.clone()
+        }
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Drop erasures one at a time.
+        let mut i = 0;
+        while i < erasures.len() {
+            let mut cand = erasures.clone();
+            cand.remove(i);
+            if still_fails(&rebuild(&data, &delta, &cand)) {
+                erasures = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Remove or simplify corruption, one position at a time.
+        for p in 0..delta.len() {
+            if delta[p] == 0 {
+                continue;
+            }
+            let saved = delta[p];
+            delta[p] = 0;
+            if still_fails(&rebuild(&data, &delta, &erasures)) {
+                changed = true;
+                continue;
+            }
+            if saved != 1 {
+                delta[p] = 1;
+                if still_fails(&rebuild(&data, &delta, &erasures)) {
+                    changed = true;
+                    continue;
+                }
+            }
+            delta[p] = saved;
+        }
+        // Zero data symbols (the codeword follows by re-encoding).
+        for i in 0..data.len() {
+            if data[i] == 0 {
+                continue;
+            }
+            let saved = data[i];
+            data[i] = 0;
+            if still_fails(&rebuild(&data, &delta, &erasures)) {
+                changed = true;
+            } else {
+                data[i] = saved;
+            }
+        }
+    }
+    rebuild(&data, &delta, &erasures)
+}
+
+fn symbol_vec_literal(xs: &[Symbol]) -> String {
+    let body: Vec<String> = xs.iter().map(ToString::to_string).collect();
+    format!("vec![{}]", body.join(", "))
+}
+
+/// Renders a `Vec<usize>` literal (used for erasure-position lists).
+pub fn usize_vec_literal(xs: &[usize]) -> String {
+    let body: Vec<String> = xs.iter().map(ToString::to_string).collect();
+    format!("vec![{}]", body.join(", "))
+}
+
+/// Renders the minimized case as a ready-to-paste unit test asserting
+/// the violated invariant.
+pub fn render_decode_repro(case: &DecodeCase, kind: &'static str, detail: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "#[test]");
+    let _ = writeln!(out, "fn stress_regression_{}() {{", kind.replace('-', "_"));
+    let _ = writeln!(out, "    // found by rsmem-stress: {kind} — {detail}");
+    let _ = writeln!(
+        out,
+        "    let code = RsCode::with_first_root({}, {}, {}, {}).unwrap();",
+        case.n, case.k, case.m, case.b
+    );
+    let _ = writeln!(
+        out,
+        "    let data: Vec<Symbol> = {};",
+        symbol_vec_literal(&case.data)
+    );
+    let _ = writeln!(
+        out,
+        "    let word: Vec<Symbol> = {};",
+        symbol_vec_literal(&case.word)
+    );
+    let _ = writeln!(
+        out,
+        "    let erasures: Vec<usize> = {};",
+        usize_vec_literal(&case.erasures)
+    );
+    let _ = writeln!(
+        out,
+        "    for backend in [DecoderBackend::Sugiyama, DecoderBackend::BerlekampMassey] {{"
+    );
+    let _ = writeln!(
+        out,
+        "        let out = code.decode_with(&word, &erasures, backend).unwrap();"
+    );
+    match kind {
+        "panic" | "api-error" => {
+            let _ = writeln!(out, "        let _ = out; // must not panic or Err");
+        }
+        "clean-noncodeword" => {
+            let _ = writeln!(
+                out,
+                "        if matches!(out, DecodeOutcome::Clean {{ .. }}) {{"
+            );
+            let _ = writeln!(
+                out,
+                "            assert!(code.is_codeword(&word).unwrap(), \"{{backend}}\");"
+            );
+            let _ = writeln!(out, "        }}");
+        }
+        "clean-wrong-data" | "miscorrect-within" | "detect-within" => {
+            let _ = writeln!(
+                out,
+                "        // er + 2·re ≤ n − k here, so decoding must return the data."
+            );
+            let _ = writeln!(
+                out,
+                "        assert_eq!(out.data(), Some(&data[..]), \"{{backend}}\");"
+            );
+        }
+        "invalid-codeword" | "reencode-mismatch" | "claim-beyond-capability" => {
+            let _ = writeln!(
+                out,
+                "        if let DecodeOutcome::Corrected {{ data: d, codeword, corrections }} = &out {{"
+            );
+            let _ = writeln!(
+                out,
+                "            assert!(code.is_codeword(codeword).unwrap(), \"{{backend}}\");"
+            );
+            let _ = writeln!(
+                out,
+                "            assert_eq!(&code.encode(d).unwrap(), codeword, \"{{backend}}\");"
+            );
+            let _ = writeln!(
+                out,
+                "            let claimed = corrections.iter().filter(|c| !c.was_erasure).count();"
+            );
+            let _ = writeln!(
+                out,
+                "            assert!(erasures.len() + 2 * claimed <= code.parity_symbols());"
+            );
+            let _ = writeln!(out, "        }}");
+        }
+        _ => {
+            let _ = writeln!(out, "        let _ = &out;");
+        }
+    }
+    let _ = writeln!(out, "    }}");
+    if kind == "backend-divergence" {
+        let _ = writeln!(
+            out,
+            "    // Bounded-distance uniqueness: claim-valid successes must agree."
+        );
+        let _ = writeln!(
+            out,
+            "    let a = code.decode_with(&word, &erasures, DecoderBackend::Sugiyama).unwrap();"
+        );
+        let _ = writeln!(
+            out,
+            "    let b = code.decode_with(&word, &erasures, DecoderBackend::BerlekampMassey).unwrap();"
+        );
+        let _ = writeln!(
+            out,
+            "    if let (Some(da), Some(db)) = (a.data(), b.data()) {{"
+        );
+        let _ = writeln!(out, "        assert_eq!(da, db);");
+        let _ = writeln!(out, "    }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive the shrinker with a synthetic predicate (a real decoder
+    /// divergence is — deliberately — unavailable): "position 3 is
+    /// corrupted" plays the role of the violation. The kernel must be a
+    /// zero dataword with a single magnitude-1 corruption and no
+    /// erasures.
+    #[test]
+    fn shrinker_reduces_to_the_kernel() {
+        let code = RsCode::new(15, 9, 4).unwrap();
+        let data: Vec<Symbol> = (1..=9).collect();
+        let clean = code.encode(&data).unwrap();
+        let mut word = clean.clone();
+        word[3] ^= 7; // the "violation"
+        word[5] ^= 2; // noise
+        word[11] ^= 9; // noise
+        let case = DecodeCase {
+            n: 15,
+            k: 9,
+            m: 4,
+            b: 0,
+            data,
+            word,
+            erasures: vec![1, 6],
+        };
+        let min = shrink_decode_with(&code, case, |c| {
+            let clean = code.encode(&c.data).unwrap();
+            c.word[3] != clean[3]
+        });
+        assert_eq!(min.data, vec![0; 9]);
+        assert!(min.erasures.is_empty());
+        let clean = code.encode(&min.data).unwrap();
+        let delta: Vec<Symbol> = min.word.iter().zip(&clean).map(|(w, c)| w ^ c).collect();
+        let nonzero: Vec<usize> = (0..15).filter(|&p| delta[p] != 0).collect();
+        assert_eq!(nonzero, vec![3]);
+        assert_eq!(delta[3], 1);
+    }
+
+    #[test]
+    fn repro_renders_a_compilable_looking_test() {
+        let code = RsCode::new(15, 9, 4).unwrap();
+        let data: Vec<Symbol> = vec![0; 9];
+        let word = code.encode(&data).unwrap();
+        let case = DecodeCase {
+            n: 15,
+            k: 9,
+            m: 4,
+            b: 0,
+            data,
+            word,
+            erasures: vec![2],
+        };
+        let text = render_decode_repro(&case, "miscorrect-within", "synthetic");
+        assert!(text.contains("#[test]"));
+        assert!(text.contains("fn stress_regression_miscorrect_within()"));
+        assert!(text.contains("let erasures: Vec<usize> = vec![2];"));
+        assert!(text.contains("assert_eq!(out.data(), Some(&data[..])"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Analytic-vs-Monte-Carlo cross-validation.
+//!
+//! Draws randomized system configurations (arrangement, fault rates,
+//! scrubbing) and compares the CTMC transient failure probability from
+//! `rsmem`'s analytic models against the discrete-event simulator from
+//! `crates/sim`, with a statistical tolerance band.
+//!
+//! Tolerance design: the Monte-Carlo estimate carries a Wilson 95%
+//! interval, which an exact model still escapes one run in twenty — so
+//! the band is the interval widened by three times its own width (plus a
+//! 0.02 absolute floor for near-zero probabilities). For **duplex**
+//! configurations the analytic side is itself a bracket: the paper's
+//! conservative `BothWords` fail criterion sits above the simulator and
+//! the `EitherWord` ablation below it (see `DESIGN.md`), so the check is
+//! that the simulated fraction falls inside `[EitherWord, BothWords]`
+//! expanded by the same slack.
+
+use crate::report::{Divergence, XvalReport};
+use crate::rng::SplitMix64;
+use rsmem::units::{ErasureRate, SeuRate, Time};
+use rsmem::{
+    CodeParams, DuplexFailCriterion, DuplexOptions, MemorySystem, Parallelism, ScrubTiming,
+    Scrubbing,
+};
+use std::fmt::Write as _;
+
+/// One randomized configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct XvalConfig {
+    duplex: bool,
+    seu_per_bit_day: f64,
+    erasure_per_symbol_day: f64,
+    scrub_seconds: Option<f64>,
+    store_days: f64,
+}
+
+fn build(config: &XvalConfig) -> MemorySystem {
+    // RS(18,16) throughout: the paper's main code, and cheap enough for
+    // both the analytic state space and the bounded test tier. (The
+    // larger RS(36,16) analytic duplex model is orders of magnitude more
+    // expensive and is exercised by the decode suite instead.)
+    let mut system = if config.duplex {
+        MemorySystem::duplex(CodeParams::rs18_16()).with_duplex_options(DuplexOptions {
+            erasures_per_module: true,
+            ..Default::default()
+        })
+    } else {
+        MemorySystem::simplex(CodeParams::rs18_16())
+    };
+    system = system
+        .with_seu_rate(SeuRate::per_bit_day(config.seu_per_bit_day))
+        .with_erasure_rate(ErasureRate::per_symbol_day(config.erasure_per_symbol_day));
+    if let Some(tsc) = config.scrub_seconds {
+        system = system.with_scrubbing(Scrubbing::every_seconds(tsc));
+    }
+    system
+}
+
+fn render_repro(config: &XvalConfig, detail: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "#[test]");
+    let _ = writeln!(out, "fn stress_regression_xval() {{");
+    let _ = writeln!(out, "    // found by rsmem-stress: {detail}");
+    let arrangement = if config.duplex { "duplex" } else { "simplex" };
+    let _ = writeln!(
+        out,
+        "    let mut system = MemorySystem::{arrangement}(CodeParams::rs18_16())"
+    );
+    let _ = writeln!(
+        out,
+        "        .with_seu_rate(SeuRate::per_bit_day({:e}))",
+        config.seu_per_bit_day
+    );
+    let _ = writeln!(
+        out,
+        "        .with_erasure_rate(ErasureRate::per_symbol_day({:e}));",
+        config.erasure_per_symbol_day
+    );
+    if let Some(tsc) = config.scrub_seconds {
+        let _ = writeln!(
+            out,
+            "    system = system.with_scrubbing(Scrubbing::every_seconds({tsc:.1}));"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "    let t = Time::from_days({:.1});",
+        config.store_days
+    );
+    let _ = writeln!(
+        out,
+        "    let p = system.ber_curve(&[t]).unwrap().fail_probability[0];"
+    );
+    let _ = writeln!(
+        out,
+        "    let mc = system.monte_carlo(t, 4000, 0xDA7E, ScrubTiming::Exponential).unwrap();"
+    );
+    let _ = writeln!(
+        out,
+        "    // compare p against mc.failure_fraction with a Wilson band"
+    );
+    let _ = writeln!(out, "    let _ = (p, mc);");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Runs `configs` randomized comparisons with `trials` Monte-Carlo
+/// trials each.
+pub fn run(seed: u64, configs: usize, trials: usize, max_divergences: usize) -> XvalReport {
+    let mut report = XvalReport::default();
+    let mut rng = SplitMix64::new(seed);
+
+    let mut drawn = 0usize;
+    while drawn < configs {
+        let seu = [0.0, 1e-3, 5e-3][rng.below_usize(3)];
+        let erasure = [0.0, 1e-2, 3e-2][rng.below_usize(3)];
+        if seu == 0.0 && erasure == 0.0 {
+            continue; // nothing to validate
+        }
+        let config = XvalConfig {
+            duplex: rng.below(2) == 0,
+            seu_per_bit_day: seu,
+            erasure_per_symbol_day: erasure,
+            scrub_seconds: (rng.below(2) == 0).then_some(43_200.0),
+            store_days: 2.0,
+        };
+        drawn += 1;
+        report.configs += 1;
+
+        let system = build(&config);
+        let t = Time::from_days(config.store_days);
+        let mc_seed = rng.next_u64();
+        let run_one = || -> Result<(f64, f64, f64, f64, f64), String> {
+            let upper = system
+                .ber_curve(&[t])
+                .map_err(|e| e.to_string())?
+                .fail_probability[0];
+            // For duplex, the EitherWord ablation is the lower edge of
+            // the analytic bracket; for simplex the bracket collapses.
+            let lower = if config.duplex {
+                build(&config)
+                    .with_duplex_options(DuplexOptions {
+                        erasures_per_module: true,
+                        fail_criterion: DuplexFailCriterion::EitherWord,
+                    })
+                    .ber_curve(&[t])
+                    .map_err(|e| e.to_string())?
+                    .fail_probability[0]
+            } else {
+                upper
+            };
+            let mc = system
+                .monte_carlo_with(
+                    t,
+                    trials,
+                    mc_seed,
+                    ScrubTiming::Exponential,
+                    &Parallelism::Auto,
+                )
+                .map_err(|e| e.to_string())?;
+            let (lo, hi) = mc.wilson_95;
+            Ok((lower, upper, mc.failure_fraction, lo, hi))
+        };
+
+        match run_one() {
+            Err(message) => {
+                if report.divergences.len() < max_divergences {
+                    report.divergences.push(Divergence {
+                        suite: "xval",
+                        kind: "api-error",
+                        summary: format!("{config:?}: {message}"),
+                        repro: render_repro(&config, &message),
+                    });
+                }
+            }
+            Ok((lower, upper, frac, lo, hi)) => {
+                let slack = (3.0 * (hi - lo)).max(0.02);
+                let (band_lo, band_hi) = (
+                    (lower.min(upper) - slack).max(0.0),
+                    upper.max(lower) + slack,
+                );
+                let ok = frac >= band_lo && frac <= band_hi;
+                report.lines.push(format!(
+                    "{} seu={:.0e} er={:.0e} scrub={} → analytic [{lower:.4}, {upper:.4}] \
+                     mc {frac:.4} (CI [{lo:.4}, {hi:.4}]) {}",
+                    if config.duplex { "duplex " } else { "simplex" },
+                    config.seu_per_bit_day,
+                    config.erasure_per_symbol_day,
+                    config.scrub_seconds.is_some(),
+                    if ok { "✓" } else { "✗ DIVERGENT" },
+                ));
+                if !ok && report.divergences.len() < max_divergences {
+                    let detail = format!(
+                        "simulated {frac:.4} outside analytic band [{band_lo:.4}, {band_hi:.4}]"
+                    );
+                    report.divergences.push(Divergence {
+                        suite: "xval",
+                        kind: "model-divergence",
+                        summary: format!("{config:?}: {detail}"),
+                        repro: render_repro(&config, &detail),
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_couple_of_configs_validate_quickly() {
+        // Bounded tier: two configs at modest trial count (exercised
+        // more broadly by the corpus test and the CLI run).
+        let report = run(0xC0FFEE, 2, 400, 4);
+        assert_eq!(report.configs, 2);
+        assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+    }
+}

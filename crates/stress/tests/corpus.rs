@@ -1,0 +1,67 @@
+//! Bounded-time replay of the pinned stress corpus.
+//!
+//! Each seed below once drove a full CLI-scale run; replaying a reduced
+//! budget under `cargo test` keeps the harness itself honest (the same
+//! generator, checkers and shrinkers execute) without blowing up the
+//! tier-1 wall-clock. The seeds are *pinned*: the suites derive their
+//! streams deterministically, so any future divergence on these seeds is
+//! a real behavior change, not noise.
+
+use rsmem_stress::{run, StressConfig};
+
+/// The pinned corpus. 0xDA7E is the CI smoke seed; the others are the
+/// seeds used while developing the harness (each of which historically
+/// exposed at least one robustness gap in the arbiter input handling).
+const CORPUS: [u64; 4] = [0xDA7E, 0xC0FFEE, 0x1234, 42];
+
+#[test]
+fn decode_and_arbiter_corpus_replays_clean() {
+    for &seed in &CORPUS {
+        let config = StressConfig {
+            xval_configs: 0, // covered by the dedicated test below
+            ..StressConfig::test_tier(seed)
+        };
+        let report = run(&config);
+        assert!(
+            report.is_clean(),
+            "seed {seed:#x} found {} divergence(s):\n{report}",
+            report.divergence_count()
+        );
+        assert_eq!(
+            report.decode.cases as usize,
+            config.decode_budget + config.exhaustive_budget
+        );
+        // The lattice reaches all three regions on every corpus seed.
+        assert!(report.decode.inside > 0);
+        assert!(report.decode.on_bound > 0);
+        assert!(report.decode.beyond > 0);
+        assert!(report.arbiter.guaranteed > 0);
+        assert!(report.arbiter.malformed_probes > 0);
+    }
+}
+
+#[test]
+fn xval_corpus_replays_clean() {
+    // One seed with the full xval budget of the test tier: the analytic
+    // transient and the simulator must stay inside the tolerance band.
+    let config = StressConfig::test_tier(0xDA7E);
+    let report = rsmem_stress::xval::run(0xDA7E, config.xval_configs, config.xval_trials, 4);
+    assert!(
+        report.divergences.is_empty(),
+        "xval divergences: {:#?}",
+        report.divergences
+    );
+    assert_eq!(report.configs as usize, config.xval_configs);
+}
+
+#[test]
+fn ci_smoke_configuration_is_what_the_workflow_runs() {
+    // scripts/verify.sh and CI run `rsmem stress --seed 0xDA7E --budget
+    // 100000`; pin the derived budgets here so a config change cannot
+    // silently shrink the CI sweep below the 1e5/1e4 acceptance floor.
+    let config = StressConfig::with_budget(0xDA7E, 100_000);
+    assert!(config.decode_budget >= 100_000);
+    assert!(config.arbiter_budget >= 10_000);
+    assert!(config.exhaustive_budget > 0);
+    assert!(config.xval_configs >= 4);
+}

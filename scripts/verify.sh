@@ -20,4 +20,7 @@ cargo clippy --all-targets -- -D warnings
 echo "==> service loopback smoke test (boots the daemon on an ephemeral port)"
 cargo run -q --release -p rsmem-service --example service_client
 
+echo "==> stress smoke (pinned seed; fails on any divergence)"
+target/release/rsmem-cli stress --seed 0xDA7E --budget 100000
+
 echo "verify: OK"
