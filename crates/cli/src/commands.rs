@@ -2,17 +2,23 @@
 //! CLI is unit-testable without spawning processes.
 
 use crate::args::{parse, Parsed};
-use rsmem::experiments::{run_with, ExperimentId, ParseExperimentIdError};
+use rsmem::experiments::{
+    run_with, run_with_observer, ExperimentId, ExperimentOutput, ParseExperimentIdError,
+};
 use rsmem::scrub::{minimum_scrub_period, ScrubRecommendation};
 use rsmem::units::{ErasureRate, SeuRate, Time, TimeGrid};
 use rsmem::{report, MemorySystem, Parallelism, ScrubTiming, Scrubbing};
+use rsmem_obs::log::{next_trace_id, trace_scope, LogConfig};
+use rsmem_obs::Progress;
 use std::fmt::Write as _;
+use std::sync::Mutex;
 
 const HELP: &str = "\
 rsmem — Reed–Solomon memory reliability toolkit (DATE 2005 reproduction)
 
 USAGE:
   rsmem experiment <id> [--csv|--plot] regenerate a paper artifact
+  rsmem sweep <id> [--csv|--plot]     like experiment, with progress + tracing
   rsmem ber [flags]                   analytic BER(t) curve
   rsmem metrics [flags]               reliability, MTTF, expected uptime
   rsmem simulate [flags]              Monte-Carlo campaign of the real system
@@ -21,8 +27,15 @@ USAGE:
   rsmem complexity                    Section-6 decoder comparison
   rsmem stress [flags]                differential stress/fault-injection run
   rsmem serve [flags]                 run the analysis daemon (rsmem-service)
+  rsmem check-jsonl                   validate stdin as canonical JSON-lines
   rsmem list                          list experiment ids
   rsmem help                          this message
+
+LOGGING (any command):
+  RSMEM_LOG=FMT[:LEVEL[:TARGETS]]     structured events on stderr
+  --log-format json|text|off          override RSMEM_LOG format
+  --log-level error|warn|info|debug|trace
+                                      override level (default: debug)
 
 EXPERIMENT IDS: fig5 fig6 fig7 fig8 fig9 fig10 complexity
 
@@ -67,6 +80,7 @@ SERVE FLAGS:
 /// underlying library errors.
 pub fn dispatch(argv: &[String]) -> Result<String, String> {
     let parsed = parse(argv)?;
+    apply_log_flags(&parsed)?;
     match parsed.positional.first().map(String::as_str) {
         None | Some("help") => Ok(HELP.to_owned()),
         Some("list") => Ok(ExperimentId::ALL
@@ -74,6 +88,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
             .map(|id| format!("{id}\n"))
             .collect()),
         Some("experiment") => cmd_experiment(&parsed),
+        Some("sweep") => cmd_sweep(&parsed),
+        Some("check-jsonl") => check_jsonl(std::io::stdin().lock()),
         Some("ber") => cmd_ber(&parsed),
         Some("metrics") => cmd_metrics(&parsed),
         Some("simulate") => cmd_simulate(&parsed),
@@ -102,6 +118,36 @@ fn parallelism_from(parsed: &Parsed) -> Result<Parallelism, String> {
     }
 }
 
+/// Applies `--log-format`/`--log-level` on top of whatever `RSMEM_LOG`
+/// configured in `main` (flags win; absent flags leave the env config
+/// untouched).
+fn apply_log_flags(parsed: &Parsed) -> Result<(), String> {
+    if parsed.value("--log-format").is_none() && parsed.value("--log-level").is_none() {
+        return Ok(());
+    }
+    let format = parsed.value("--log-format").unwrap_or("text");
+    let spec = match parsed.value("--log-level") {
+        Some(level) => format!("{format}:{level}"),
+        None => format.to_owned(),
+    };
+    rsmem_obs::log::init(LogConfig::parse(&spec)?);
+    Ok(())
+}
+
+/// Renders an experiment's output honouring `--csv`/`--plot` (shared by
+/// `experiment` and `sweep`).
+fn render_experiment(parsed: &Parsed, output: &ExperimentOutput) -> String {
+    match (output.figure(), output.table()) {
+        (Some(fig), _) if parsed.has("--csv") => report::figure_to_csv(fig),
+        (Some(fig), _) if parsed.has("--plot") => {
+            rsmem::plot::ascii_plot(fig, &rsmem::plot::PlotOptions::default())
+        }
+        (Some(fig), _) => report::render_figure(fig),
+        (_, Some(rows)) => report::render_complexity(rows),
+        _ => unreachable!("experiment output is figure or table"),
+    }
+}
+
 fn cmd_experiment(parsed: &Parsed) -> Result<String, String> {
     let name = parsed
         .positional
@@ -110,16 +156,64 @@ fn cmd_experiment(parsed: &Parsed) -> Result<String, String> {
     let id = experiment_id(name)?;
     let par = parallelism_from(parsed)?;
     let output = run_with(id, &par).map_err(|e| e.to_string())?;
-    match (output.figure(), output.table()) {
-        (Some(fig), _) if parsed.has("--csv") => Ok(report::figure_to_csv(fig)),
-        (Some(fig), _) if parsed.has("--plot") => Ok(rsmem::plot::ascii_plot(
-            fig,
-            &rsmem::plot::PlotOptions::default(),
-        )),
-        (Some(fig), _) => Ok(report::render_figure(fig)),
-        (_, Some(rows)) => Ok(report::render_complexity(rows)),
-        _ => unreachable!("experiment output is figure or table"),
+    Ok(render_experiment(parsed, &output))
+}
+
+/// Like `experiment`, but the whole run happens under a fresh trace ID
+/// with a timed span and rate-limited progress reporting — the solver
+/// spans inherit the trace ID through the worker pool, so
+/// `RSMEM_LOG=json rsmem sweep fig7` yields a correlatable JSON-lines
+/// record of everything one figure cost.
+fn cmd_sweep(parsed: &Parsed) -> Result<String, String> {
+    let name = parsed
+        .positional
+        .get(1)
+        .ok_or("sweep requires an experiment id (see `rsmem list`)")?;
+    let id = experiment_id(name)?;
+    let par = parallelism_from(parsed)?;
+    let _trace = trace_scope(next_trace_id());
+    let mut span = rsmem_obs::span("cli.sweep", "sweep");
+    if span.active() {
+        span.record("experiment", id.to_string());
     }
+    // The observer is called from whichever worker finishes a curve, so
+    // the rate-limited reporter sits behind a mutex; the tuple keeps the
+    // last-seen counts for the final 100% line.
+    let progress = Mutex::new((Progress::new("cli.sweep", "sweep"), 0u64, 0u64));
+    let output = run_with_observer(id, &par, &|done, total| {
+        let mut guard = progress.lock().expect("progress lock");
+        guard.1 = done as u64;
+        guard.2 = total as u64;
+        let (done, total) = (guard.1, guard.2);
+        guard.0.tick(done, total, &[]);
+    })
+    .map_err(|e| e.to_string())?;
+    let (mut reporter, done, total) = progress.into_inner().expect("progress lock");
+    reporter.finish(done, total, &[]);
+    span.record("curves", done);
+    Ok(render_experiment(parsed, &output))
+}
+
+/// Validates a JSON-lines stream: every line must parse under the strict
+/// shared codec *and* already be in canonical encoding (so
+/// `RSMEM_LOG=json` output round-trips byte-identically). Factored over
+/// `BufRead` so tests can drive it from a buffer.
+fn check_jsonl(reader: impl std::io::BufRead) -> Result<String, String> {
+    let mut lines = 0usize;
+    for (index, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: read error: {e}", index + 1))?;
+        let value =
+            rsmem_obs::json::parse(&line).map_err(|e| format!("line {}: {e}", index + 1))?;
+        let canonical = value.encode();
+        if canonical != line {
+            return Err(format!(
+                "line {}: parseable but not canonical\n  input:     {line}\n  canonical: {canonical}",
+                index + 1
+            ));
+        }
+        lines += 1;
+    }
+    Ok(format!("{lines} lines: strict canonical JSON\n"))
 }
 
 fn system_from(parsed: &Parsed) -> Result<MemorySystem, String> {
@@ -265,6 +359,9 @@ fn cmd_stress(parsed: &Parsed) -> Result<String, String> {
     let seed = parsed.u64_flag("--seed", 0xDA7E)?;
     let budget = parsed.usize_flag("--budget", 100_000)?;
     let config = rsmem_stress::StressConfig::with_budget(seed, budget);
+    // One trace ID for the whole run ties the per-suite spans and the
+    // solver spans of the x-val stage together.
+    let _trace = trace_scope(next_trace_id());
     let report = rsmem_stress::run(&config);
     let text = report.to_string();
     if report.is_clean() {
@@ -355,6 +452,44 @@ mod tests {
     fn experiment_complexity_table() {
         let out = run_cli(&["experiment", "complexity"]).unwrap();
         assert!(out.contains("308"));
+    }
+
+    #[test]
+    fn sweep_matches_experiment_output() {
+        let sweep = run_cli(&["sweep", "fig5", "--csv", "--threads", "2"]).unwrap();
+        let experiment = run_cli(&["experiment", "fig5", "--csv"]).unwrap();
+        assert_eq!(sweep, experiment);
+        assert!(run_cli(&["sweep"]).is_err());
+        assert!(run_cli(&["sweep", "fig99"]).is_err());
+    }
+
+    #[test]
+    fn check_jsonl_accepts_canonical_and_rejects_everything_else() {
+        use std::io::Cursor;
+        // Canonical encoding sorts object keys, so these are fixed points.
+        let good = "{\"a\":1,\"b\":[true,null]}\n{\"level\":\"debug\",\"ts_us\":12}\n";
+        let out = check_jsonl(Cursor::new(good)).unwrap();
+        assert_eq!(out, "2 lines: strict canonical JSON\n");
+        assert_eq!(
+            check_jsonl(Cursor::new("")).unwrap(),
+            "0 lines: strict canonical JSON\n"
+        );
+        // Parse failure carries the line number.
+        let err = check_jsonl(Cursor::new("{\"a\":1}\n{nope\n")).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        // Valid JSON that is not in canonical encoding is rejected too.
+        let err = check_jsonl(Cursor::new("{ \"a\" : 1 }\n")).unwrap_err();
+        assert!(err.contains("not canonical"), "{err}");
+        // A blank line is not a JSON value.
+        assert!(check_jsonl(Cursor::new("{\"a\":1}\n\n{\"b\":2}\n")).is_err());
+    }
+
+    #[test]
+    fn log_flags_are_validated() {
+        assert!(run_cli(&["list", "--log-format", "yaml"]).is_err());
+        assert!(run_cli(&["list", "--log-format", "json", "--log-level", "loud"]).is_err());
+        // `off` is a valid format spec meaning "disable".
+        assert!(run_cli(&["list", "--log-format", "off"]).is_ok());
     }
 
     #[test]

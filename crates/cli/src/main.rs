@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! rsmem experiment <fig5|fig6|fig7|fig8|fig9|fig10|complexity> [--csv]
+//! rsmem sweep     <same ids> [--csv|--plot]   with progress + tracing
 //! rsmem ber       [system flags] [--hours H | --months M] [--points N] [--csv]
 //! rsmem simulate  [system flags] [--days D] [--trials N] [--seed S]
 //! rsmem advise    [system flags] [--target-ber B] [--hours H]
@@ -20,6 +21,13 @@ mod commands;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // `RSMEM_LOG=json|text[:level[:targets]]` turns on structured
+    // logging for the whole process; `--log-format`/`--log-level`
+    // (applied in dispatch) override it. A malformed spec must not
+    // abort an otherwise-valid run.
+    if let Err(message) = rsmem_obs::log::init_from_env() {
+        eprintln!("warning: ignoring RSMEM_LOG: {message}");
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&argv) {
         Ok(output) => {

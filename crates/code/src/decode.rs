@@ -8,7 +8,49 @@ use crate::locator::{erasure_locator, locator_positions};
 use crate::syndrome::{syndrome_poly, syndromes};
 use crate::{CodeError, RsCode};
 use rsmem_gf::Symbol;
+use rsmem_obs::metrics::{global, Counter};
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Cached handles into the global metrics registry, one per label
+/// variant, resolved once so a decode's bookkeeping is a few relaxed
+/// atomic adds. Eager resolution also makes every label variant visible
+/// (zero-valued) to a `/metrics` scrape before the first decode.
+struct DecodeMetrics {
+    sugiyama: Counter,
+    berlekamp_massey: Counter,
+    clean: Counter,
+    corrected: Counter,
+    failure: Counter,
+    erasure_corrections: Counter,
+    error_corrections: Counter,
+}
+
+fn decode_metrics() -> &'static DecodeMetrics {
+    static METRICS: OnceLock<DecodeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        let by_backend = |b: &str| r.counter("rsmem_solver_decode_total", &[("backend", b)]);
+        let by_outcome =
+            |o: &str| r.counter("rsmem_solver_decode_outcomes_total", &[("outcome", o)]);
+        let by_kind = |k: &str| r.counter("rsmem_solver_decode_corrections_total", &[("kind", k)]);
+        DecodeMetrics {
+            sugiyama: by_backend("sugiyama"),
+            berlekamp_massey: by_backend("berlekamp-massey"),
+            clean: by_outcome("clean"),
+            corrected: by_outcome("corrected"),
+            failure: by_outcome("failure"),
+            erasure_corrections: by_kind("erasure"),
+            error_corrections: by_kind("error"),
+        }
+    })
+}
+
+/// Eagerly registers the decode metric families (all label variants) in
+/// the global registry.
+pub fn register_metrics() {
+    let _ = decode_metrics();
+}
 
 /// Selects the key-equation solver.
 ///
@@ -164,6 +206,35 @@ fn validate_erasures(code: &RsCode, erasures: &[usize]) -> Result<(), CodeError>
 }
 
 pub(crate) fn decode_word(
+    code: &RsCode,
+    word: &[Symbol],
+    erasures: &[usize],
+    backend: DecoderBackend,
+) -> Result<DecodeOutcome, CodeError> {
+    let result = decode_word_inner(code, word, erasures, backend);
+    if let Ok(outcome) = &result {
+        let metrics = decode_metrics();
+        match backend {
+            DecoderBackend::Sugiyama => metrics.sugiyama.inc(),
+            DecoderBackend::BerlekampMassey => metrics.berlekamp_massey.inc(),
+        }
+        match outcome {
+            DecodeOutcome::Clean { .. } => metrics.clean.inc(),
+            DecodeOutcome::Corrected { corrections, .. } => {
+                metrics.corrected.inc();
+                let erased = corrections.iter().filter(|c| c.was_erasure).count() as u64;
+                metrics.erasure_corrections.add(erased);
+                metrics
+                    .error_corrections
+                    .add(corrections.len() as u64 - erased);
+            }
+            DecodeOutcome::Failure(_) => metrics.failure.inc(),
+        }
+    }
+    result
+}
+
+fn decode_word_inner(
     code: &RsCode,
     word: &[Symbol],
     erasures: &[usize],

@@ -54,7 +54,7 @@ pub mod matrix;
 mod syndrome;
 
 pub use code::RsCode;
-pub use decode::{Correction, DecodeFailure, DecodeOutcome, DecoderBackend};
+pub use decode::{register_metrics, Correction, DecodeFailure, DecodeOutcome, DecoderBackend};
 pub use error::CodeError;
 pub use interleave::Interleaver;
 pub use lfsr::LfsrEncoder;

@@ -204,14 +204,38 @@ pub fn run(id: ExperimentId) -> Result<ExperimentOutput, Error> {
 ///
 /// See [`run`].
 pub fn run_with(id: ExperimentId, par: &Parallelism) -> Result<ExperimentOutput, Error> {
+    run_with_observer(id, par, &|_, _| {})
+}
+
+/// A sweep progress callback: invoked with `(curves_done, curves_total)`
+/// after each completed curve, from whichever worker finished it (so it
+/// must be `Sync`).
+pub type SweepObserver<'a> = &'a (dyn Fn(usize, usize) + Sync);
+
+/// [`run_with`] plus a progress observer: `observer(done, total)` fires
+/// once per completed curve. The CLI uses this for rate-limited status
+/// lines on long sweeps; the observer has no effect on the results.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with_observer(
+    id: ExperimentId,
+    par: &Parallelism,
+    observer: SweepObserver<'_>,
+) -> Result<ExperimentOutput, Error> {
     match id {
-        ExperimentId::Fig5 => transient::fig5(par).map(ExperimentOutput::Figure),
-        ExperimentId::Fig6 => transient::fig6(par).map(ExperimentOutput::Figure),
-        ExperimentId::Fig7 => transient::fig7(par).map(ExperimentOutput::Figure),
-        ExperimentId::Fig8 => permanent::fig8(par).map(ExperimentOutput::Figure),
-        ExperimentId::Fig9 => permanent::fig9(par).map(ExperimentOutput::Figure),
-        ExperimentId::Fig10 => permanent::fig10(par).map(ExperimentOutput::Figure),
-        ExperimentId::Complexity => Ok(ExperimentOutput::Table(complexity::table())),
+        ExperimentId::Fig5 => transient::fig5(par, observer).map(ExperimentOutput::Figure),
+        ExperimentId::Fig6 => transient::fig6(par, observer).map(ExperimentOutput::Figure),
+        ExperimentId::Fig7 => transient::fig7(par, observer).map(ExperimentOutput::Figure),
+        ExperimentId::Fig8 => permanent::fig8(par, observer).map(ExperimentOutput::Figure),
+        ExperimentId::Fig9 => permanent::fig9(par, observer).map(ExperimentOutput::Figure),
+        ExperimentId::Fig10 => permanent::fig10(par, observer).map(ExperimentOutput::Figure),
+        ExperimentId::Complexity => {
+            let rows = complexity::table();
+            observer(1, 1);
+            Ok(ExperimentOutput::Table(rows))
+        }
     }
 }
 

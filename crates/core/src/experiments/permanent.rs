@@ -3,12 +3,13 @@
 //! the paper's sweep isolates the erasure mechanism).
 
 use super::{
-    ExperimentId, Figure, Series, GRID_POINTS, PERMANENT_HORIZON_MONTHS,
+    ExperimentId, Figure, Series, SweepObserver, GRID_POINTS, PERMANENT_HORIZON_MONTHS,
     PERMANENT_RATES_PER_SYMBOL_DAY,
 };
 use crate::{Error, MemorySystem, Parallelism};
 use rsmem_models::units::{ErasureRate, Time, TimeGrid};
 use rsmem_models::CodeParams;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn grid() -> TimeGrid {
     TimeGrid::linspace(
@@ -23,12 +24,18 @@ fn permanent_sweep(
     id: ExperimentId,
     title: &str,
     par: &Parallelism,
+    observer: SweepObserver<'_>,
 ) -> Result<Figure, Error> {
     let grid = grid();
+    let done = AtomicUsize::new(0);
     let series = par
         .map(&PERMANENT_RATES_PER_SYMBOL_DAY, |&rate| {
             let system = make(rate);
             let curve = system.ber_curve(grid.points())?;
+            observer(
+                done.fetch_add(1, Ordering::Relaxed) + 1,
+                PERMANENT_RATES_PER_SYMBOL_DAY.len(),
+            );
             Ok(Series {
                 label: format!("{rate:.0E}"),
                 points: curve.as_months_series(),
@@ -46,7 +53,7 @@ fn permanent_sweep(
 }
 
 /// Fig. 8 — simplex RS(18,16) under varying permanent-fault rates.
-pub(super) fn fig8(par: &Parallelism) -> Result<Figure, Error> {
+pub(super) fn fig8(par: &Parallelism, observer: SweepObserver<'_>) -> Result<Figure, Error> {
     permanent_sweep(
         |rate| {
             MemorySystem::simplex(CodeParams::rs18_16())
@@ -55,11 +62,12 @@ pub(super) fn fig8(par: &Parallelism) -> Result<Figure, Error> {
         ExperimentId::Fig8,
         "BER of Simplex RS(18,16) varying permanent faults rate",
         par,
+        observer,
     )
 }
 
 /// Fig. 9 — duplex RS(18,16) under varying permanent-fault rates.
-pub(super) fn fig9(par: &Parallelism) -> Result<Figure, Error> {
+pub(super) fn fig9(par: &Parallelism, observer: SweepObserver<'_>) -> Result<Figure, Error> {
     permanent_sweep(
         |rate| {
             MemorySystem::duplex(CodeParams::rs18_16())
@@ -68,11 +76,12 @@ pub(super) fn fig9(par: &Parallelism) -> Result<Figure, Error> {
         ExperimentId::Fig9,
         "BER of Duplex RS(18,16) varying permanent faults rate",
         par,
+        observer,
     )
 }
 
 /// Fig. 10 — simplex RS(36,16) under varying permanent-fault rates.
-pub(super) fn fig10(par: &Parallelism) -> Result<Figure, Error> {
+pub(super) fn fig10(par: &Parallelism, observer: SweepObserver<'_>) -> Result<Figure, Error> {
     permanent_sweep(
         |rate| {
             MemorySystem::simplex(CodeParams::rs36_16())
@@ -81,6 +90,7 @@ pub(super) fn fig10(par: &Parallelism) -> Result<Figure, Error> {
         ExperimentId::Fig10,
         "BER of Simplex RS(36,16) varying the permanent faults rate",
         par,
+        observer,
     )
 }
 
@@ -94,7 +104,7 @@ mod tests {
 
     #[test]
     fn fig8_rates_order_the_curves() {
-        let fig = fig8(&Parallelism::Auto).unwrap();
+        let fig = fig8(&Parallelism::Auto, &|_, _| {}).unwrap();
         for i in 1..fig.series.len() {
             assert!(
                 final_ber(&fig, i - 1) > final_ber(&fig, i),
@@ -108,8 +118,8 @@ mod tests {
         // Paper: duplex BER floor reaches ~1e-60 where simplex sits at
         // ~1e-30 — the exponent roughly doubles because failure needs
         // double-erasure pairs.
-        let s = fig8(&Parallelism::Auto).unwrap();
-        let d = fig9(&Parallelism::Auto).unwrap();
+        let s = fig8(&Parallelism::Auto, &|_, _| {}).unwrap();
+        let d = fig9(&Parallelism::Auto, &|_, _| {}).unwrap();
         // Compare at the lowest rate (last series).
         let last = PERMANENT_RATES_PER_SYMBOL_DAY.len() - 1;
         let (sb, db) = (final_ber(&s, last), final_ber(&d, last));
@@ -123,8 +133,8 @@ mod tests {
 
     #[test]
     fn fig10_wide_code_beats_everything_at_low_rates() {
-        let s18 = fig8(&Parallelism::Auto).unwrap();
-        let s36 = fig10(&Parallelism::Auto).unwrap();
+        let s18 = fig8(&Parallelism::Auto, &|_, _| {}).unwrap();
+        let s36 = fig10(&Parallelism::Auto, &|_, _| {}).unwrap();
         let last = PERMANENT_RATES_PER_SYMBOL_DAY.len() - 1;
         let (b18, b36) = (final_ber(&s18, last), final_ber(&s36, last));
         // RS(36,16) needs 21 erasures to die vs 3: astronomically better.
@@ -139,8 +149,8 @@ mod tests {
         // Paper: "the RS(18,16) duplex ... shows a degradation in
         // performance compared with a simplex system employing a
         // RS(36,16) code" — i.e. wide simplex < duplex in BER.
-        let d = fig9(&Parallelism::Auto).unwrap();
-        let w = fig10(&Parallelism::Auto).unwrap();
+        let d = fig9(&Parallelism::Auto, &|_, _| {}).unwrap();
+        let w = fig10(&Parallelism::Auto, &|_, _| {}).unwrap();
         // Compare at the highest rate (first series), end of horizon.
         let (db, wb) = (final_ber(&d, 0), final_ber(&w, 0));
         assert!(wb < db, "RS(36,16) simplex {wb:e} must beat duplex {db:e}");
@@ -150,7 +160,7 @@ mod tests {
     fn tiny_ber_values_are_resolved_not_flushed() {
         // The whole point of the uniformization solver: the low-rate
         // duplex curves live at ~1e-60 and below and must remain nonzero.
-        let d = fig9(&Parallelism::Auto).unwrap();
+        let d = fig9(&Parallelism::Auto, &|_, _| {}).unwrap();
         let last = PERMANENT_RATES_PER_SYMBOL_DAY.len() - 1;
         let b = final_ber(&d, last);
         assert!(b > 0.0, "flushed to zero");

@@ -2,12 +2,13 @@
 //! horizon.
 
 use super::{
-    ExperimentId, Figure, Series, GRID_POINTS, SCRUB_PERIODS_S, SEU_RATES_PER_BIT_DAY,
-    TRANSIENT_HORIZON_HOURS, WORST_CASE_SEU,
+    ExperimentId, Figure, Series, SweepObserver, GRID_POINTS, SCRUB_PERIODS_S,
+    SEU_RATES_PER_BIT_DAY, TRANSIENT_HORIZON_HOURS, WORST_CASE_SEU,
 };
 use crate::{Error, MemorySystem, Parallelism};
 use rsmem_models::units::{SeuRate, Time, TimeGrid};
 use rsmem_models::{CodeParams, Scrubbing};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn grid() -> TimeGrid {
     TimeGrid::linspace(
@@ -22,12 +23,18 @@ fn seu_sweep(
     id: ExperimentId,
     title: &str,
     par: &Parallelism,
+    observer: SweepObserver<'_>,
 ) -> Result<Figure, Error> {
     let grid = grid();
+    let done = AtomicUsize::new(0);
     let series = par
         .map(&SEU_RATES_PER_BIT_DAY, |&rate| {
             let system = make(rate);
             let curve = system.ber_curve(grid.points())?;
+            observer(
+                done.fetch_add(1, Ordering::Relaxed) + 1,
+                SEU_RATES_PER_BIT_DAY.len(),
+            );
             Ok(Series {
                 label: format!("{rate:.1E}"),
                 points: curve.as_hours_series(),
@@ -46,7 +53,7 @@ fn seu_sweep(
 
 /// Fig. 5 — BER of simplex RS(18,16) under different SEU rates, no
 /// scrubbing, no permanent faults.
-pub(super) fn fig5(par: &Parallelism) -> Result<Figure, Error> {
+pub(super) fn fig5(par: &Parallelism, observer: SweepObserver<'_>) -> Result<Figure, Error> {
     seu_sweep(
         |rate| {
             MemorySystem::simplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(rate))
@@ -54,11 +61,12 @@ pub(super) fn fig5(par: &Parallelism) -> Result<Figure, Error> {
         ExperimentId::Fig5,
         "BER of Simplex RS(18,16)",
         par,
+        observer,
     )
 }
 
 /// Fig. 6 — BER of duplex RS(18,16) under different SEU rates.
-pub(super) fn fig6(par: &Parallelism) -> Result<Figure, Error> {
+pub(super) fn fig6(par: &Parallelism, observer: SweepObserver<'_>) -> Result<Figure, Error> {
     seu_sweep(
         |rate| {
             MemorySystem::duplex(CodeParams::rs18_16()).with_seu_rate(SeuRate::per_bit_day(rate))
@@ -66,19 +74,25 @@ pub(super) fn fig6(par: &Parallelism) -> Result<Figure, Error> {
         ExperimentId::Fig6,
         "BER of duplex RS(18,16)",
         par,
+        observer,
     )
 }
 
 /// Fig. 7 — BER of duplex RS(18,16) at the worst-case SEU rate for four
 /// scrubbing periods.
-pub(super) fn fig7(par: &Parallelism) -> Result<Figure, Error> {
+pub(super) fn fig7(par: &Parallelism, observer: SweepObserver<'_>) -> Result<Figure, Error> {
     let grid = grid();
+    let done = AtomicUsize::new(0);
     let series = par
         .map(&SCRUB_PERIODS_S, |&period_s| {
             let system = MemorySystem::duplex(CodeParams::rs18_16())
                 .with_seu_rate(SeuRate::per_bit_day(WORST_CASE_SEU))
                 .with_scrubbing(Scrubbing::every_seconds(period_s));
             let curve = system.ber_curve(grid.points())?;
+            observer(
+                done.fetch_add(1, Ordering::Relaxed) + 1,
+                SCRUB_PERIODS_S.len(),
+            );
             Ok(Series {
                 label: format!("{period_s:.0} s"),
                 points: curve.as_hours_series(),
@@ -101,7 +115,7 @@ mod tests {
 
     #[test]
     fn fig5_curves_are_ordered_by_seu_rate() {
-        let fig = fig5(&Parallelism::Auto).unwrap();
+        let fig = fig5(&Parallelism::Auto, &|_, _| {}).unwrap();
         // At the final time point, a higher SEU rate must give a higher
         // BER; the series are in ascending-rate order.
         let finals: Vec<f64> = fig
@@ -115,7 +129,7 @@ mod tests {
     #[test]
     fn fig5_worst_case_magnitude_matches_paper_range() {
         // Paper Fig. 5: at λ = 1.7e-5 the 48 h BER sits around 1e-5..1e-4.
-        let fig = fig5(&Parallelism::Auto).unwrap();
+        let fig = fig5(&Parallelism::Auto, &|_, _| {}).unwrap();
         let worst = fig.series.last().unwrap().points[GRID_POINTS - 1].1;
         assert!((1e-6..1e-3).contains(&worst), "BER(48h) = {worst:e}");
     }
@@ -124,8 +138,8 @@ mod tests {
     fn fig6_duplex_is_same_range_as_simplex() {
         // The paper: "the values for the BER are in the same range for all
         // considered transient fault rates" (Figs. 5 vs 6).
-        let s = fig5(&Parallelism::Auto).unwrap();
-        let d = fig6(&Parallelism::Auto).unwrap();
+        let s = fig5(&Parallelism::Auto, &|_, _| {}).unwrap();
+        let d = fig6(&Parallelism::Auto, &|_, _| {}).unwrap();
         for (ss, ds) in s.series.iter().zip(&d.series) {
             let (sb, db) = (ss.points[GRID_POINTS - 1].1, ds.points[GRID_POINTS - 1].1);
             let ratio = db / sb;
@@ -140,7 +154,7 @@ mod tests {
     fn fig7_sub_hour_scrubbing_keeps_ber_below_1e6() {
         // Paper: "a scrubbing frequency of lower than once per hour is
         // sufficient to maintain the BER below 1e-6".
-        let fig = fig7(&Parallelism::Auto).unwrap();
+        let fig = fig7(&Parallelism::Auto, &|_, _| {}).unwrap();
         for s in &fig.series {
             let maximum = s.points.iter().map(|&(_, b)| b).fold(0.0, f64::max);
             assert!(maximum < 1e-6, "Tsc={}: max BER {maximum:e}", s.label);
@@ -149,7 +163,7 @@ mod tests {
 
     #[test]
     fn fig7_longer_periods_are_worse() {
-        let fig = fig7(&Parallelism::Auto).unwrap();
+        let fig = fig7(&Parallelism::Auto, &|_, _| {}).unwrap();
         let finals: Vec<f64> = fig
             .series
             .iter()

@@ -103,3 +103,14 @@ pub mod metrics {
 pub mod mission {
     pub use rsmem_models::mission::*;
 }
+
+/// Eagerly registers every solver-level metric family (uniformization,
+/// decode back-ends, Monte-Carlo shards, arbiter decisions) in the
+/// global `rsmem-obs` registry, so a metrics scrape sees the complete
+/// zero-valued set before any solve has run. The service calls this at
+/// bind time; long-running CLI commands call it at startup.
+pub fn register_solver_metrics() {
+    rsmem_ctmc::uniformization::register_metrics();
+    rsmem_code::register_metrics();
+    rsmem_sim::metrics::register_metrics();
+}

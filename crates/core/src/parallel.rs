@@ -67,18 +67,24 @@ impl Parallelism {
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, U)>();
         let mut slots: Vec<Option<U>> = (0..jobs).map(|_| None).collect();
+        // Carry the caller's trace ID into the workers so events emitted
+        // inside jobs stay attributable to the originating request.
+        let trace = rsmem_obs::log::current_trace_id();
         thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs {
-                        break;
-                    }
-                    if tx.send((i, f(&items[i]))).is_err() {
-                        break;
+                scope.spawn(move || {
+                    let _trace = trace.map(rsmem_obs::log::trace_scope);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        if tx.send((i, f(&items[i]))).is_err() {
+                            break;
+                        }
                     }
                 });
             }

@@ -37,11 +37,52 @@
 use crate::model::StateSpace;
 use crate::poisson::poisson_ln_pmf;
 use crate::CtmcError;
+use rsmem_obs::metrics::{global, Counter, Histogram};
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::sync::OnceLock;
 
 /// Terms between exact recomputations of the recurrent log-weights.
 const LN_W_RESYNC: usize = 64;
+
+/// Bucket bounds for the per-time-point series-length histogram: the
+/// truncation point grows with Λt, so powers of four cover everything
+/// from a trivial two-state solve to a 1M-term deep-grid run.
+const TERMS_BUCKETS: &[u64] = &[16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1_048_576];
+
+/// Cached handles into the global metrics registry, resolved once so
+/// the solver's bookkeeping is plain atomic adds (no registry lock and
+/// no allocation on the hot path — the crate's `alloc_count` test
+/// covers an instrumented solve).
+struct SolverMetrics {
+    solves: Counter,
+    terms: Histogram,
+    skipped_terms: Counter,
+    workspace_reuses: Counter,
+    reallocs: Counter,
+}
+
+fn solver_metrics() -> &'static SolverMetrics {
+    static METRICS: OnceLock<SolverMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = global();
+        SolverMetrics {
+            solves: registry.counter("rsmem_solver_uniformization_solves_total", &[]),
+            terms: registry.histogram("rsmem_solver_uniformization_terms", &[], TERMS_BUCKETS),
+            skipped_terms: registry.counter("rsmem_solver_uniformization_skipped_terms_total", &[]),
+            workspace_reuses: registry
+                .counter("rsmem_solver_uniformization_workspace_reuses_total", &[]),
+            reallocs: registry.counter("rsmem_solver_uniformization_reallocs_total", &[]),
+        }
+    })
+}
+
+/// Eagerly registers the uniformization metric families in the global
+/// registry so a `/metrics` scrape sees them (zero-valued) before the
+/// first solve runs.
+pub fn register_metrics() {
+    let _ = solver_metrics();
+}
 
 /// Options for the uniformization solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,8 +134,12 @@ impl UniformizationWorkspace {
     }
 
     /// Resizes and resets every buffer for a solve of `n_states` states
-    /// over `n_times` time points.
-    fn prepare(&mut self, p0: &[f64], n_times: usize) {
+    /// over `n_times` time points. Returns whether any buffer had to
+    /// grow — `false` means the solve runs entirely in reused capacity.
+    fn prepare(&mut self, p0: &[f64], n_times: usize) -> bool {
+        let grew = self.v.capacity() < p0.len()
+            || self.next.capacity() < p0.len()
+            || self.means.capacity() < n_times;
         self.v.clear();
         self.v.extend_from_slice(p0);
         self.next.clear();
@@ -109,6 +154,7 @@ impl UniformizationWorkspace {
         self.converged.resize(n_times, false);
         self.streak.clear();
         self.streak.resize(n_times, 0);
+        grew
     }
 }
 
@@ -214,13 +260,29 @@ where
         }
     }
 
+    let metrics = solver_metrics();
+    let mut obs_span = rsmem_obs::span("ctmc.uniformization", "transient_grid");
+    obs_span.record("states", n_states);
+    obs_span.record("time_points", times.len());
+
     let lambda = space.max_exit_rate();
     if lambda == 0.0 || times.iter().all(|&t| t == 0.0) {
         // No dynamics: p(t) = p(0) at every requested time.
+        metrics.solves.inc();
+        for _ in times {
+            metrics.terms.observe(0.0);
+        }
+        obs_span.record("terms", 0u64);
         return Ok(times.iter().map(|_| p0.to_vec()).collect());
     }
+    obs_span.record("lambda", lambda);
 
-    ws.prepare(p0, times.len());
+    metrics.solves.inc();
+    if ws.prepare(p0, times.len()) {
+        metrics.reallocs.inc();
+    } else {
+        metrics.workspace_reuses.inc();
+    }
     let mut max_mean = 0.0f64;
     for (k, &t) in times.iter().enumerate() {
         let m = lambda * t;
@@ -229,6 +291,7 @@ where
         if m == 0.0 {
             // The t == 0 answer is p0 itself, exactly.
             ws.converged[k] = true;
+            metrics.terms.observe(0.0);
         } else {
             ws.ln_mean[k] = m.ln();
             // ln Poisson(0; m) = −m, the recurrence's exact anchor.
@@ -252,10 +315,14 @@ where
     // past the state count (so reachability has settled).
     let n_min = (max_mean.ceil() as usize).max(n_states.min(10_000));
 
+    // Per-point series lengths plus the terms saved by per-point
+    // convergence skips (accumulated locally; one atomic add at exit).
+    let mut skipped: u64 = 0;
     for n in 0..opts.max_terms {
         let mut all_done = true;
         for (k, row) in acc.iter_mut().enumerate() {
             if ws.converged[k] {
+                skipped += 1;
                 continue;
             }
             all_done = false;
@@ -283,6 +350,7 @@ where
                     ws.streak[k] += 1;
                     if ws.streak[k] >= 3 {
                         ws.converged[k] = true;
+                        metrics.terms.observe((n + 1) as f64);
                     }
                 } else {
                     ws.streak[k] = 0;
@@ -290,6 +358,9 @@ where
             }
         }
         if all_done {
+            metrics.skipped_terms.add(skipped);
+            obs_span.record("terms", n);
+            obs_span.record("skipped_terms", skipped);
             return Ok(acc);
         }
         // v ← v·P = v + (v·R − v∘exit)/Λ, computed without cancellation:
@@ -304,6 +375,9 @@ where
         }
         std::mem::swap(&mut ws.v, &mut ws.next);
     }
+    metrics.skipped_terms.add(skipped);
+    obs_span.record("converged", false);
+    obs_span.record("terms", opts.max_terms);
     Err(CtmcError::NotConverged {
         iterations: opts.max_terms,
     })

@@ -1,0 +1,40 @@
+//! # rsmem-obs — observability backbone for the rsmem workspace
+//!
+//! Everything the rest of the workspace needs to explain *what the
+//! solvers did*, built entirely on `std` (the workspace builds offline):
+//!
+//! * [`log`] — structured events and timed spans with key/value fields
+//!   and per-request **trace IDs**, emitted to stderr as JSON-lines
+//!   (canonical, machine-parseable) or human-readable text. Output is
+//!   selected by `RSMEM_LOG` (e.g. `json`, `text:info`,
+//!   `json:debug:ctmc`) or programmatically; when logging is off a
+//!   disabled event costs one relaxed atomic load and **zero heap
+//!   allocations**.
+//! * [`metrics`] — a registry of counters, gauges and fixed-bucket
+//!   histograms rendered in the Prometheus text exposition format
+//!   (with correct label-value escaping). Handles are cheap atomics;
+//!   the [`metrics::global`] registry collects solver-level series that
+//!   the service's `/metrics` endpoint exposes next to its HTTP series.
+//! * [`progress`] — rate-limited one-line progress reporting for long
+//!   CLI runs, routed through the event pipeline when logging is
+//!   configured (so `RSMEM_LOG=json` keeps stderr pure JSON-lines).
+//! * [`json`] — the canonical JSON codec the event pipeline and
+//!   `rsmem-service` share (moved here from the service so the two
+//!   layers cannot drift apart).
+//!
+//! Trace IDs flow through a thread-local: [`log::trace_scope`]
+//! establishes the current ID, worker pools capture and re-establish it
+//! inside their scoped threads, so a cache miss's solver spans carry the
+//! ID of the HTTP request that caused them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod progress;
+
+pub use log::{event, span, span_at, Level, LogConfig, LogFormat, Sink, Span};
+pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use progress::Progress;

@@ -1,0 +1,576 @@
+//! Counters, gauges and histograms with Prometheus text rendering.
+//!
+//! A [`Registry`] owns an insertion-ordered list of metric *families*
+//! (one `# TYPE` line each); each family holds metrics keyed by their
+//! encoded label string, kept sorted so rendering is deterministic.
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-wrapped
+//! atomics: updating one never touches the registry lock, so hot solver
+//! loops pay a single atomic RMW per observation and nothing more.
+//!
+//! The [`global`] registry collects solver-level series
+//! (`rsmem_solver_*`, `rsmem_arbiter_*`); `rsmem-service` renders it
+//! after its own per-instance HTTP registry so `GET /metrics` exposes
+//! both side by side.
+//!
+//! Label values are escaped per the Prometheus text exposition format:
+//! `\` → `\\`, `"` → `\"`, newline → `\n`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter (also usable as a bridge for
+/// externally maintained totals via [`Counter::set`]).
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` — hot loops batch locally and add once per shard.
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the value. For mirroring a total maintained elsewhere
+    /// (e.g. cache statistics) into the exposition; not for hot paths.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram. Buckets are non-cumulative internally and
+/// rendered cumulatively (`le="..."` + `+Inf`) per Prometheus.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+struct HistogramCore {
+    /// Upper bounds, strictly increasing; the overflow bucket is implicit.
+    bounds: Vec<u64>,
+    /// One slot per bound plus the overflow slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum as `f64` bits, updated by compare-exchange.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let core = &*self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| value <= b as f64)
+            .unwrap_or(core.bounds.len());
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Kind tag used for the `# TYPE` line and registration checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+struct Family {
+    name: String,
+    kind: Kind,
+    /// `(encoded_label_string, metric)`, sorted by the label string.
+    metrics: Vec<(String, Metric)>,
+}
+
+/// An insertion-ordered collection of metric families.
+///
+/// The service holds a per-instance registry for its HTTP series (so
+/// snapshot tests stay deterministic); solver crates publish to the
+/// process-wide [`global`] registry.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Declares a family without creating any metric, so it renders its
+    /// `# TYPE` line even while empty (stable exposition from startup).
+    pub fn declare_counter(&self, name: &str) {
+        self.declare(name, Kind::Counter);
+    }
+
+    /// See [`Registry::declare_counter`].
+    pub fn declare_gauge(&self, name: &str) {
+        self.declare(name, Kind::Gauge);
+    }
+
+    /// See [`Registry::declare_counter`].
+    pub fn declare_histogram(&self, name: &str) {
+        self.declare(name, Kind::Histogram);
+    }
+
+    fn declare(&self, name: &str, kind: Kind) {
+        let mut families = self.families.lock().expect("metrics registry lock");
+        if let Some(family) = families.iter().find(|f| f.name == name) {
+            assert_eq!(
+                family.kind, kind,
+                "metric family {name:?} re-declared with a different type"
+            );
+            return;
+        }
+        families.push(Family {
+            name: name.to_owned(),
+            kind,
+            metrics: Vec::new(),
+        });
+    }
+
+    /// Returns the counter for `name` + `labels`, creating both the
+    /// family and the metric on first use. The handle is cheap to clone
+    /// and callers should cache it outside hot loops.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, Kind::Counter, labels, || {
+            Metric::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind checked in get_or_insert"),
+        }
+    }
+
+    /// Returns the gauge for `name` + `labels`; see [`Registry::counter`].
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, Kind::Gauge, labels, || {
+            Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0))))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind checked in get_or_insert"),
+        }
+    }
+
+    /// Returns the histogram for `name` + `labels` with the given
+    /// strictly increasing integer bucket bounds. Bounds are fixed at
+    /// first creation; later calls reuse the existing buckets.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        match self.get_or_insert(name, Kind::Histogram, labels, || {
+            Metric::Histogram(Histogram(Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            })))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked in get_or_insert"),
+        }
+    }
+
+    /// Returns the counter for `name` + `labels` only if it already
+    /// exists — unlike [`Registry::counter`] this never creates the
+    /// metric, so read-side queries cannot grow the exposition.
+    pub fn find_counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<Counter> {
+        let encoded = encode_labels(labels);
+        let families = self.families.lock().expect("metrics registry lock");
+        let family = families.iter().find(|f| f.name == name)?;
+        let i = family
+            .metrics
+            .binary_search_by(|(k, _)| k.cmp(&encoded))
+            .ok()?;
+        match &family.metrics[i].1 {
+            Metric::Counter(c) => Some(c.clone()),
+            _ => None,
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let encoded = encode_labels(labels);
+        let mut families = self.families.lock().expect("metrics registry lock");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    kind,
+                    metrics: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        assert_eq!(
+            family.kind, kind,
+            "metric family {name:?} used with a different type"
+        );
+        match family.metrics.binary_search_by(|(k, _)| k.cmp(&encoded)) {
+            Ok(i) => clone_metric(&family.metrics[i].1),
+            Err(i) => {
+                let metric = make();
+                let handle = clone_metric(&metric);
+                family.metrics.insert(i, (encoded, metric));
+                handle
+            }
+        }
+    }
+
+    /// Renders every family in the Prometheus text exposition format:
+    /// families in declaration order, metrics within a family sorted by
+    /// label string, histograms with cumulative `le` buckets.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.lock().expect("metrics registry lock");
+        for family in families.iter() {
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+            for (labels, metric) in &family.metrics {
+                match metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{}{} {}", family.name, labels, c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{}{} {}", family.name, labels, g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        render_histogram(&mut out, &family.name, labels, h);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn clone_metric(metric: &Metric) -> Metric {
+    match metric {
+        Metric::Counter(c) => Metric::Counter(c.clone()),
+        Metric::Gauge(g) => Metric::Gauge(g.clone()),
+        Metric::Histogram(h) => Metric::Histogram(h.clone()),
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let core = &*h.0;
+    let mut cumulative = 0u64;
+    for (i, bound) in core.bounds.iter().enumerate() {
+        cumulative += core.buckets[i].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            with_label(labels, "le", &bound.to_string())
+        );
+    }
+    cumulative += core.buckets[core.bounds.len()].load(Ordering::Relaxed);
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {cumulative}",
+        with_label(labels, "le", "+Inf")
+    );
+    let _ = writeln!(out, "{name}_sum{labels} {}", format_float(h.sum()));
+    let _ = writeln!(out, "{name}_count{labels} {}", h.count());
+}
+
+/// Formats a histogram sum: integral values print without a fraction so
+/// integer-valued observations render as Prometheus integers.
+fn format_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Encodes a label set as `{k1="v1",k2="v2"}` (empty string for no
+/// labels), escaping values per the Prometheus text format.
+fn encode_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{key}=\"{}\"", escape_label_value(value));
+    }
+    out.push('}');
+    out
+}
+
+/// Inserts one more label into an already-encoded label string —
+/// `""` + `le`/`5` → `{le="5"}`, `{a="b"}` + `le`/`5` → `{a="b",le="5"}`.
+fn with_label(encoded: &str, key: &str, value: &str) -> String {
+    let escaped = escape_label_value(value);
+    if encoded.is_empty() {
+        format!("{{{key}=\"{escaped}\"}}")
+    } else {
+        let inner = &encoded[..encoded.len() - 1]; // drop trailing '}'
+        format!("{inner},{key}=\"{escaped}\"}}")
+    }
+}
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// The process-wide registry solver crates publish to.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("jobs_total", &[]);
+        c.inc();
+        c.add(4);
+        c.add(0);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("depth", &[]);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+        let text = r.render();
+        assert!(text.contains("# TYPE jobs_total counter\njobs_total 5\n"));
+        assert!(text.contains("# TYPE depth gauge\ndepth -3\n"));
+    }
+
+    #[test]
+    fn handles_are_shared_per_label_set() {
+        let r = Registry::new();
+        let a = r.counter("hits", &[("kind", "x")]);
+        let b = r.counter("hits", &[("kind", "x")]);
+        let other = r.counter("hits", &[("kind", "y")]);
+        a.inc();
+        b.inc();
+        other.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(other.get(), 1);
+    }
+
+    #[test]
+    fn families_render_in_declaration_order_metrics_sorted() {
+        let r = Registry::new();
+        r.declare_counter("zeta_total");
+        r.declare_counter("alpha_total");
+        r.counter("zeta_total", &[("s", "200")]).inc();
+        r.counter("zeta_total", &[("s", "104")]).add(2);
+        let text = r.render();
+        let zeta = text.find("# TYPE zeta_total").unwrap();
+        let alpha = text.find("# TYPE alpha_total").unwrap();
+        assert!(zeta < alpha, "declaration order, not alphabetical");
+        let l104 = text.find("zeta_total{s=\"104\"} 2").unwrap();
+        let l200 = text.find("zeta_total{s=\"200\"} 1").unwrap();
+        assert!(l104 < l200, "label-sorted within family");
+    }
+
+    #[test]
+    fn declared_empty_family_still_renders_type_line() {
+        let r = Registry::new();
+        r.declare_histogram("latency_us");
+        assert_eq!(r.render(), "# TYPE latency_us histogram\n");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("terms", &[], &[10, 100, 1000]);
+        h.observe(5.0);
+        h.observe(50.0);
+        h.observe(50.0);
+        h.observe(5000.0);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5105.0);
+        let text = r.render();
+        assert!(text.contains("terms_bucket{le=\"10\"} 1\n"), "{text}");
+        assert!(text.contains("terms_bucket{le=\"100\"} 3\n"), "{text}");
+        assert!(text.contains("terms_bucket{le=\"1000\"} 3\n"), "{text}");
+        assert!(text.contains("terms_bucket{le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("terms_sum 5105\n"), "{text}");
+        assert!(text.contains("terms_count 4\n"), "{text}");
+    }
+
+    #[test]
+    fn histogram_le_label_appends_to_existing_labels() {
+        let r = Registry::new();
+        let h = r.histogram("dur", &[("op", "solve")], &[1]);
+        h.observe(0.5);
+        let text = r.render();
+        assert!(
+            text.contains("dur_bucket{op=\"solve\",le=\"1\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("dur_sum{op=\"solve\"} 0.5\n"), "{text}");
+        assert!(text.contains("dur_count{op=\"solve\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("evil_total", &[("path", "a\\b\"c\nd")]).inc();
+        let text = r.render();
+        assert!(
+            text.contains("evil_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn escape_label_value_covers_all_specials() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("back\\slash"), "back\\\\slash");
+        assert_eq!(escape_label_value("qu\"ote"), "qu\\\"ote");
+        assert_eq!(escape_label_value("new\nline"), "new\\nline");
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("thing", &[]);
+        r.gauge("thing", &[]);
+    }
+
+    #[test]
+    fn registry_is_thread_safe_under_contention() {
+        let r = Registry::new();
+        let threads = 8;
+        let per_thread = 1000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let r = &r;
+                scope.spawn(move || {
+                    let c = r.counter("contended_total", &[]);
+                    let h = r.histogram("contended_hist", &[], &[10, 100]);
+                    let label = if t % 2 == 0 { "even" } else { "odd" };
+                    let labelled = r.counter("split_total", &[("side", label)]);
+                    for i in 0..per_thread {
+                        c.inc();
+                        labelled.inc();
+                        h.observe((i % 150) as f64);
+                    }
+                });
+            }
+        });
+        let c = r.counter("contended_total", &[]);
+        assert_eq!(c.get(), threads as u64 * per_thread);
+        let h = r.histogram("contended_hist", &[], &[10, 100]);
+        assert_eq!(h.count(), threads as u64 * per_thread);
+        let even = r.counter("split_total", &[("side", "even")]);
+        let odd = r.counter("split_total", &[("side", "odd")]);
+        assert_eq!(even.get() + odd.get(), threads as u64 * per_thread);
+        // Sum must equal the exact sum of observations (CAS loop is lossless).
+        let expected: f64 = (0..per_thread).map(|i| (i % 150) as f64).sum::<f64>() * threads as f64;
+        assert_eq!(h.sum(), expected);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = global().counter("obs_selftest_total", &[]);
+        let b = global().counter("obs_selftest_total", &[]);
+        a.inc();
+        assert_eq!(b.get(), a.get());
+    }
+}

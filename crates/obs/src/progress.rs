@@ -1,0 +1,132 @@
+//! Rate-limited progress reporting for long-running CLI work.
+//!
+//! A [`Progress`] emits at most one status line per interval (200 ms).
+//! When structured logging is configured the line goes through the
+//! event pipeline as an `info`-level `progress` event — so
+//! `RSMEM_LOG=json` keeps stderr pure JSON-lines — and otherwise it is
+//! a plain human-readable stderr line. Short runs that finish inside
+//! the first interval stay completely silent.
+
+use crate::log::{self, FieldValue, Level};
+use std::time::{Duration, Instant};
+
+/// Minimum spacing between emitted status lines.
+const INTERVAL: Duration = Duration::from_millis(200);
+
+/// A rate-limited progress reporter for one unit of long-running work.
+pub struct Progress {
+    target: &'static str,
+    label: &'static str,
+    started: Instant,
+    last: Instant,
+    emitted: bool,
+}
+
+impl Progress {
+    /// Starts tracking. Nothing is emitted until the first interval
+    /// elapses, so fast runs produce no output at all.
+    pub fn new(target: &'static str, label: &'static str) -> Progress {
+        let now = Instant::now();
+        Progress {
+            target,
+            label,
+            started: now,
+            last: now,
+            emitted: false,
+        }
+    }
+
+    /// Reports `done` of `total` work items plus extra fields; emits
+    /// only when the rate-limit interval has elapsed.
+    pub fn tick(&mut self, done: u64, total: u64, fields: &[(&'static str, u64)]) {
+        if self.last.elapsed() < INTERVAL {
+            return;
+        }
+        self.last = Instant::now();
+        self.emitted = true;
+        self.emit(done, total, fields);
+    }
+
+    /// Reports the final state. Emits only if a tick was emitted before
+    /// or the run outlived one interval — keeping short runs silent
+    /// while long runs always end on a 100% line.
+    pub fn finish(&mut self, done: u64, total: u64, fields: &[(&'static str, u64)]) {
+        if self.emitted || self.started.elapsed() >= INTERVAL {
+            self.emitted = true;
+            self.last = Instant::now();
+            self.emit(done, total, fields);
+        }
+    }
+
+    fn emit(&self, done: u64, total: u64, fields: &[(&'static str, u64)]) {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        if log::is_configured() {
+            let mut event = log::event(Level::Info, self.target, "progress")
+                .field("label", self.label)
+                .field("done", done)
+                .field("total", total)
+                .field("rate_per_sec", (rate * 10.0).round() / 10.0);
+            for &(key, value) in fields {
+                event = event.field(key, FieldValue::U64(value));
+            }
+            event.emit();
+        } else {
+            let mut extra = String::new();
+            for &(key, value) in fields {
+                extra.push_str(&format!(" {key}={value}"));
+            }
+            let percent = if total > 0 {
+                format!("{:.0}%", done as f64 / total as f64 * 100.0)
+            } else {
+                "?".to_owned()
+            };
+            eprintln!(
+                "{}: {done}/{total} ({percent}, {rate:.1}/s{extra})",
+                self.label
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_runs_stay_silent() {
+        // With logging off this would print to stderr; assert via the
+        // rate-limit invariants instead of capturing the stream.
+        let mut p = Progress::new("test", "quick");
+        p.tick(1, 10, &[]);
+        p.tick(5, 10, &[]);
+        p.finish(10, 10, &[]);
+        assert!(!p.emitted, "sub-interval run must not emit");
+    }
+
+    #[test]
+    fn tick_emits_after_interval() {
+        let mut p = Progress::new("test", "slow");
+        // Simulate elapsed time by back-dating the limiter state.
+        p.last = Instant::now() - INTERVAL * 2;
+        p.started = Instant::now() - INTERVAL * 2;
+        p.tick(3, 10, &[("extra", 7)]);
+        assert!(p.emitted);
+        // Immediately after an emission the limiter suppresses again.
+        let before = p.last;
+        p.tick(4, 10, &[]);
+        assert_eq!(p.last, before);
+    }
+
+    #[test]
+    fn finish_emits_for_long_runs_even_without_ticks() {
+        let mut p = Progress::new("test", "long");
+        p.started = Instant::now() - INTERVAL * 2;
+        p.finish(10, 10, &[]);
+        assert!(p.emitted, "long run must end with a final line");
+    }
+}

@@ -52,6 +52,8 @@ use json::Value;
 use metrics::Metrics;
 use rsmem::experiments::{run_with, ExperimentId, ExperimentOutput, Figure};
 use rsmem::{report, Parallelism};
+use rsmem_obs::log::{format_trace_id, next_trace_id, parse_trace_id, trace_scope};
+use rsmem_obs::Level;
 use std::io::{BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -112,6 +114,11 @@ impl Server {
     ///
     /// I/O errors from binding the address.
     pub fn bind(config: ServiceConfig) -> std::io::Result<Server> {
+        // Solver-level series (uniformization, decode, Monte-Carlo,
+        // arbiter) live in the obs global registry; register them up
+        // front so `/metrics` exposes every family from the first
+        // scrape, not only after the first cache miss.
+        rsmem::register_solver_metrics();
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let worker_count = if config.workers == 0 {
@@ -256,7 +263,26 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
 
     let started = Instant::now();
     let (endpoint, response) = match http::read_request(&mut reader) {
-        Ok(request) => route(&request, ctx),
+        Ok(request) => {
+            // A client-supplied `X-Rsmem-Trace-Id` stitches the caller's
+            // trace to every span/event this request produces (through
+            // the cache, into the solvers); otherwise mint a fresh ID.
+            let trace = request
+                .header("x-rsmem-trace-id")
+                .and_then(parse_trace_id)
+                .unwrap_or_else(next_trace_id);
+            let _trace = trace_scope(trace);
+            let mut span = rsmem_obs::span("service.http", "request");
+            span.record("method", request.method.as_str());
+            span.record("path", request.path.as_str());
+            let (endpoint, response) = route(&request, ctx);
+            span.record("endpoint", endpoint);
+            span.record("status", u64::from(response.status));
+            (
+                endpoint,
+                response.with_header("X-Rsmem-Trace-Id", &format_trace_id(trace)),
+            )
+        }
         Err(ReadError::Closed) => return, // shutdown wake-up or port scan
         Err(ReadError::Bad(message)) => ("other", Response::json(400, error_body(&message))),
         Err(ReadError::Io(_)) => return, // peer vanished mid-request
@@ -299,8 +325,13 @@ fn route(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
 }
 
 fn render_metrics(ctx: &Ctx) -> String {
-    ctx.metrics
-        .render(ctx.cache.stats(), ctx.cache.len(), ctx.cache.capacity())
+    let mut text = ctx
+        .metrics
+        .render(ctx.cache.stats(), ctx.cache.len(), ctx.cache.capacity());
+    // Solver-level series (rsmem_solver_*, rsmem_arbiter_*) follow the
+    // HTTP series in the same exposition.
+    text.push_str(&rsmem_obs::global().render());
+    text
 }
 
 fn handle_analyze(request: &Request, ctx: &Ctx) -> Response {
@@ -319,8 +350,17 @@ fn handle_analyze(request: &Request, ctx: &Ctx) -> Response {
 
     let key = analyze.cache_key();
     let (result, outcome) = ctx.cache.get_or_compute(&key, || {
-        analyze.solve().map(|v| Arc::new(v.encode().into_bytes()))
+        let mut span = rsmem_obs::span("service.analyze", "solve");
+        if span.active() {
+            span.record("config_id", analyze.config_id());
+        }
+        let result = analyze.solve().map(|v| Arc::new(v.encode().into_bytes()));
+        span.record("ok", result.is_ok());
+        result
     });
+    rsmem_obs::event(Level::Debug, "service.cache", "analyze_lookup")
+        .field("outcome", cache_header(outcome))
+        .emit();
     match result {
         Ok(bytes) => Response::json(200, bytes.as_slice().to_vec())
             .with_header("X-Cache", cache_header(outcome))

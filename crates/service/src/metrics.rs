@@ -2,80 +2,90 @@
 //! cache counters, an in-flight gauge, and per-endpoint latency
 //! histograms. Rendered in the Prometheus text exposition format so any
 //! scraper (or `curl`) can read it.
+//!
+//! Backed by the shared [`rsmem_obs::metrics::Registry`]. The service
+//! keeps a **per-instance** registry for its HTTP families (so tests
+//! can assert byte-exact renders regardless of what other code pushed
+//! into the process-global registry); `/metrics` additionally appends
+//! the global registry's solver-level series — see
+//! `crate::render_metrics`.
 
 use crate::cache::CacheStats;
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Mutex;
+use rsmem_obs::metrics::{Counter, Gauge, Registry};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Upper bounds of the latency histogram buckets, in microseconds. The
 /// last implicit bucket is `+Inf`.
 pub const LATENCY_BUCKETS_US: [u64; 7] = [100, 500, 1_000, 5_000, 25_000, 100_000, 1_000_000];
 
-/// One endpoint's latency histogram.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct Histogram {
-    /// Cumulative-style counts per bucket of `LATENCY_BUCKETS_US`, plus
-    /// one overflow bucket (stored non-cumulative, rendered cumulative).
-    buckets: [u64; LATENCY_BUCKETS_US.len() + 1],
-    count: u64,
-    sum_us: u64,
-}
-
-impl Histogram {
-    fn observe(&mut self, elapsed: Duration) {
-        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let idx = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&bound| us <= bound)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-    }
-}
-
 /// The service's metrics registry. One instance is shared by every
-/// worker; counters are atomics, the labelled maps sit behind short
-/// mutexed sections.
+/// worker; updates are atomic handle operations, with a short registry
+/// lock only on first use of a new label combination.
 pub struct Metrics {
     started: Instant,
-    /// `(endpoint, status) -> count`.
-    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
-    /// `endpoint -> latency histogram`.
-    latency: Mutex<BTreeMap<&'static str, Histogram>>,
+    registry: Registry,
+    uptime: Gauge,
     inflight: AtomicI64,
-    shed: AtomicU64,
+    inflight_gauge: Gauge,
+    shed: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_shared: Counter,
+    cache_evictions: Counter,
+    cache_entries: Gauge,
+    cache_capacity: Gauge,
 }
 
 impl Metrics {
-    /// A fresh registry.
+    /// A fresh registry. Families are declared here, in render order,
+    /// so the exposition's shape is stable from the first scrape.
     pub fn new() -> Self {
+        let registry = Registry::new();
+        let uptime = registry.gauge("rsmem_uptime_seconds", &[]);
+        registry.declare_counter("rsmem_requests_total");
+        let inflight_gauge = registry.gauge("rsmem_requests_inflight", &[]);
+        let shed = registry.counter("rsmem_connections_shed_total", &[]);
+        let cache_hits = registry.counter("rsmem_cache_hits_total", &[]);
+        let cache_misses = registry.counter("rsmem_cache_misses_total", &[]);
+        let cache_shared = registry.counter("rsmem_cache_singleflight_shared_total", &[]);
+        let cache_evictions = registry.counter("rsmem_cache_evictions_total", &[]);
+        let cache_entries = registry.gauge("rsmem_cache_entries", &[]);
+        let cache_capacity = registry.gauge("rsmem_cache_capacity", &[]);
+        registry.declare_histogram("rsmem_request_duration_us");
         Metrics {
             started: Instant::now(),
-            requests: Mutex::new(BTreeMap::new()),
-            latency: Mutex::new(BTreeMap::new()),
+            registry,
+            uptime,
             inflight: AtomicI64::new(0),
-            shed: AtomicU64::new(0),
+            inflight_gauge,
+            shed,
+            cache_hits,
+            cache_misses,
+            cache_shared,
+            cache_evictions,
+            cache_entries,
+            cache_capacity,
         }
     }
 
     /// Records one completed request.
     pub fn record_request(&self, endpoint: &'static str, status: u16, elapsed: Duration) {
-        *self
-            .requests
-            .lock()
-            .expect("metrics lock")
-            .entry((endpoint, status))
-            .or_insert(0) += 1;
-        self.latency
-            .lock()
-            .expect("metrics lock")
-            .entry(endpoint)
-            .or_default()
-            .observe(elapsed);
+        let status_text = status.to_string();
+        self.registry
+            .counter(
+                "rsmem_requests_total",
+                &[("endpoint", endpoint), ("status", &status_text)],
+            )
+            .inc();
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.registry
+            .histogram(
+                "rsmem_request_duration_us",
+                &[("endpoint", endpoint)],
+                &LATENCY_BUCKETS_US,
+            )
+            .observe(us as f64);
     }
 
     /// Marks a request as started; the guard decrements on drop.
@@ -91,93 +101,43 @@ impl Metrics {
 
     /// Records a connection shed with `503` because the backlog was full.
     pub fn record_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
     }
 
     /// Connections shed so far.
     pub fn shed(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.shed.get()
     }
 
-    /// Total requests recorded for `endpoint` with `status`.
+    /// Total requests recorded for `endpoint` with `status`. A
+    /// read-only query: never creates the series.
     pub fn request_count(&self, endpoint: &'static str, status: u16) -> u64 {
-        self.requests
-            .lock()
-            .expect("metrics lock")
-            .get(&(endpoint, status))
-            .copied()
-            .unwrap_or(0)
+        let status_text = status.to_string();
+        self.registry
+            .find_counter(
+                "rsmem_requests_total",
+                &[("endpoint", endpoint), ("status", &status_text)],
+            )
+            .map_or(0, |c| c.get())
     }
 
-    /// Renders the registry (plus the cache counters) as Prometheus text.
+    /// Renders the registry (plus the cache counters) as Prometheus
+    /// text. Gauge-style series whose truth lives elsewhere (uptime,
+    /// in-flight, cache statistics) are refreshed into their registry
+    /// handles just before rendering.
     pub fn render(&self, cache: CacheStats, cache_len: usize, cache_capacity: usize) -> String {
-        let mut out = String::new();
-
-        let _ = writeln!(out, "# TYPE rsmem_uptime_seconds gauge");
-        let _ = writeln!(
-            out,
-            "rsmem_uptime_seconds {}",
-            self.started.elapsed().as_secs()
-        );
-
-        let _ = writeln!(out, "# TYPE rsmem_requests_total counter");
-        for ((endpoint, status), count) in self.requests.lock().expect("metrics lock").iter() {
-            let _ = writeln!(
-                out,
-                "rsmem_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}"
-            );
-        }
-
-        let _ = writeln!(out, "# TYPE rsmem_requests_inflight gauge");
-        let _ = writeln!(out, "rsmem_requests_inflight {}", self.inflight());
-
-        let _ = writeln!(out, "# TYPE rsmem_connections_shed_total counter");
-        let _ = writeln!(out, "rsmem_connections_shed_total {}", self.shed());
-
-        let _ = writeln!(out, "# TYPE rsmem_cache_hits_total counter");
-        let _ = writeln!(out, "rsmem_cache_hits_total {}", cache.hits);
-        let _ = writeln!(out, "# TYPE rsmem_cache_misses_total counter");
-        let _ = writeln!(out, "rsmem_cache_misses_total {}", cache.misses);
-        let _ = writeln!(out, "# TYPE rsmem_cache_singleflight_shared_total counter");
-        let _ = writeln!(
-            out,
-            "rsmem_cache_singleflight_shared_total {}",
-            cache.shared
-        );
-        let _ = writeln!(out, "# TYPE rsmem_cache_evictions_total counter");
-        let _ = writeln!(out, "rsmem_cache_evictions_total {}", cache.evictions);
-        let _ = writeln!(out, "# TYPE rsmem_cache_entries gauge");
-        let _ = writeln!(out, "rsmem_cache_entries {cache_len}");
-        let _ = writeln!(out, "# TYPE rsmem_cache_capacity gauge");
-        let _ = writeln!(out, "rsmem_cache_capacity {cache_capacity}");
-
-        let _ = writeln!(out, "# TYPE rsmem_request_duration_us histogram");
-        for (endpoint, histogram) in self.latency.lock().expect("metrics lock").iter() {
-            let mut cumulative = 0;
-            for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
-                cumulative += histogram.buckets[i];
-                let _ = writeln!(
-                    out,
-                    "rsmem_request_duration_us_bucket{{endpoint=\"{endpoint}\",le=\"{bound}\"}} {cumulative}"
-                );
-            }
-            cumulative += histogram.buckets[LATENCY_BUCKETS_US.len()];
-            let _ = writeln!(
-                out,
-                "rsmem_request_duration_us_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {cumulative}"
-            );
-            let _ = writeln!(
-                out,
-                "rsmem_request_duration_us_sum{{endpoint=\"{endpoint}\"}} {}",
-                histogram.sum_us
-            );
-            let _ = writeln!(
-                out,
-                "rsmem_request_duration_us_count{{endpoint=\"{endpoint}\"}} {}",
-                histogram.count
-            );
-        }
-        out
+        self.uptime
+            .set(i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX));
+        self.inflight_gauge.set(self.inflight());
+        self.cache_hits.set(cache.hits);
+        self.cache_misses.set(cache.misses);
+        self.cache_shared.set(cache.shared);
+        self.cache_evictions.set(cache.evictions);
+        self.cache_entries
+            .set(i64::try_from(cache_len).unwrap_or(i64::MAX));
+        self.cache_capacity
+            .set(i64::try_from(cache_capacity).unwrap_or(i64::MAX));
+        self.registry.render()
     }
 }
 
@@ -211,6 +171,14 @@ mod tests {
         assert_eq!(m.request_count("analyze", 200), 2);
         assert_eq!(m.request_count("analyze", 400), 1);
         assert_eq!(m.request_count("experiment", 200), 0);
+    }
+
+    #[test]
+    fn request_count_queries_do_not_grow_the_exposition() {
+        let m = Metrics::new();
+        let before = m.render(CacheStats::default(), 0, 0);
+        assert_eq!(m.request_count("analyze", 200), 0);
+        assert_eq!(m.render(CacheStats::default(), 0, 0), before);
     }
 
     #[test]
@@ -262,5 +230,86 @@ mod tests {
         assert!(text.contains("rsmem_request_duration_us_bucket{endpoint=\"x\",le=\"100\"} 1"));
         assert!(text.contains("rsmem_request_duration_us_bucket{endpoint=\"x\",le=\"500\"} 2"));
         assert!(text.contains("rsmem_request_duration_us_bucket{endpoint=\"x\",le=\"+Inf\"} 3"));
+    }
+
+    /// Byte-exact snapshot of the exposition the pre-registry
+    /// implementation produced, so the migration onto the shared
+    /// registry cannot silently reorder, rename or reformat a series
+    /// existing scrape configs depend on.
+    #[test]
+    fn render_is_byte_stable_against_the_legacy_snapshot() {
+        let m = Metrics::new();
+        m.record_request("analyze", 200, Duration::from_micros(300));
+        m.record_request("analyze", 404, Duration::from_micros(40));
+        m.record_request("experiment", 200, Duration::from_micros(2_000));
+        m.record_shed();
+        let text = m.render(
+            CacheStats {
+                hits: 5,
+                misses: 2,
+                shared: 1,
+                evictions: 4,
+            },
+            3,
+            64,
+        );
+        let mut lines = text.lines();
+        // The uptime value depends on wall time; pin the family header
+        // and value prefix, then compare everything after it verbatim.
+        assert_eq!(lines.next(), Some("# TYPE rsmem_uptime_seconds gauge"));
+        assert!(lines.next().unwrap().starts_with("rsmem_uptime_seconds "));
+        let rest: Vec<&str> = lines.collect();
+        let expected = "\
+# TYPE rsmem_requests_total counter
+rsmem_requests_total{endpoint=\"analyze\",status=\"200\"} 1
+rsmem_requests_total{endpoint=\"analyze\",status=\"404\"} 1
+rsmem_requests_total{endpoint=\"experiment\",status=\"200\"} 1
+# TYPE rsmem_requests_inflight gauge
+rsmem_requests_inflight 0
+# TYPE rsmem_connections_shed_total counter
+rsmem_connections_shed_total 1
+# TYPE rsmem_cache_hits_total counter
+rsmem_cache_hits_total 5
+# TYPE rsmem_cache_misses_total counter
+rsmem_cache_misses_total 2
+# TYPE rsmem_cache_singleflight_shared_total counter
+rsmem_cache_singleflight_shared_total 1
+# TYPE rsmem_cache_evictions_total counter
+rsmem_cache_evictions_total 4
+# TYPE rsmem_cache_entries gauge
+rsmem_cache_entries 3
+# TYPE rsmem_cache_capacity gauge
+rsmem_cache_capacity 64
+# TYPE rsmem_request_duration_us histogram
+rsmem_request_duration_us_bucket{endpoint=\"analyze\",le=\"100\"} 1
+rsmem_request_duration_us_bucket{endpoint=\"analyze\",le=\"500\"} 2
+rsmem_request_duration_us_bucket{endpoint=\"analyze\",le=\"1000\"} 2
+rsmem_request_duration_us_bucket{endpoint=\"analyze\",le=\"5000\"} 2
+rsmem_request_duration_us_bucket{endpoint=\"analyze\",le=\"25000\"} 2
+rsmem_request_duration_us_bucket{endpoint=\"analyze\",le=\"100000\"} 2
+rsmem_request_duration_us_bucket{endpoint=\"analyze\",le=\"1000000\"} 2
+rsmem_request_duration_us_bucket{endpoint=\"analyze\",le=\"+Inf\"} 2
+rsmem_request_duration_us_sum{endpoint=\"analyze\"} 340
+rsmem_request_duration_us_count{endpoint=\"analyze\"} 2
+rsmem_request_duration_us_bucket{endpoint=\"experiment\",le=\"100\"} 0
+rsmem_request_duration_us_bucket{endpoint=\"experiment\",le=\"500\"} 0
+rsmem_request_duration_us_bucket{endpoint=\"experiment\",le=\"1000\"} 0
+rsmem_request_duration_us_bucket{endpoint=\"experiment\",le=\"5000\"} 1
+rsmem_request_duration_us_bucket{endpoint=\"experiment\",le=\"25000\"} 1
+rsmem_request_duration_us_bucket{endpoint=\"experiment\",le=\"100000\"} 1
+rsmem_request_duration_us_bucket{endpoint=\"experiment\",le=\"1000000\"} 1
+rsmem_request_duration_us_bucket{endpoint=\"experiment\",le=\"+Inf\"} 1
+rsmem_request_duration_us_sum{endpoint=\"experiment\"} 2000
+rsmem_request_duration_us_count{endpoint=\"experiment\"} 1";
+        assert_eq!(rest.join("\n"), expected);
+    }
+
+    #[test]
+    fn fresh_instance_renders_all_type_lines_with_no_series_noise() {
+        let m = Metrics::new();
+        let text = m.render(CacheStats::default(), 0, 8);
+        // Declared-but-empty families still print their TYPE line.
+        assert!(text.contains("# TYPE rsmem_requests_total counter\n# TYPE"));
+        assert!(text.ends_with("# TYPE rsmem_request_duration_us histogram\n"));
     }
 }

@@ -373,6 +373,80 @@ fn shutdown_drains_inflight_requests() {
 }
 
 #[test]
+fn trace_id_flows_from_header_through_solve_into_events_and_metrics() {
+    use rsmem_obs::log::{self, LogConfig, LogFormat, Sink};
+    use rsmem_obs::Level;
+
+    // Capture structured events in a buffer; filter by trace ID below so
+    // concurrently running tests (which mint their own IDs) cannot
+    // interfere with the assertions.
+    let buffer = Arc::new(std::sync::Mutex::new(Vec::new()));
+    log::set_sink(Sink::Buffer(Arc::clone(&buffer)));
+    log::init(Some(LogConfig {
+        format: LogFormat::Json,
+        level: Level::Debug,
+        targets: vec!["service.".into(), "ctmc.".into()],
+    }));
+
+    let server = boot(ServiceConfig::default());
+    let addr = server.local_addr();
+    let (status, head, _) = request(
+        addr,
+        "POST",
+        "/v1/analyze",
+        "X-Rsmem-Trace-Id: 00000000deadbeef\r\n",
+        r#"{"seu_per_bit_day": 2.5e-6, "points": 5}"#,
+    );
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("X-Rsmem-Trace-Id: 00000000deadbeef"),
+        "response must echo the caller's trace ID: {head}"
+    );
+
+    // Stop logging before reading the buffer so other tests stop
+    // appending to it mid-assertion.
+    log::init(None);
+    log::set_sink(Sink::Stderr);
+
+    let text = String::from_utf8(buffer.lock().unwrap().clone()).expect("UTF-8 JSON lines");
+    for line in text.lines() {
+        rsmem_obs::json::parse(line).unwrap_or_else(|e| panic!("unparseable event {line:?}: {e}"));
+    }
+    let traced: Vec<&str> = text
+        .lines()
+        .filter(|line| line.contains("\"trace_id\":\"00000000deadbeef\""))
+        .collect();
+    // The request span, the cache-lookup event, the solve span, and the
+    // uniformization spans the solve produced all carry the caller's ID
+    // — including across the cache boundary into the CTMC solver.
+    for name in ["request", "analyze_lookup", "solve", "transient_grid"] {
+        assert!(
+            traced
+                .iter()
+                .any(|line| line.contains(&format!("\"name\":\"{name}\""))),
+            "no {name:?} event with the caller's trace ID in:\n{text}"
+        );
+    }
+
+    // The cache-miss solve also published solver-level series that the
+    // service's /metrics renders next to its HTTP series.
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(
+        metric(&metrics, "rsmem_solver_uniformization_solves_total") >= 1,
+        "{metrics}"
+    );
+    for family in [
+        "# TYPE rsmem_solver_uniformization_terms histogram",
+        "# TYPE rsmem_solver_decode_total counter",
+        "# TYPE rsmem_solver_mc_shards_total counter",
+        "# TYPE rsmem_arbiter_decisions_total counter",
+    ] {
+        assert!(metrics.contains(family), "{family} missing in:\n{metrics}");
+    }
+    server.shutdown();
+}
+
+#[test]
 fn cache_evictions_are_counted_and_bounded() {
     let server = boot(ServiceConfig {
         cache_capacity: 2,

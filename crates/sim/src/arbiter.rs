@@ -177,6 +177,16 @@ pub fn arbitrate(
             }
         }
     };
+    let metrics = crate::metrics::arbiter_metrics();
+    match &verdict {
+        ArbiterOutput::NoOutput => metrics.no_output.inc(),
+        ArbiterOutput::Data { branch, .. } => match branch {
+            ArbiterBranch::NoFlags => metrics.no_flags.inc(),
+            ArbiterBranch::EqualFlagged => metrics.equal_flagged.inc(),
+            ArbiterBranch::UnflaggedWins => metrics.unflagged_wins.inc(),
+            ArbiterBranch::SingleSurvivor => metrics.single_survivor.inc(),
+        },
+    }
     Ok(verdict)
 }
 

@@ -51,6 +51,7 @@ mod config;
 mod error;
 pub mod events;
 mod memory;
+pub mod metrics;
 pub mod miscorrection;
 pub mod runner;
 mod system;

@@ -1,0 +1,68 @@
+//! Cached global-registry handles for the Monte-Carlo runner and the
+//! duplex arbiter.
+//!
+//! Shard workers batch outcome counts locally and publish them with one
+//! atomic add per counter per shard, so instrumentation adds a handful
+//! of relaxed atomics per 256-trial shard — invisible next to the
+//! encode/decode work a shard performs.
+
+use rsmem_obs::metrics::{global, Counter};
+use std::sync::OnceLock;
+
+/// Monte-Carlo campaign counters.
+pub(crate) struct McMetrics {
+    /// Completed shards.
+    pub shards: Counter,
+    /// Completed trials.
+    pub trials: Counter,
+    /// Per-outcome trial counts.
+    pub correct: Counter,
+    pub silent: Counter,
+    pub detected: Counter,
+}
+
+pub(crate) fn mc_metrics() -> &'static McMetrics {
+    static METRICS: OnceLock<McMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        let by_outcome = |o: &str| r.counter("rsmem_solver_mc_outcomes_total", &[("outcome", o)]);
+        McMetrics {
+            shards: r.counter("rsmem_solver_mc_shards_total", &[]),
+            trials: r.counter("rsmem_solver_mc_trials_total", &[]),
+            correct: by_outcome("correct"),
+            silent: by_outcome("silent"),
+            detected: by_outcome("detected"),
+        }
+    })
+}
+
+/// Arbiter decision counters, one per [`crate::ArbiterVerdict`] shape.
+pub(crate) struct ArbiterMetrics {
+    pub no_flags: Counter,
+    pub equal_flagged: Counter,
+    pub unflagged_wins: Counter,
+    pub single_survivor: Counter,
+    pub no_output: Counter,
+}
+
+pub(crate) fn arbiter_metrics() -> &'static ArbiterMetrics {
+    static METRICS: OnceLock<ArbiterMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        let by_decision = |d: &str| r.counter("rsmem_arbiter_decisions_total", &[("decision", d)]);
+        ArbiterMetrics {
+            no_flags: by_decision("no_flags"),
+            equal_flagged: by_decision("equal_flagged"),
+            unflagged_wins: by_decision("unflagged_wins"),
+            single_survivor: by_decision("single_survivor"),
+            no_output: by_decision("no_output"),
+        }
+    })
+}
+
+/// Eagerly registers the Monte-Carlo and arbiter metric families (all
+/// label variants) in the global registry.
+pub fn register_metrics() {
+    let _ = mc_metrics();
+    let _ = arbiter_metrics();
+}

@@ -9,10 +9,12 @@
 //! Outcome counts are merged by integer addition, which is
 //! order-independent.
 
+use crate::metrics::mc_metrics;
 use crate::system::{DuplexSim, SimplexSim};
 use crate::{SimConfig, SimError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rsmem_obs::log::{current_trace_id, trace_scope};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -160,6 +162,7 @@ where
     F: Fn(&mut StdRng) -> TrialOutcome + Sync,
 {
     let shards = trials.div_ceil(SHARD_TRIALS);
+    let metrics = mc_metrics();
     let run_shard = |shard: usize| {
         let mut rng = StdRng::seed_from_u64(shard_seed(seed, shard as u64));
         let in_shard = SHARD_TRIALS.min(trials - shard * SHARD_TRIALS);
@@ -167,6 +170,13 @@ where
         for _ in 0..in_shard {
             counts.record(run_trial(&mut rng));
         }
+        // Publish per shard, not per trial: five relaxed adds per 256
+        // trials instead of contended increments inside the trial loop.
+        metrics.shards.inc();
+        metrics.trials.add(in_shard as u64);
+        metrics.correct.add(counts.correct as u64);
+        metrics.silent.add(counts.silent as u64);
+        metrics.detected.add(counts.detected as u64);
         counts
     };
 
@@ -177,12 +187,16 @@ where
             .fold(OutcomeCounts::default(), OutcomeCounts::merge);
     }
     let cursor = AtomicUsize::new(0);
+    // Carry the spawning thread's trace ID into the scoped workers so a
+    // request's shard-level events stay attributable to it.
+    let trace = current_trace_id();
     thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
                 let run_shard = &run_shard;
                 scope.spawn(move || {
+                    let _trace = trace.map(trace_scope);
                     let mut counts = OutcomeCounts::default();
                     loop {
                         let shard = cursor.fetch_add(1, Ordering::Relaxed);
@@ -200,6 +214,24 @@ where
             .map(|h| h.join().expect("MC shard worker panicked"))
             .fold(OutcomeCounts::default(), OutcomeCounts::merge)
     })
+}
+
+/// Attaches a finished campaign's outcome counts (and the implied
+/// trials/second) to its span; a no-op when logging is off.
+fn record_campaign(span: &mut rsmem_obs::Span, counts: &OutcomeCounts) {
+    if !span.active() {
+        return;
+    }
+    span.record("correct", counts.correct);
+    span.record("silent", counts.silent);
+    span.record("detected", counts.detected);
+    if let Some(us) = span.elapsed_us() {
+        if us > 0 {
+            let total = (counts.correct + counts.silent + counts.detected) as f64;
+            let rate = total / (us as f64 / 1e6);
+            span.record("trials_per_sec", (rate * 10.0).round() / 10.0);
+        }
+    }
 }
 
 /// Runs `trials` independent simplex storage periods on one thread.
@@ -234,7 +266,11 @@ pub fn run_simplex_threaded(
         return Err(SimError::NoTrials);
     }
     let sim = SimplexSim::new(*config)?;
+    let mut span = rsmem_obs::span("sim.mc", "simplex_campaign");
+    span.record("trials", trials);
+    span.record("threads", threads);
     let counts = run_sharded(trials, seed, threads, |rng| sim.run_trial(rng));
+    record_campaign(&mut span, &counts);
     Ok(summarize(counts, config.n, config.k, config.m))
 }
 
@@ -268,7 +304,11 @@ pub fn run_duplex_threaded(
         return Err(SimError::NoTrials);
     }
     let sim = DuplexSim::new(*config)?;
+    let mut span = rsmem_obs::span("sim.mc", "duplex_campaign");
+    span.record("trials", trials);
+    span.record("threads", threads);
     let counts = run_sharded(trials, seed, threads, |rng| sim.run_trial(rng));
+    record_campaign(&mut span, &counts);
     Ok(summarize(counts, config.n, config.k, config.m))
 }
 

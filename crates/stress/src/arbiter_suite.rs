@@ -337,12 +337,20 @@ fn malformed_probe(
 pub fn run(seed: u64, budget: usize, max_divergences: usize) -> ArbiterReport {
     let mut report = ArbiterReport::default();
     let mut rng = SplitMix64::new(seed);
+    let mut progress = rsmem_obs::Progress::new("stress.arbiter", "arbiter sweep");
     let codes = [
         RsCode::new(15, 9, 4).expect("valid"),
         RsCode::new(18, 16, 8).expect("valid"),
     ];
 
     for i in 0..budget {
+        if (i + 1).is_multiple_of(256) {
+            progress.tick(
+                (i + 1) as u64,
+                budget as u64,
+                &[("divergences", report.divergences.len() as u64)],
+            );
+        }
         let code = &codes[i % codes.len()];
         let size = u64::from(code.field().size());
         let data: Vec<Symbol> = (0..code.k()).map(|_| rng.below(size) as Symbol).collect();
@@ -410,6 +418,11 @@ pub fn run(seed: u64, budget: usize, max_divergences: usize) -> ArbiterReport {
             None => report.no_output += 1,
         }
     }
+    progress.finish(
+        budget as u64,
+        budget as u64,
+        &[("divergences", report.divergences.len() as u64)],
+    );
     report
 }
 

@@ -224,12 +224,20 @@ pub fn run(
 ) -> DecodeReport {
     let mut report = DecodeReport::default();
     let mut rng = SplitMix64::new(seed);
+    let mut progress = rsmem_obs::Progress::new("stress.decode", "decode sweep");
     let codes: Vec<RsCode> = CODES
         .iter()
         .map(|&(n, k, m, b)| RsCode::with_first_root(n, k, m, b).expect("zoo codes are valid"))
         .collect();
 
     for i in 0..budget {
+        if (i + 1).is_multiple_of(512) {
+            progress.tick(
+                (i + 1) as u64,
+                budget as u64,
+                &[("divergences", report.divergences.len() as u64)],
+            );
+        }
         let idx = i % CODES.len();
         let (n, k, m, b) = CODES[idx];
         let code = &codes[idx];
@@ -269,6 +277,11 @@ pub fn run(
         };
         record(code, &case, &mut report, max_divergences);
     }
+    progress.finish(
+        budget as u64,
+        budget as u64,
+        &[("divergences", report.divergences.len() as u64)],
+    );
 
     if exhaustive_budget > 0 {
         run_exhaustive(&mut report, exhaustive_budget, max_divergences);
@@ -287,6 +300,7 @@ fn run_exhaustive(report: &mut DecodeReport, budget: usize, max_divergences: usi
     let size = u64::from(code.field().size());
     let data: Vec<Symbol> = vec![1, 5, 2];
     let clean = code.encode(&data).expect("valid dataword");
+    let mut progress = rsmem_obs::Progress::new("stress.decode", "exhaustive sweep");
     let mut spent = 0usize;
 
     for emask in 0u32..(1 << n) {
@@ -307,9 +321,21 @@ fn run_exhaustive(report: &mut DecodeReport, budget: usize, max_divergences: usi
             for fc in 0..combos_f {
                 for ec in 0..combos_e {
                     if spent >= budget {
+                        progress.finish(
+                            spent as u64,
+                            budget as u64,
+                            &[("divergences", report.divergences.len() as u64)],
+                        );
                         return;
                     }
                     spent += 1;
+                    if spent.is_multiple_of(512) {
+                        progress.tick(
+                            spent as u64,
+                            budget as u64,
+                            &[("divergences", report.divergences.len() as u64)],
+                        );
+                    }
                     let mut word = clean.clone();
                     let mut f = fc;
                     for &p in &errpos {
@@ -335,6 +361,12 @@ fn run_exhaustive(report: &mut DecodeReport, budget: usize, max_divergences: usi
             }
         }
     }
+    // The lattice ran dry before the budget did.
+    progress.finish(
+        spent as u64,
+        budget as u64,
+        &[("divergences", report.divergences.len() as u64)],
+    );
 }
 
 #[cfg(test)]

@@ -94,26 +94,54 @@ impl StressConfig {
 
 /// Runs all three suites and collects the report.
 pub fn run(config: &StressConfig) -> StressReport {
+    let mut run_span = rsmem_obs::span("stress", "run");
+    run_span.record("seed", config.seed);
     let mut master = rng::SplitMix64::new(config.seed);
     let decode_seed = master.next_u64();
     let arbiter_seed = master.next_u64();
     let xval_seed = master.next_u64();
-    StressReport {
-        seed: config.seed,
-        decode: decode::run(
+    // Each suite gets its own timed span; the Drop at the end of the
+    // block stamps the elapsed time even if the suite panics.
+    let decode = {
+        let mut span = rsmem_obs::span("stress.decode", "suite");
+        let report = decode::run(
             decode_seed,
             config.decode_budget,
             config.exhaustive_budget,
             config.max_divergences,
-        ),
-        arbiter: arbiter_suite::run(arbiter_seed, config.arbiter_budget, config.max_divergences),
-        xval: xval::run(
+        );
+        span.record("cases", report.cases);
+        span.record("divergences", report.divergences.len() as u64);
+        report
+    };
+    let arbiter = {
+        let mut span = rsmem_obs::span("stress.arbiter", "suite");
+        let report =
+            arbiter_suite::run(arbiter_seed, config.arbiter_budget, config.max_divergences);
+        span.record("cases", report.cases);
+        span.record("divergences", report.divergences.len() as u64);
+        report
+    };
+    let xval = {
+        let mut span = rsmem_obs::span("stress.xval", "suite");
+        let report = xval::run(
             xval_seed,
             config.xval_configs,
             config.xval_trials,
             config.max_divergences,
-        ),
-    }
+        );
+        span.record("configs", report.configs);
+        span.record("divergences", report.divergences.len() as u64);
+        report
+    };
+    let report = StressReport {
+        seed: config.seed,
+        decode,
+        arbiter,
+        xval,
+    };
+    run_span.record("divergences", report.divergence_count() as u64);
+    report
 }
 
 #[cfg(test)]

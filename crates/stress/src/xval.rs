@@ -109,6 +109,7 @@ fn render_repro(config: &XvalConfig, detail: &str) -> String {
 pub fn run(seed: u64, configs: usize, trials: usize, max_divergences: usize) -> XvalReport {
     let mut report = XvalReport::default();
     let mut rng = SplitMix64::new(seed);
+    let mut progress = rsmem_obs::Progress::new("stress.xval", "cross-validation");
 
     let mut drawn = 0usize;
     while drawn < configs {
@@ -202,7 +203,19 @@ pub fn run(seed: u64, configs: usize, trials: usize, max_divergences: usize) -> 
                 }
             }
         }
+        // Each config costs a full Monte-Carlo campaign, so report after
+        // every one rather than on a case-count stride.
+        progress.tick(
+            drawn as u64,
+            configs as u64,
+            &[("divergences", report.divergences.len() as u64)],
+        );
     }
+    progress.finish(
+        configs as u64,
+        configs as u64,
+        &[("divergences", report.divergences.len() as u64)],
+    );
     report
 }
 

@@ -23,4 +23,12 @@ cargo run -q --release -p rsmem-service --example service_client
 echo "==> stress smoke (pinned seed; fails on any divergence)"
 target/release/rsmem-cli stress --seed 0xDA7E --budget 100000
 
+echo "==> JSON-lines tracing smoke (RSMEM_LOG=json output must be strict canonical JSON with trace IDs)"
+RSMEM_LOG=json target/release/rsmem-cli sweep fig7 --threads 2 >/dev/null 2>/tmp/rsmem_sweep_events.jsonl
+target/release/rsmem-cli check-jsonl < /tmp/rsmem_sweep_events.jsonl
+grep -q '"trace_id"' /tmp/rsmem_sweep_events.jsonl || {
+  echo "no trace_id in sweep events"; exit 1;
+}
+rm -f /tmp/rsmem_sweep_events.jsonl
+
 echo "verify: OK"
