@@ -1,0 +1,758 @@
+//! Continuous benchmark harness with a regression gate.
+//!
+//! `rsmem bench` runs a fixed suite — figure regenerations (the paper's
+//! headline artifacts), a decode-lattice microbench and a service
+//! round-trip bench — measuring each with **min-of-N** timing and a
+//! **MAD** (median absolute deviation) noise estimate. Every bench also
+//! produces a deterministic FNV-1a fingerprint of its *results*, so a
+//! report captures correctness alongside speed.
+//!
+//! Reports serialize through the shared canonical JSON codec
+//! ([`rsmem_obs::json`]), making every `BENCH_<date>.json` a
+//! parse→encode fixed point like the rest of the workspace's JSON
+//! artifacts. [`compare`] gates a new report against an old one:
+//! fingerprint/schema/mode violations are **hard failures** (the run
+//! is wrong, not slow); timing is flagged when the new minimum exceeds
+//! the old by more than `max(25%, 50 µs, 4·MAD)` — min-of-N plus a MAD
+//! guard is robust against scheduler noise on loaded runners.
+
+use rsmem::experiments::{run_with, ExperimentId};
+use rsmem::Parallelism;
+use rsmem_code::{DecodeOutcome, DecoderBackend, RsCode};
+use rsmem_gf::Symbol;
+use rsmem_obs::json::Value;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Schema tag of the report JSON.
+pub const SCHEMA: &str = "rsmem-bench/1";
+
+/// Minimum absolute slowdown (µs) before timing is ever flagged — the
+/// timer itself jitters by a few µs, so sub-50 µs deltas are noise.
+pub const MIN_REGRESSION_US: f64 = 50.0;
+
+/// Minimum relative slowdown before timing is flagged.
+pub const MIN_REGRESSION_FRACTION: f64 = 0.25;
+
+/// How many noise-widths (MAD) a slowdown must clear.
+pub const MAD_MULTIPLIER: f64 = 4.0;
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Suite-unique bench name (`fig7`, `decode_lattice`, …).
+    pub name: String,
+    /// Per-iteration wall times, µs, in execution order.
+    pub times_us: Vec<f64>,
+    /// Minimum of [`BenchResult::times_us`] — the headline statistic.
+    pub min_us: f64,
+    /// Median of the iteration times.
+    pub median_us: f64,
+    /// Median absolute deviation — the noise estimate.
+    pub mad_us: f64,
+    /// FNV-1a fingerprint of the bench's computed results.
+    pub fingerprint: u64,
+}
+
+/// A complete `rsmem bench` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// `"quick"` (CI smoke) or `"full"`.
+    pub mode: String,
+    /// Workspace version under measurement.
+    pub build_version: String,
+    /// Git hash under measurement (`"unknown"` outside a checkout).
+    pub build_git_hash: String,
+    /// The suite results, in execution order.
+    pub benches: Vec<BenchResult>,
+}
+
+// ------------------------------------------------------------- fingerprints
+
+/// Incremental FNV-1a (64-bit) — deterministic, dependency-free.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// ------------------------------------------------------------------- stats
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// `(min, median, MAD)` of a non-empty sample.
+fn stats(times: &[f64]) -> (f64, f64, f64) {
+    let mut sorted = times.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let median = median_of_sorted(&sorted);
+    let mut deviations: Vec<f64> = times.iter().map(|t| (t - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    (min, median, median_of_sorted(&deviations))
+}
+
+/// Times `iterations` runs of `work` (each returning its result
+/// fingerprint) and folds them into a [`BenchResult`].
+///
+/// # Errors
+///
+/// Propagates `work` errors, and reports intra-run nondeterminism
+/// (iterations disagreeing on the fingerprint) as an error — a bench
+/// whose answer changes between iterations cannot gate anything.
+fn run_bench(
+    name: &str,
+    iterations: usize,
+    mut work: impl FnMut() -> Result<u64, String>,
+) -> Result<BenchResult, String> {
+    let mut times_us = Vec::with_capacity(iterations);
+    let mut fingerprint = None;
+    for i in 0..iterations.max(1) {
+        let started = Instant::now();
+        let fp = work().map_err(|e| format!("bench {name}: {e}"))?;
+        times_us.push(started.elapsed().as_secs_f64() * 1e6);
+        match fingerprint {
+            None => fingerprint = Some(fp),
+            Some(expected) if expected == fp => {}
+            Some(expected) => {
+                return Err(format!(
+                    "bench {name}: nondeterministic results \
+                     (iteration 0 fingerprint {expected:016x}, iteration {i} {fp:016x})"
+                ));
+            }
+        }
+    }
+    let (min_us, median_us, mad_us) = stats(&times_us);
+    Ok(BenchResult {
+        name: name.to_owned(),
+        times_us,
+        min_us,
+        median_us,
+        mad_us,
+        fingerprint: fingerprint.unwrap_or(0),
+    })
+}
+
+// ------------------------------------------------------------------- suite
+
+fn figure_fingerprint(id: ExperimentId) -> Result<u64, String> {
+    let output = run_with(id, &Parallelism::Auto).map_err(|e| e.to_string())?;
+    let mut hash = Fnv::new();
+    match (output.figure(), output.table()) {
+        (Some(fig), _) => {
+            for series in &fig.series {
+                hash.write(series.label.as_bytes());
+                for &(x, y) in &series.points {
+                    hash.write_f64(x);
+                    hash.write_f64(y);
+                }
+            }
+        }
+        (_, Some(rows)) => {
+            for row in rows {
+                hash.write(row.label.as_bytes());
+                hash.write(&row.decode_cycles.to_le_bytes());
+            }
+        }
+        _ => unreachable!("experiment output is figure or table"),
+    }
+    Ok(hash.finish())
+}
+
+/// A deterministic xorshift-style generator for the decode lattice —
+/// self-contained so the bench cannot drift with an RNG shim.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Encode/corrupt/decode RS(18,16) words with both back-ends across a
+/// deterministic error/erasure lattice; fingerprints every outcome.
+fn decode_lattice() -> Result<u64, String> {
+    let code = RsCode::new(18, 16, 8).map_err(|e| e.to_string())?;
+    let mut hash = Fnv::new();
+    let mut state = 0xDA7E_5EED_u64;
+    for case in 0..96u64 {
+        let data: Vec<Symbol> = (0..16)
+            .map(|_| (splitmix(&mut state) & 0xFF) as Symbol)
+            .collect();
+        let mut word = code.encode(&data).map_err(|e| e.to_string())?;
+        // Sweep inside/on/beyond the er + 2·re ≤ n−k = 2 bound.
+        let errors = (case % 4) as usize; // 0..=3 corrupted positions
+        let erasures_declared = (case % 3) as usize; // of which this many are declared
+        let mut positions = Vec::new();
+        while positions.len() < errors {
+            let p = (splitmix(&mut state) % 18) as usize;
+            if !positions.contains(&p) {
+                positions.push(p);
+            }
+        }
+        for &p in &positions {
+            let flip = (splitmix(&mut state) & 0xFF) as Symbol;
+            word[p] ^= flip.max(1); // never a zero-flip: the position is corrupt
+        }
+        let erasures: Vec<usize> = positions.iter().copied().take(erasures_declared).collect();
+        for backend in [DecoderBackend::Sugiyama, DecoderBackend::BerlekampMassey] {
+            match code.decode_with(&word, &erasures, backend) {
+                Ok(DecodeOutcome::Clean { data }) => {
+                    hash.write(b"clean");
+                    for s in &data {
+                        hash.write(&s.to_le_bytes());
+                    }
+                }
+                Ok(DecodeOutcome::Corrected { data, .. }) => {
+                    hash.write(b"corrected");
+                    for s in &data {
+                        hash.write(&s.to_le_bytes());
+                    }
+                }
+                Ok(DecodeOutcome::Failure(_)) => hash.write(b"failure"),
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    Ok(hash.finish())
+}
+
+/// One HTTP round trip against `addr`; returns the response body.
+fn http_post(addr: std::net::SocketAddr, path: &str, body: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(raw.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response: {response:?}"))?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!("non-200 response: {head}"));
+    }
+    Ok(payload.to_owned())
+}
+
+/// Boots an ephemeral service, warms the cache with one solve, then
+/// measures cache-hit round trips (client + HTTP + cache lookup — the
+/// service's steady-state latency).
+fn service_roundtrip(iterations: usize) -> Result<BenchResult, String> {
+    let server = rsmem_service::Server::bind(rsmem_service::ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        ..rsmem_service::ServiceConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    let body =
+        r#"{"system": "duplex", "seu_per_bit_day": 1.7e-5, "scrub_period_s": 900, "points": 9}"#;
+    // Warm: the one cache miss pays the solve; it is not measured.
+    let warm = http_post(addr, "/v1/analyze", body)?;
+    let result = run_bench("service_roundtrip", iterations, || {
+        let payload = http_post(addr, "/v1/analyze", body)?;
+        if payload != warm {
+            return Err("cache hit differs from warm-up response".to_owned());
+        }
+        let mut hash = Fnv::new();
+        hash.write(payload.as_bytes());
+        Ok(hash.finish())
+    });
+    server.shutdown();
+    result
+}
+
+/// Runs the whole suite. `quick` trims iterations and figure coverage
+/// for CI smoke runs; `full` covers fig5–fig8.
+///
+/// # Errors
+///
+/// The first failing bench's message (solver errors, service I/O,
+/// intra-run nondeterminism).
+pub fn run_suite(quick: bool) -> Result<BenchReport, String> {
+    let iterations = if quick { 5 } else { 15 };
+    let figures = if quick {
+        vec![ExperimentId::Fig5, ExperimentId::Fig7]
+    } else {
+        vec![
+            ExperimentId::Fig5,
+            ExperimentId::Fig6,
+            ExperimentId::Fig7,
+            ExperimentId::Fig8,
+        ]
+    };
+    let mut benches = Vec::new();
+    for id in figures {
+        benches.push(run_bench(id.static_name(), iterations, || {
+            figure_fingerprint(id)
+        })?);
+    }
+    benches.push(run_bench("decode_lattice", iterations, decode_lattice)?);
+    benches.push(service_roundtrip(iterations)?);
+    let (version, git_hash) = rsmem_obs::build_info();
+    Ok(BenchReport {
+        mode: if quick { "quick" } else { "full" }.to_owned(),
+        build_version: version.to_owned(),
+        build_git_hash: git_hash.to_owned(),
+        benches,
+    })
+}
+
+// -------------------------------------------------------------------- JSON
+
+impl BenchReport {
+    /// Canonical-JSON document; the encoded form is a parse→encode
+    /// fixed point.
+    pub fn to_json(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("schema".to_owned(), Value::String(SCHEMA.to_owned()));
+        map.insert("mode".to_owned(), Value::String(self.mode.clone()));
+        let mut build = BTreeMap::new();
+        build.insert(
+            "version".to_owned(),
+            Value::String(self.build_version.clone()),
+        );
+        build.insert(
+            "git_hash".to_owned(),
+            Value::String(self.build_git_hash.clone()),
+        );
+        map.insert("build".to_owned(), Value::Object(build));
+        map.insert(
+            "benches".to_owned(),
+            Value::Array(
+                self.benches
+                    .iter()
+                    .map(|b| {
+                        let mut bench = BTreeMap::new();
+                        bench.insert("name".to_owned(), Value::String(b.name.clone()));
+                        bench.insert(
+                            "times_us".to_owned(),
+                            Value::Array(b.times_us.iter().map(|&t| Value::Number(t)).collect()),
+                        );
+                        bench.insert("min_us".to_owned(), Value::Number(b.min_us));
+                        bench.insert("median_us".to_owned(), Value::Number(b.median_us));
+                        bench.insert("mad_us".to_owned(), Value::Number(b.mad_us));
+                        bench.insert(
+                            "fingerprint".to_owned(),
+                            Value::String(format!("{:016x}", b.fingerprint)),
+                        );
+                        Value::Object(bench)
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(map)
+    }
+
+    /// Parses a report back from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first schema violation.
+    pub fn from_json(value: &Value) -> Result<BenchReport, String> {
+        let schema = value
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing \"schema\"")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let mode = value
+            .get("mode")
+            .and_then(Value::as_str)
+            .ok_or("missing \"mode\"")?
+            .to_owned();
+        let build = value.get("build").ok_or("missing \"build\"")?;
+        let build_version = build
+            .get("version")
+            .and_then(Value::as_str)
+            .ok_or("missing build.version")?
+            .to_owned();
+        let build_git_hash = build
+            .get("git_hash")
+            .and_then(Value::as_str)
+            .ok_or("missing build.git_hash")?
+            .to_owned();
+        let benches_value = match value.get("benches") {
+            Some(Value::Array(items)) => items,
+            _ => return Err("missing \"benches\" array".to_owned()),
+        };
+        let mut benches = Vec::with_capacity(benches_value.len());
+        for item in benches_value {
+            let name = item
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("bench missing \"name\"")?
+                .to_owned();
+            let times_us = match item.get("times_us") {
+                Some(Value::Array(times)) => times
+                    .iter()
+                    .map(|t| {
+                        t.as_f64()
+                            .ok_or_else(|| format!("bench {name}: non-numeric time"))
+                    })
+                    .collect::<Result<Vec<f64>, String>>()?,
+                _ => return Err(format!("bench {name}: missing \"times_us\"")),
+            };
+            let number = |key: &str| -> Result<f64, String> {
+                item.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("bench {name}: missing \"{key}\""))
+            };
+            let fingerprint_hex = item
+                .get("fingerprint")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("bench {name}: missing \"fingerprint\""))?;
+            let fingerprint = u64::from_str_radix(fingerprint_hex, 16)
+                .map_err(|_| format!("bench {name}: bad fingerprint {fingerprint_hex:?}"))?;
+            benches.push(BenchResult {
+                min_us: number("min_us")?,
+                median_us: number("median_us")?,
+                mad_us: number("mad_us")?,
+                name,
+                times_us,
+                fingerprint,
+            });
+        }
+        Ok(BenchReport {
+            mode,
+            build_version,
+            build_git_hash,
+            benches,
+        })
+    }
+
+    /// Human-readable one-line-per-bench summary.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench ({} mode, v{} @ {}): {} benches",
+            self.mode,
+            self.build_version,
+            self.build_git_hash,
+            self.benches.len()
+        );
+        for b in &self.benches {
+            let _ = writeln!(
+                out,
+                "  {:<20} min {:>10.1}µs  median {:>10.1}µs  ±{:>7.1}µs  fp {:016x}",
+                b.name, b.min_us, b.median_us, b.mad_us, b.fingerprint
+            );
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------- compare
+
+/// Outcome of gating `new` against `old`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// Violations that make the comparison itself invalid or prove the
+    /// new build computes *different results*: schema/mode mismatches,
+    /// missing benches, fingerprint divergence. Always fatal.
+    pub hard_failures: Vec<String>,
+    /// Statistically significant slowdowns (min-of-N beyond the noise
+    /// guard). Fatal unless the caller opts into warn-only timing.
+    pub timing_regressions: Vec<String>,
+    /// Non-fatal observations (improvements, new benches).
+    pub notes: Vec<String>,
+}
+
+impl Comparison {
+    /// True when nothing at all was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.hard_failures.is_empty() && self.timing_regressions.is_empty()
+    }
+
+    /// Renders every finding, one per line.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for h in &self.hard_failures {
+            let _ = writeln!(out, "HARD FAIL: {h}");
+        }
+        for r in &self.timing_regressions {
+            let _ = writeln!(out, "REGRESSION: {r}");
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        if self.is_clean() {
+            let _ = writeln!(out, "comparison clean: no regressions");
+        }
+        out
+    }
+}
+
+/// Gates `new` against `old`. See [`Comparison`] for severity classes.
+pub fn compare(old: &BenchReport, new: &BenchReport) -> Comparison {
+    let mut cmp = Comparison::default();
+    if old.mode != new.mode {
+        cmp.hard_failures.push(format!(
+            "mode mismatch: baseline is {:?}, new run is {:?} (compare like with like)",
+            old.mode, new.mode
+        ));
+        return cmp;
+    }
+    if old.build_git_hash != new.build_git_hash {
+        cmp.notes.push(format!(
+            "comparing builds {} → {}",
+            old.build_git_hash, new.build_git_hash
+        ));
+    }
+    for old_bench in &old.benches {
+        let Some(new_bench) = new.benches.iter().find(|b| b.name == old_bench.name) else {
+            cmp.hard_failures.push(format!(
+                "bench {:?} missing from new report",
+                old_bench.name
+            ));
+            continue;
+        };
+        if old_bench.fingerprint != new_bench.fingerprint {
+            cmp.hard_failures.push(format!(
+                "bench {:?}: result fingerprint changed {:016x} → {:016x} \
+                 (the new build computes different numbers)",
+                old_bench.name, old_bench.fingerprint, new_bench.fingerprint
+            ));
+            continue;
+        }
+        let noise = MAD_MULTIPLIER * old_bench.mad_us.max(new_bench.mad_us);
+        let threshold = (MIN_REGRESSION_FRACTION * old_bench.min_us)
+            .max(MIN_REGRESSION_US)
+            .max(noise);
+        let delta = new_bench.min_us - old_bench.min_us;
+        if delta > threshold {
+            cmp.timing_regressions.push(format!(
+                "bench {:?}: min {:.1}µs → {:.1}µs (+{:.0}%, threshold {:.1}µs)",
+                old_bench.name,
+                old_bench.min_us,
+                new_bench.min_us,
+                delta / old_bench.min_us * 100.0,
+                threshold
+            ));
+        } else if -delta > threshold {
+            cmp.notes.push(format!(
+                "bench {:?}: improved {:.1}µs → {:.1}µs",
+                old_bench.name, old_bench.min_us, new_bench.min_us
+            ));
+        }
+    }
+    for new_bench in &new.benches {
+        if !old.benches.iter().any(|b| b.name == new_bench.name) {
+            cmp.notes
+                .push(format!("bench {:?} is new (no baseline)", new_bench.name));
+        }
+    }
+    cmp
+}
+
+// -------------------------------------------------------------------- date
+
+/// Days-since-epoch → (year, month, day), Howard Hinnant's
+/// `civil_from_days` (exact for the proleptic Gregorian calendar).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Today's UTC date as `YYYY-MM-DD` — the default `BENCH_<date>.json`
+/// file stamp.
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsmem_obs::json;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            mode: "quick".to_owned(),
+            build_version: "0.1.0".to_owned(),
+            build_git_hash: "abc123def456".to_owned(),
+            benches: vec![
+                BenchResult {
+                    name: "fig7".to_owned(),
+                    times_us: vec![400.0, 380.0, 371.5, 390.0, 385.0],
+                    min_us: 371.5,
+                    median_us: 385.0,
+                    mad_us: 5.0,
+                    fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                },
+                BenchResult {
+                    name: "decode_lattice".to_owned(),
+                    times_us: vec![120.0, 118.0, 119.0],
+                    min_us: 118.0,
+                    median_us: 119.0,
+                    mad_us: 1.0,
+                    fingerprint: 0x0123_4567_89AB_CDEF,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_min_median_mad() {
+        let (min, median, mad) = stats(&[5.0, 1.0, 9.0, 3.0, 7.0]);
+        assert_eq!(min, 1.0);
+        assert_eq!(median, 5.0);
+        // |x−5| = {0,4,4,2,2} → sorted {0,2,2,4,4} → median 2.
+        assert_eq!(mad, 2.0);
+        let (min, median, _) = stats(&[4.0, 2.0]);
+        assert_eq!(min, 2.0);
+        assert_eq!(median, 3.0);
+    }
+
+    #[test]
+    fn report_json_roundtrip_is_canonical() {
+        let report = sample_report();
+        let encoded = report.to_json().encode();
+        let parsed = json::parse(&encoded).expect("valid JSON");
+        assert_eq!(parsed.encode(), encoded, "parse→encode fixed point");
+        let restored = BenchReport::from_json(&parsed).expect("schema-valid");
+        assert_eq!(restored, report);
+        assert!(encoded.contains("\"schema\":\"rsmem-bench/1\""));
+        assert!(encoded.contains("\"fingerprint\":\"deadbeefcafef00d\""));
+    }
+
+    #[test]
+    fn from_json_rejects_schema_violations() {
+        let bad = json::parse("{\"schema\":\"rsmem-bench/9\"}").unwrap();
+        assert!(BenchReport::from_json(&bad).unwrap_err().contains("schema"));
+        let bad = json::parse("{\"schema\":\"rsmem-bench/1\"}").unwrap();
+        assert!(BenchReport::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn self_comparison_is_clean() {
+        let report = sample_report();
+        let cmp = compare(&report, &report);
+        assert!(cmp.is_clean(), "{cmp:?}");
+        assert!(cmp.render_text().contains("comparison clean"));
+    }
+
+    #[test]
+    fn injected_2x_slowdown_on_fig7_is_flagged() {
+        // The acceptance scenario: double fig7's measured times and the
+        // gate must flag exactly that bench.
+        let old = sample_report();
+        let mut new = old.clone();
+        let fig7 = &mut new.benches[0];
+        for t in &mut fig7.times_us {
+            *t *= 2.0;
+        }
+        fig7.min_us *= 2.0;
+        fig7.median_us *= 2.0;
+        let cmp = compare(&old, &new);
+        assert!(cmp.hard_failures.is_empty(), "{cmp:?}");
+        assert_eq!(cmp.timing_regressions.len(), 1, "{cmp:?}");
+        assert!(cmp.timing_regressions[0].contains("fig7"), "{cmp:?}");
+        assert!(!cmp.is_clean());
+    }
+
+    #[test]
+    fn fingerprint_divergence_is_a_hard_failure() {
+        let old = sample_report();
+        let mut new = old.clone();
+        new.benches[1].fingerprint ^= 1;
+        let cmp = compare(&old, &new);
+        assert_eq!(cmp.hard_failures.len(), 1, "{cmp:?}");
+        assert!(cmp.hard_failures[0].contains("decode_lattice"));
+    }
+
+    #[test]
+    fn missing_bench_and_mode_mismatch_are_hard_failures() {
+        let old = sample_report();
+        let mut new = old.clone();
+        new.benches.pop();
+        let cmp = compare(&old, &new);
+        assert!(cmp
+            .hard_failures
+            .iter()
+            .any(|h| h.contains("missing from new report")));
+
+        let mut full = old.clone();
+        full.mode = "full".to_owned();
+        let cmp = compare(&old, &full);
+        assert!(cmp.hard_failures[0].contains("mode mismatch"));
+    }
+
+    #[test]
+    fn small_jitter_below_floor_is_not_flagged() {
+        let old = sample_report();
+        let mut new = old.clone();
+        new.benches[0].min_us += 40.0; // < 50 µs floor and < 25%
+        let cmp = compare(&old, &new);
+        assert!(cmp.is_clean(), "{cmp:?}");
+    }
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap-adjacent
+        assert_eq!(civil_from_days(11_016), (2000, 2, 29)); // leap day
+        let today = today_utc();
+        assert_eq!(today.len(), 10);
+        assert_eq!(today.as_bytes()[4], b'-');
+    }
+
+    #[test]
+    fn decode_lattice_is_deterministic() {
+        let a = decode_lattice().unwrap();
+        let b = decode_lattice().unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -8,6 +8,8 @@
 use rsmem::experiments::{run, ExperimentId};
 use rsmem::report;
 
+pub mod harness;
+
 /// Prints the regenerated artifact for `id` (series rows or table), then
 /// returns the label Criterion should use.
 ///

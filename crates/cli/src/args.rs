@@ -12,7 +12,14 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 3] = ["--csv", "--duplex", "--plot"];
+const BOOLEAN_FLAGS: [&str; 6] = [
+    "--csv",
+    "--duplex",
+    "--plot",
+    "--profile-json",
+    "--quick",
+    "--warn-timing",
+];
 
 /// Parses `argv` into positionals and flags.
 ///
@@ -130,6 +137,18 @@ mod tests {
         assert_eq!(p.value("--seu"), Some("1e-5"));
         assert!(p.has("--csv"));
         assert!(!p.has("--duplex"));
+    }
+
+    #[test]
+    fn bench_and_profile_flags_are_boolean() {
+        // These must not swallow the next token as a value.
+        let p = parse(&argv(&["bench", "--quick", "--warn-timing", "out.json"])).unwrap();
+        assert!(p.has("--quick"));
+        assert!(p.has("--warn-timing"));
+        assert_eq!(p.positional, vec!["bench", "out.json"]);
+        let p = parse(&argv(&["profile", "--profile-json", "sweep", "fig7"])).unwrap();
+        assert!(p.has("--profile-json"));
+        assert_eq!(p.positional, vec!["profile", "sweep", "fig7"]);
     }
 
     #[test]

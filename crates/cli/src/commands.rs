@@ -19,6 +19,9 @@ rsmem — Reed–Solomon memory reliability toolkit (DATE 2005 reproduction)
 USAGE:
   rsmem experiment <id> [--csv|--plot] regenerate a paper artifact
   rsmem sweep <id> [--csv|--plot]     like experiment, with progress + tracing
+  rsmem profile <cmd ...>             run any command under the self-profiler
+  rsmem bench [flags]                 benchmark suite → BENCH_<date>.json
+  rsmem bench --compare OLD NEW       gate a new report against a baseline
   rsmem ber [flags]                   analytic BER(t) curve
   rsmem metrics [flags]               reliability, MTTF, expected uptime
   rsmem simulate [flags]              Monte-Carlo campaign of the real system
@@ -65,6 +68,16 @@ STRESS FLAGS:
   --budget N              random decode cases; arbiter/exhaustive/x-val
                           budgets scale from it (default: 100000)
 
+PROFILE FLAGS:
+  --profile-json          emit the call tree as canonical JSON (suppresses
+                          the wrapped command's own output)
+
+BENCH FLAGS:
+  --quick                 CI smoke mode: fewer iterations, fig5+fig7 only
+  --out PATH              report path (default: BENCH_<date>.json)
+  --warn-timing           with --compare: timing regressions warn instead
+                          of failing (fingerprint mismatches still fail)
+
 SERVE FLAGS:
   --addr HOST:PORT        bind address (default: 127.0.0.1:7373; port 0 = ephemeral)
   --threads N             worker threads (default: all cores)
@@ -101,6 +114,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         }
         Some("stress") => cmd_stress(&parsed),
         Some("serve") => cmd_serve(&parsed),
+        Some("profile") => cmd_profile(argv, &parsed),
+        Some("bench") => cmd_bench(&parsed),
         Some(other) => Err(format!("unknown command {other:?}")),
     }
 }
@@ -394,6 +409,114 @@ fn cmd_serve(parsed: &Parsed) -> Result<String, String> {
     Ok("server stopped\n".to_owned())
 }
 
+/// `rsmem profile <cmd ...>` — re-dispatches the wrapped command with
+/// the hierarchical profiler enabled, then reports where the wall time
+/// went. `--profile-json` swaps the text tree (appended after the
+/// wrapped command's output) for the canonical-JSON document alone.
+fn cmd_profile(argv: &[String], parsed: &Parsed) -> Result<String, String> {
+    // The inner argv is everything except the leading `profile` token
+    // and the flags that belong to the profiler itself.
+    let mut inner: Vec<String> = Vec::with_capacity(argv.len());
+    let mut stripped_command = false;
+    for arg in argv {
+        if !stripped_command && arg == "profile" {
+            stripped_command = true;
+            continue;
+        }
+        if arg == "--profile-json" {
+            continue;
+        }
+        inner.push(arg.clone());
+    }
+    match inner.first().map(String::as_str) {
+        None => {
+            return Err(
+                "profile requires a command to wrap (e.g. `rsmem profile sweep fig7`)".to_owned(),
+            )
+        }
+        Some("profile") => return Err("profile cannot wrap itself".to_owned()),
+        Some(_) => {}
+    }
+    let was_enabled = rsmem_obs::profile::is_enabled();
+    rsmem_obs::profile::set_enabled(true);
+    rsmem_obs::profile::reset();
+    let started = std::time::Instant::now();
+    let result = dispatch(&inner);
+    let wall_us = (started.elapsed().as_secs_f64() * 1e6) as u64;
+    let snapshot = rsmem_obs::profile::snapshot_and_reset();
+    rsmem_obs::profile::set_enabled(was_enabled);
+    let inner_output = result?;
+    if parsed.has("--profile-json") {
+        let mut doc = snapshot.to_json();
+        if let rsmem_obs::json::Value::Object(map) = &mut doc {
+            map.insert(
+                "wall_us".to_owned(),
+                rsmem_obs::json::Value::Number(wall_us as f64),
+            );
+        }
+        Ok(format!("{}\n", doc.encode()))
+    } else {
+        let attributed = snapshot.root_total_us();
+        let percent = if wall_us > 0 {
+            attributed as f64 / wall_us as f64 * 100.0
+        } else {
+            100.0
+        };
+        let mut out = inner_output;
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "--- profile: {wall_us}µs wall, {percent:.1}% attributed ---"
+        );
+        out.push_str(&snapshot.render_text());
+        Ok(out)
+    }
+}
+
+/// Reads and schema-validates a `BENCH_<date>.json` report.
+fn load_bench_report(path: &str) -> Result<rsmem_bench::harness::BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = rsmem_obs::json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
+    rsmem_bench::harness::BenchReport::from_json(&value).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `rsmem bench` — runs the continuous benchmark suite and writes the
+/// canonical report; `rsmem bench --compare OLD NEW` gates NEW against
+/// OLD and fails (nonzero exit) on hard violations or — unless
+/// `--warn-timing` — statistically significant slowdowns.
+fn cmd_bench(parsed: &Parsed) -> Result<String, String> {
+    use rsmem_bench::harness;
+    if let Some(old_path) = parsed.value("--compare") {
+        let new_path = parsed
+            .positional
+            .get(1)
+            .ok_or("bench --compare OLD NEW: the new report path is missing")?;
+        let old = load_bench_report(old_path)?;
+        let new = load_bench_report(new_path)?;
+        let comparison = harness::compare(&old, &new);
+        let text = comparison.render_text();
+        let timing_is_fatal =
+            !comparison.timing_regressions.is_empty() && !parsed.has("--warn-timing");
+        if comparison.hard_failures.is_empty() && !timing_is_fatal {
+            Ok(text)
+        } else {
+            Err(text)
+        }
+    } else {
+        let quick = parsed.has("--quick");
+        let report = harness::run_suite(quick)?;
+        let path = parsed
+            .value("--out")
+            .map(ToOwned::to_owned)
+            .unwrap_or_else(|| format!("BENCH_{}.json", harness::today_utc()));
+        std::fs::write(&path, format!("{}\n", report.to_json().encode()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        Ok(format!("{}wrote {path}\n", report.render_text()))
+    }
+}
+
 fn cmd_advise(parsed: &Parsed) -> Result<String, String> {
     let system = system_from(parsed)?;
     let horizon = horizon_from(parsed)?;
@@ -641,6 +764,162 @@ mod tests {
     fn serve_rejects_unbindable_addresses() {
         assert!(run_cli(&["serve", "--addr", "not-an-address"]).is_err());
         assert!(run_cli(&["serve", "--cache-cap", "lots"]).is_err());
+    }
+
+    #[test]
+    fn profile_requires_a_wrappable_command() {
+        assert!(run_cli(&["profile"]).is_err());
+        assert!(run_cli(&["profile", "--profile-json"]).is_err());
+        assert!(run_cli(&["profile", "profile", "list"]).is_err());
+        // Errors of the wrapped command surface unchanged.
+        assert!(run_cli(&["profile", "frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn profile_fig7_attributes_at_least_90_percent_of_wall_time() {
+        // Acceptance criterion: the profiler must account for ≥90% of a
+        // fig7 regeneration's wall time through named spans.
+        let out = run_cli(&["profile", "sweep", "fig7", "--profile-json"]).unwrap();
+        let doc = rsmem_obs::json::parse(out.trim()).expect("canonical JSON");
+        assert_eq!(
+            doc.get("schema").and_then(rsmem_obs::json::Value::as_str),
+            Some("rsmem-profile/1")
+        );
+        let wall = doc
+            .get("wall_us")
+            .and_then(rsmem_obs::json::Value::as_f64)
+            .expect("wall_us present");
+        let spans = match doc.get("spans") {
+            Some(rsmem_obs::json::Value::Array(spans)) => spans,
+            other => panic!("spans array missing: {other:?}"),
+        };
+        let attributed: f64 = spans
+            .iter()
+            .map(|s| {
+                s.get("total_us")
+                    .and_then(rsmem_obs::json::Value::as_f64)
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        assert!(
+            attributed >= 0.9 * wall,
+            "attributed {attributed}µs of {wall}µs wall"
+        );
+        // The call tree names the figure and its per-curve children.
+        assert!(out.contains("\"name\":\"fig7\""), "{out}");
+        assert!(out.contains("\"name\":\"scrub_curve\""), "{out}");
+    }
+
+    #[test]
+    fn profile_text_report_follows_wrapped_output() {
+        let out = run_cli(&["profile", "experiment", "fig5", "--csv"]).unwrap();
+        let plain = run_cli(&["experiment", "fig5", "--csv"]).unwrap();
+        assert!(out.starts_with(&plain), "wrapped output preserved");
+        assert!(out.contains("--- profile:"), "{out}");
+        assert!(out.contains("core.experiments.fig5"), "{out}");
+    }
+
+    fn sample_bench_report() -> rsmem_bench::harness::BenchReport {
+        use rsmem_bench::harness::{BenchReport, BenchResult};
+        let bench = |name: &str, base: f64| BenchResult {
+            name: name.to_owned(),
+            times_us: vec![base * 1.1, base, base * 1.05],
+            min_us: base,
+            median_us: base * 1.05,
+            mad_us: base * 0.01,
+            fingerprint: 0xFEED_F00D,
+        };
+        BenchReport {
+            mode: "quick".to_owned(),
+            build_version: "0.1.0".to_owned(),
+            build_git_hash: "cafebabe".to_owned(),
+            benches: vec![bench("fig5", 900.0), bench("fig7", 1_200.0)],
+        }
+    }
+
+    fn write_bench_report(
+        tag: &str,
+        report: &rsmem_bench::harness::BenchReport,
+    ) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("rsmem-cli-bench-{}-{tag}.json", std::process::id()));
+        std::fs::write(&path, format!("{}\n", report.to_json().encode())).unwrap();
+        path
+    }
+
+    #[test]
+    fn bench_compare_passes_self_and_flags_2x_slowdown() {
+        // Acceptance criterion: self-comparison exits cleanly; a 2x
+        // slowdown injected into fig7 is flagged with nonzero exit.
+        let old = sample_bench_report();
+        let old_path = write_bench_report("self-old", &old);
+        let ok = run_cli(&[
+            "bench",
+            "--compare",
+            old_path.to_str().unwrap(),
+            old_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(ok.contains("comparison clean"), "{ok}");
+
+        let mut slow = old.clone();
+        let fig7 = slow.benches.iter_mut().find(|b| b.name == "fig7").unwrap();
+        for t in &mut fig7.times_us {
+            *t *= 2.0;
+        }
+        fig7.min_us *= 2.0;
+        fig7.median_us *= 2.0;
+        let slow_path = write_bench_report("self-slow", &slow);
+        let err = run_cli(&[
+            "bench",
+            "--compare",
+            old_path.to_str().unwrap(),
+            slow_path.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        assert!(err.contains("fig7"), "{err}");
+        assert!(!err.contains("fig5"), "{err}");
+
+        // --warn-timing downgrades the slowdown to a warning (exit 0)…
+        let warned = run_cli(&[
+            "bench",
+            "--compare",
+            old_path.to_str().unwrap(),
+            slow_path.to_str().unwrap(),
+            "--warn-timing",
+        ])
+        .unwrap();
+        assert!(warned.contains("REGRESSION"), "{warned}");
+
+        // …but never rescues a determinism violation.
+        let mut wrong = old.clone();
+        wrong.benches[0].fingerprint ^= 1;
+        let wrong_path = write_bench_report("self-wrong", &wrong);
+        let err = run_cli(&[
+            "bench",
+            "--compare",
+            old_path.to_str().unwrap(),
+            wrong_path.to_str().unwrap(),
+            "--warn-timing",
+        ])
+        .unwrap_err();
+        assert!(err.contains("HARD FAIL"), "{err}");
+
+        for p in [old_path, slow_path, wrong_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn bench_compare_reports_bad_inputs() {
+        assert!(run_cli(&["bench", "--compare", "/nonexistent.json"]).is_err());
+        let old = sample_bench_report();
+        let old_path = write_bench_report("bad-inputs", &old);
+        // Missing NEW positional.
+        let err = run_cli(&["bench", "--compare", old_path.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("new report path"), "{err}");
+        let _ = std::fs::remove_file(old_path);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub struct ComplexityRow {
 /// RS(18,16) stores the same number of redundant symbols as a simplex
 /// RS(36,16).
 pub fn section6_comparison() -> Vec<ComplexityRow> {
+    let _span = rsmem_obs::span("code.complexity", "section6_comparison");
     let narrow = (18usize, 16usize);
     let wide = (36usize, 16usize);
     let m = 8;

@@ -83,6 +83,21 @@ impl ExperimentId {
     pub fn all() -> [ExperimentId; 7] {
         Self::ALL
     }
+
+    /// The `Display` name as a `&'static str` — span names must be
+    /// static, so the profiler can key call-tree nodes by pointer-free
+    /// `(target, name)` pairs.
+    pub fn static_name(self) -> &'static str {
+        match self {
+            ExperimentId::Fig5 => "fig5",
+            ExperimentId::Fig6 => "fig6",
+            ExperimentId::Fig7 => "fig7",
+            ExperimentId::Fig8 => "fig8",
+            ExperimentId::Fig9 => "fig9",
+            ExperimentId::Fig10 => "fig10",
+            ExperimentId::Complexity => "complexity",
+        }
+    }
 }
 
 /// Error returned when parsing an [`ExperimentId`] from a string fails.
@@ -224,6 +239,8 @@ pub fn run_with_observer(
     par: &Parallelism,
     observer: SweepObserver<'_>,
 ) -> Result<ExperimentOutput, Error> {
+    let _figure_span =
+        rsmem_obs::span_at(rsmem_obs::Level::Info, "core.experiments", id.static_name());
     match id {
         ExperimentId::Fig5 => transient::fig5(par, observer).map(ExperimentOutput::Figure),
         ExperimentId::Fig6 => transient::fig6(par, observer).map(ExperimentOutput::Figure),
@@ -258,6 +275,13 @@ mod tests {
                 "complexity"
             ]
         );
+    }
+
+    #[test]
+    fn static_name_matches_display() {
+        for id in ExperimentId::ALL {
+            assert_eq!(id.static_name(), id.to_string());
+        }
     }
 
     #[test]

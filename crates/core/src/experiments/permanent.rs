@@ -30,6 +30,10 @@ fn permanent_sweep(
     let done = AtomicUsize::new(0);
     let series = par
         .map(&PERMANENT_RATES_PER_SYMBOL_DAY, |&rate| {
+            let mut curve_span = rsmem_obs::span("core.experiments", "permanent_curve");
+            if curve_span.active() {
+                curve_span.record("rate_per_symbol_day", rate);
+            }
             let system = make(rate);
             let curve = system.ber_curve(grid.points())?;
             observer(

@@ -29,6 +29,10 @@ fn seu_sweep(
     let done = AtomicUsize::new(0);
     let series = par
         .map(&SEU_RATES_PER_BIT_DAY, |&rate| {
+            let mut curve_span = rsmem_obs::span("core.experiments", "seu_curve");
+            if curve_span.active() {
+                curve_span.record("rate_per_bit_day", rate);
+            }
             let system = make(rate);
             let curve = system.ber_curve(grid.points())?;
             observer(
@@ -85,6 +89,10 @@ pub(super) fn fig7(par: &Parallelism, observer: SweepObserver<'_>) -> Result<Fig
     let done = AtomicUsize::new(0);
     let series = par
         .map(&SCRUB_PERIODS_S, |&period_s| {
+            let mut curve_span = rsmem_obs::span("core.experiments", "scrub_curve");
+            if curve_span.active() {
+                curve_span.record("scrub_period_s", period_s);
+            }
             let system = MemorySystem::duplex(CodeParams::rs18_16())
                 .with_seu_rate(SeuRate::per_bit_day(WORST_CASE_SEU))
                 .with_scrubbing(Scrubbing::every_seconds(period_s));

@@ -110,6 +110,7 @@ pub mod mission {
 /// zero-valued set before any solve has run. The service calls this at
 /// bind time; long-running CLI commands call it at startup.
 pub fn register_solver_metrics() {
+    rsmem_obs::register_build_info(rsmem_obs::global());
     rsmem_ctmc::uniformization::register_metrics();
     rsmem_code::register_metrics();
     rsmem_sim::metrics::register_metrics();

@@ -67,9 +67,12 @@ impl Parallelism {
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, U)>();
         let mut slots: Vec<Option<U>> = (0..jobs).map(|_| None).collect();
-        // Carry the caller's trace ID into the workers so events emitted
-        // inside jobs stay attributable to the originating request.
+        // Carry the caller's trace ID and profiler position into the
+        // workers so events emitted inside jobs stay attributable to
+        // the originating request and worker spans nest under the span
+        // that fanned them out.
         let trace = rsmem_obs::log::current_trace_id();
+        let profile_node = rsmem_obs::profile::current_node();
         thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
@@ -77,6 +80,7 @@ impl Parallelism {
                 let f = &f;
                 scope.spawn(move || {
                     let _trace = trace.map(rsmem_obs::log::trace_scope);
+                    let _profile = rsmem_obs::profile::attach_scope(profile_node);
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= jobs {

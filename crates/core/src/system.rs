@@ -137,6 +137,8 @@ impl MemorySystem {
     /// Configuration errors, or solver errors wrapped in
     /// [`Error::Model`].
     pub fn ber_curve(&self, times: &[Time]) -> Result<BerCurve, Error> {
+        let mut ber_span = rsmem_obs::span("core.system", "ber_curve");
+        ber_span.record("points", times.len());
         self.validate()?;
         match self.arrangement {
             Arrangement::Simplex => {

@@ -1,0 +1,21 @@
+//! Bakes the git commit hash into the crate so `rsmem_build_info`
+//! (and bench reports) can identify the build under measurement.
+//! Builds from a tarball (no `.git`) fall back to "unknown".
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    println!("cargo:rustc-env=RSMEM_GIT_HASH={hash}");
+    // Re-run when HEAD moves so the hash cannot go stale in incremental
+    // builds. A missing path just means "always re-run", which is fine.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -21,6 +21,12 @@
 //! * [`json`] — the canonical JSON codec the event pipeline and
 //!   `rsmem-service` share (moved here from the service so the two
 //!   layers cannot drift apart).
+//! * [`profile`] — a hierarchical self-profiler fed by the span stream:
+//!   call counts, total/self wall time and latency histograms per call
+//!   tree position, thread-aware across the workspace's worker pools,
+//!   with the same zero-allocation disabled path as the event pipeline.
+//!   Surfaced as `rsmem profile …` reports and the service's
+//!   `GET /debug/profile` endpoint.
 //!
 //! Trace IDs flow through a thread-local: [`log::trace_scope`]
 //! establishes the current ID, worker pools capture and re-establish it
@@ -33,8 +39,9 @@
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
 
 pub use log::{event, span, span_at, Level, LogConfig, LogFormat, Sink, Span};
-pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use metrics::{build_info, global, register_build_info, Counter, Gauge, Histogram, Registry};
 pub use progress::Progress;

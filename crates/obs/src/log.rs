@@ -324,6 +324,11 @@ pub struct Span(Option<SpanData>);
 struct SpanData {
     record: Record,
     start: Instant,
+    /// True when the span passes the *logging* filter (it will emit a
+    /// record on drop). A span can exist for the profiler alone.
+    log: bool,
+    /// Open profiler frame, when profiling is enabled.
+    prof: Option<crate::profile::Frame>,
 }
 
 /// Starts a [`Level::Debug`] span (the level solver instrumentation
@@ -332,9 +337,14 @@ pub fn span(target: &'static str, name: &'static str) -> Span {
     span_at(Level::Debug, target, name)
 }
 
-/// Starts a span at an explicit level.
+/// Starts a span at an explicit level. Every span doubles as a
+/// [`crate::profile`] probe: if profiling is enabled the span is timed
+/// and aggregated even when logging would drop it. With both systems
+/// off the cost is two relaxed atomic loads and zero allocations.
 pub fn span_at(level: Level, target: &'static str, name: &'static str) -> Span {
-    if enabled(level, target) {
+    let log = enabled(level, target);
+    let prof = crate::profile::enter(target, name);
+    if log || prof.is_some() {
         Span(Some(SpanData {
             record: Record {
                 level,
@@ -343,6 +353,8 @@ pub fn span_at(level: Level, target: &'static str, name: &'static str) -> Span {
                 fields: Vec::new(),
             },
             start: Instant::now(),
+            log,
+            prof,
         }))
     } else {
         Span(None)
@@ -350,16 +362,21 @@ pub fn span_at(level: Level, target: &'static str, name: &'static str) -> Span {
 }
 
 impl Span {
-    /// True when the span will emit — callers use this to skip
-    /// expensive field computation (e.g. a `format!`) when disabled.
+    /// True when the span will emit a log record — callers use this to
+    /// skip expensive field computation (e.g. a `format!`) when
+    /// disabled. A profile-only span reports `false`: the profiler
+    /// never reads fields, so computing them would be wasted work.
     pub fn active(&self) -> bool {
-        self.0.is_some()
+        self.0.as_ref().is_some_and(|d| d.log)
     }
 
-    /// Attaches a field; a no-op (with no conversion) when disabled.
+    /// Attaches a field; a no-op (with no conversion) unless the span
+    /// will emit a log record.
     pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
         if let Some(data) = &mut self.0 {
-            data.record.fields.push((key, value.into()));
+            if data.log {
+                data.record.fields.push((key, value.into()));
+            }
         }
     }
 
@@ -375,7 +392,12 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(data) = self.0.take() {
             let elapsed = u64::try_from(data.start.elapsed().as_micros()).unwrap_or(u64::MAX);
-            write_record(&data.record, Some(elapsed));
+            if let Some(frame) = data.prof {
+                crate::profile::exit(frame, elapsed);
+            }
+            if data.log {
+                write_record(&data.record, Some(elapsed));
+            }
         }
     }
 }
@@ -519,6 +541,25 @@ fn render_json(record: &Record, elapsed_us: Option<u64>, trace: Option<u64>, ts_
     line
 }
 
+/// Appends a field value with newlines and control characters escaped,
+/// preserving the text sink's one-event-per-line invariant even for
+/// adversarial strings (the JSON sink gets this for free from the
+/// canonical codec's string escaping).
+fn push_escaped_text(line: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => line.push_str("\\\\"),
+            '\n' => line.push_str("\\n"),
+            '\r' => line.push_str("\\r"),
+            '\t' => line.push_str("\\t"),
+            c if c.is_control() => {
+                let _ = write!(line, "\\u{{{:04x}}}", c as u32);
+            }
+            c => line.push(c),
+        }
+    }
+}
+
 fn render_text(record: &Record, elapsed_us: Option<u64>, trace: Option<u64>, ts_us: u64) -> String {
     let mut line = String::with_capacity(96);
     let _ = write!(
@@ -535,7 +576,11 @@ fn render_text(record: &Record, elapsed_us: Option<u64>, trace: Option<u64>, ts_
             FieldValue::I64(v) => write!(line, " {key}={v}"),
             FieldValue::F64(v) => write!(line, " {key}={v}"),
             FieldValue::Bool(v) => write!(line, " {key}={v}"),
-            FieldValue::Str(v) => write!(line, " {key}={v}"),
+            FieldValue::Str(v) => {
+                let _ = write!(line, " {key}=");
+                push_escaped_text(&mut line, v);
+                Ok(())
+            }
         };
     }
     if let Some(us) = elapsed_us {
@@ -548,6 +593,14 @@ fn render_text(record: &Record, elapsed_us: Option<u64>, trace: Option<u64>, ts_
     line
 }
 
+/// Serializes unit tests (across this crate's modules) that touch the
+/// global logging or profiling state.
+#[cfg(test)]
+pub(crate) fn test_env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,8 +608,7 @@ mod tests {
 
     /// Serializes tests that touch the global logging configuration.
     fn config_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        test_env_lock()
     }
 
     fn capture() -> Arc<Mutex<Vec<u8>>> {
@@ -673,6 +725,26 @@ mod tests {
         assert_eq!(out.lines().count(), 1);
         assert!(out.contains("info"), "{out}");
         assert!(out.contains("test.text ping n=1"), "{out}");
+    }
+
+    #[test]
+    fn text_format_escapes_control_characters() {
+        // Mirrors the JSON sink's label-escaping tests: adversarial
+        // field values must not break the one-event-per-line invariant.
+        let _guard = config_lock();
+        init(LogConfig::parse("text:info").unwrap());
+        let buffer = capture();
+        event(Level::Info, "test.text", "adversarial")
+            .field("msg", "a\nfake=line\r\tend")
+            .field("nul", "x\u{0}y")
+            .field("slash", "a\\b")
+            .emit();
+        let out = drain(&buffer);
+        reset();
+        assert_eq!(out.lines().count(), 1, "must stay one line: {out:?}");
+        assert!(out.contains("msg=a\\nfake=line\\r\\tend"), "{out}");
+        assert!(out.contains("nul=x\\u{0000}y"), "{out}");
+        assert!(out.contains("slash=a\\\\b"), "{out}");
     }
 
     #[test]

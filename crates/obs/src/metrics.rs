@@ -412,9 +412,47 @@ pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
 
+/// The build identity baked in at compile time: `(version, git_hash)`.
+/// The hash comes from `git rev-parse --short=12 HEAD` in the crate's
+/// build script; `"unknown"` when building outside a git checkout.
+pub fn build_info() -> (&'static str, &'static str) {
+    (env!("CARGO_PKG_VERSION"), env!("RSMEM_GIT_HASH"))
+}
+
+/// Registers the conventional `rsmem_build_info` gauge — constant `1`
+/// with the build identity as labels — so any `/metrics` scrape (and
+/// the bench harness, which reads [`build_info`] directly) can tell
+/// which build produced the numbers.
+pub fn register_build_info(registry: &Registry) {
+    let (version, git_hash) = build_info();
+    registry
+        .gauge(
+            "rsmem_build_info",
+            &[("git_hash", git_hash), ("version", version)],
+        )
+        .set(1);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn build_info_gauge_identifies_the_build() {
+        let (version, git_hash) = build_info();
+        assert!(!version.is_empty());
+        assert!(!git_hash.is_empty());
+        let r = Registry::new();
+        register_build_info(&r);
+        let text = r.render();
+        assert!(text.contains("# TYPE rsmem_build_info gauge"), "{text}");
+        assert!(
+            text.contains(&format!(
+                "rsmem_build_info{{git_hash=\"{git_hash}\",version=\"{version}\"}} 1"
+            )),
+            "{text}"
+        );
+    }
 
     #[test]
     fn counter_and_gauge_basics() {

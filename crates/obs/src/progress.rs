@@ -17,6 +17,7 @@ const INTERVAL: Duration = Duration::from_millis(200);
 pub struct Progress {
     target: &'static str,
     label: &'static str,
+    clock: Box<dyn FnMut() -> Instant + Send>,
     started: Instant,
     last: Instant,
     emitted: bool,
@@ -26,10 +27,22 @@ impl Progress {
     /// Starts tracking. Nothing is emitted until the first interval
     /// elapses, so fast runs produce no output at all.
     pub fn new(target: &'static str, label: &'static str) -> Progress {
-        let now = Instant::now();
+        Progress::with_clock(target, label, Box::new(Instant::now))
+    }
+
+    /// Like [`Progress::new`] with an injected clock — the test seam
+    /// that makes the rate-limit behaviour assertable deterministically
+    /// instead of by sleeping.
+    pub fn with_clock(
+        target: &'static str,
+        label: &'static str,
+        mut clock: Box<dyn FnMut() -> Instant + Send>,
+    ) -> Progress {
+        let now = clock();
         Progress {
             target,
             label,
+            clock,
             started: now,
             last: now,
             emitted: false,
@@ -39,27 +52,29 @@ impl Progress {
     /// Reports `done` of `total` work items plus extra fields; emits
     /// only when the rate-limit interval has elapsed.
     pub fn tick(&mut self, done: u64, total: u64, fields: &[(&'static str, u64)]) {
-        if self.last.elapsed() < INTERVAL {
+        let now = (self.clock)();
+        if now.duration_since(self.last) < INTERVAL {
             return;
         }
-        self.last = Instant::now();
+        self.last = now;
         self.emitted = true;
-        self.emit(done, total, fields);
+        self.emit(now, done, total, fields);
     }
 
     /// Reports the final state. Emits only if a tick was emitted before
     /// or the run outlived one interval — keeping short runs silent
     /// while long runs always end on a 100% line.
     pub fn finish(&mut self, done: u64, total: u64, fields: &[(&'static str, u64)]) {
-        if self.emitted || self.started.elapsed() >= INTERVAL {
+        let now = (self.clock)();
+        if self.emitted || now.duration_since(self.started) >= INTERVAL {
             self.emitted = true;
-            self.last = Instant::now();
-            self.emit(done, total, fields);
+            self.last = now;
+            self.emit(now, done, total, fields);
         }
     }
 
-    fn emit(&self, done: u64, total: u64, fields: &[(&'static str, u64)]) {
-        let elapsed = self.started.elapsed().as_secs_f64();
+    fn emit(&self, now: Instant, done: u64, total: u64, fields: &[(&'static str, u64)]) {
+        let elapsed = now.duration_since(self.started).as_secs_f64();
         let rate = if elapsed > 0.0 {
             done as f64 / elapsed
         } else {
@@ -96,11 +111,98 @@ impl Progress {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::log::{init, set_sink, LogConfig, Sink};
+    use std::sync::{Arc, Mutex};
+
+    /// A manually-advanced clock shared between the test and the
+    /// `Progress` under test.
+    fn test_clock() -> (Arc<Mutex<Instant>>, Box<dyn FnMut() -> Instant + Send>) {
+        let now = Arc::new(Mutex::new(Instant::now()));
+        let handle = Arc::clone(&now);
+        (now, Box::new(move || *handle.lock().unwrap()))
+    }
+
+    fn advance(clock: &Arc<Mutex<Instant>>, by: Duration) {
+        *clock.lock().unwrap() += by;
+    }
+
+    /// Captures emitted progress events; returns the `done` field of
+    /// each, in order — the deterministic observable for throttling.
+    fn emitted_done_values(buffer: &Arc<Mutex<Vec<u8>>>) -> Vec<u64> {
+        let raw = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        raw.lines()
+            .filter_map(|line| crate::json::parse(line).ok())
+            .filter(|v| v.get("name").and_then(|n| n.as_str()) == Some("progress"))
+            .filter_map(|v| v.get("fields")?.get("done")?.as_f64())
+            .map(|d| d as u64)
+            .collect()
+    }
+
+    #[test]
+    fn injected_clock_first_and_last_emitted_intermediates_throttled() {
+        let _guard = crate::log::test_env_lock();
+        init(LogConfig::parse("json:info").unwrap());
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        set_sink(Sink::Buffer(Arc::clone(&buffer)));
+
+        let (clock, boxed) = test_clock();
+        let mut p = Progress::with_clock("test.progress", "clocked", boxed);
+
+        p.tick(0, 10, &[]); // inside the first interval: silent
+        advance(&clock, INTERVAL);
+        p.tick(1, 10, &[]); // first event past the interval: emitted
+        p.tick(2, 10, &[]); // same instant: throttled
+        advance(&clock, INTERVAL / 2);
+        p.tick(3, 10, &[]); // half an interval later: still throttled
+        advance(&clock, INTERVAL / 2);
+        p.tick(4, 10, &[]); // a full interval since the last emit
+        p.finish(10, 10, &[]); // final state always lands once emitting began
+
+        init(None);
+        set_sink(Sink::Stderr);
+        assert_eq!(emitted_done_values(&buffer), vec![1, 4, 10]);
+    }
+
+    #[test]
+    fn injected_clock_fast_run_emits_nothing() {
+        let _guard = crate::log::test_env_lock();
+        init(LogConfig::parse("json:info").unwrap());
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        set_sink(Sink::Buffer(Arc::clone(&buffer)));
+
+        let (_clock, boxed) = test_clock();
+        let mut p = Progress::with_clock("test.progress", "instant", boxed);
+        p.tick(3, 10, &[]);
+        p.tick(7, 10, &[]);
+        p.finish(10, 10, &[]);
+
+        init(None);
+        set_sink(Sink::Stderr);
+        assert!(emitted_done_values(&buffer).is_empty());
+    }
+
+    #[test]
+    fn injected_clock_long_run_without_ticks_gets_final_line() {
+        let _guard = crate::log::test_env_lock();
+        init(LogConfig::parse("json:info").unwrap());
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        set_sink(Sink::Buffer(Arc::clone(&buffer)));
+
+        let (clock, boxed) = test_clock();
+        let mut p = Progress::with_clock("test.progress", "no_ticks", boxed);
+        advance(&clock, INTERVAL * 2);
+        p.finish(5, 5, &[]);
+
+        init(None);
+        set_sink(Sink::Stderr);
+        assert_eq!(emitted_done_values(&buffer), vec![5]);
+    }
 
     #[test]
     fn fast_runs_stay_silent() {
         // With logging off this would print to stderr; assert via the
         // rate-limit invariants instead of capturing the stream.
+        let _guard = crate::log::test_env_lock();
         let mut p = Progress::new("test", "quick");
         p.tick(1, 10, &[]);
         p.tick(5, 10, &[]);
@@ -110,6 +212,7 @@ mod tests {
 
     #[test]
     fn tick_emits_after_interval() {
+        let _guard = crate::log::test_env_lock();
         let mut p = Progress::new("test", "slow");
         // Simulate elapsed time by back-dating the limiter state.
         p.last = Instant::now() - INTERVAL * 2;
@@ -124,6 +227,7 @@ mod tests {
 
     #[test]
     fn finish_emits_for_long_runs_even_without_ticks() {
+        let _guard = crate::log::test_env_lock();
         let mut p = Progress::new("test", "long");
         p.started = Instant::now() - INTERVAL * 2;
         p.finish(10, 10, &[]);

@@ -38,6 +38,12 @@ fn disabled_events_and_spans_allocate_nothing() {
     // a trace scope.
     let _trace = trace_scope(0x1234_5678);
 
+    // Spans also double as profiler probes (PR 5). Profiling is never
+    // enabled in this binary, so its gate — one more relaxed atomic
+    // load inside `span_at` — must not allocate either; the span loop
+    // below covers the combined disabled path.
+    assert!(!rsmem_obs::profile::is_enabled());
+
     // Warm up thread-locals and lazy statics outside the measured region.
     event(Level::Error, "warmup", "warmup")
         .field("k", 1u64)
@@ -63,6 +69,9 @@ fn disabled_events_and_spans_allocate_nothing() {
         s.record("items", i);
         s.record("name", owned.as_str());
         assert_eq!(s.elapsed_us(), None);
+
+        // Profiler-side scope reads are thread-local Cell ops.
+        let _ = rsmem_obs::profile::current_node();
     }
 
     let after = ALLOCATIONS.load(Ordering::Relaxed);

@@ -119,6 +119,11 @@ impl Server {
         // front so `/metrics` exposes every family from the first
         // scrape, not only after the first cache miss.
         rsmem::register_solver_metrics();
+        // The daemon keeps the hierarchical profiler on: span
+        // aggregation is a mutex-guarded counter update per span, and
+        // it powers `GET /debug/profile` + the summary series in
+        // `/metrics` without any restart-with-a-flag dance.
+        rsmem_obs::profile::set_enabled(true);
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let worker_count = if config.workers == 0 {
@@ -316,7 +321,8 @@ fn route(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
             ),
         ),
         ("GET", "/metrics") => ("metrics", Response::text(200, render_metrics(ctx))),
-        ("GET", "/v1/analyze") | ("POST", "/healthz" | "/metrics") => (
+        ("GET", "/debug/profile") => ("profile", handle_profile(request)),
+        ("GET", "/v1/analyze") | ("POST", "/healthz" | "/metrics" | "/debug/profile") => (
             "other",
             Response::json(405, error_body("method not allowed for this route")),
         ),
@@ -331,7 +337,24 @@ fn render_metrics(ctx: &Ctx) -> String {
     // Solver-level series (rsmem_solver_*, rsmem_arbiter_*) follow the
     // HTTP series in the same exposition.
     text.push_str(&rsmem_obs::global().render());
+    // Profiler summary series (rsmem_profile_span_us) aggregated per
+    // span name across tree positions.
+    text.push_str(&rsmem_obs::profile::snapshot().render_prometheus());
     text
+}
+
+/// `GET /debug/profile` — the aggregated call tree as canonical JSON.
+/// `?reset=1` (or `true`) atomically snapshots **and** zeroes the
+/// statistics, so periodic scrapers get disjoint epochs; the node tree
+/// itself survives resets, keeping in-flight span exits attributable.
+fn handle_profile(request: &Request) -> Response {
+    let reset = matches!(request.query_param("reset"), Some("1" | "true"));
+    let snapshot = if reset {
+        rsmem_obs::profile::snapshot_and_reset()
+    } else {
+        rsmem_obs::profile::snapshot()
+    };
+    Response::json(200, snapshot.to_json().encode())
 }
 
 fn handle_analyze(request: &Request, ctx: &Ctx) -> Response {

@@ -463,3 +463,63 @@ fn cache_evictions_are_counted_and_bounded() {
     assert_eq!(metric(&metrics, "rsmem_cache_capacity"), 2);
     server.shutdown();
 }
+
+#[test]
+fn debug_profile_exposes_call_tree_and_reset_epochs() {
+    let server = boot(ServiceConfig::default());
+    let addr = server.local_addr();
+
+    // A cache-miss solve populates the profiler: the request span plus
+    // nested solver spans (ber_curve under the HTTP request).
+    let (status, _, _) = post_analyze(
+        addr,
+        r#"{"system": "duplex", "seu_per_bit_day": 1.7e-5, "scrub_period_s": 900, "points": 7}"#,
+    );
+    assert_eq!(status, 200);
+
+    let (status, _, body) = get(addr, "/debug/profile");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"schema\":\"rsmem-profile/1\""), "{body}");
+    assert!(body.contains("\"bounds_us\""), "{body}");
+    assert!(
+        body.contains("\"name\":\"request\"") && body.contains("\"target\":\"service.http\""),
+        "request span missing in:\n{body}"
+    );
+    assert!(
+        body.contains("\"name\":\"ber_curve\""),
+        "solver span missing in:\n{body}"
+    );
+
+    // The same aggregation shows up in /metrics as summary series.
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains("# TYPE rsmem_profile_span_us summary"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("rsmem_profile_span_us_count{name=\"request\",target=\"service.http\"}"),
+        "{metrics}"
+    );
+    // The build-info gauge identifies the build under measurement.
+    assert!(
+        metrics.contains("# TYPE rsmem_build_info gauge"),
+        "{metrics}"
+    );
+
+    // ?reset=1 snapshots and zeroes; the tree survives (same nodes,
+    // fresh epoch), so a later scrape still parses and carries the
+    // request node with a small count. Profiling state is process-wide
+    // and other tests run concurrently, so only assert monotone-safe
+    // facts: the reset response itself still holds the pre-reset data.
+    let (status, _, body) = get(addr, "/debug/profile?reset=1");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"name\":\"request\""), "{body}");
+    let (status, _, body) = get(addr, "/debug/profile");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"schema\":\"rsmem-profile/1\""), "{body}");
+
+    // Wrong method is a 405, like the other fixed routes.
+    let (status, _, _) = request(addr, "POST", "/debug/profile", "", "");
+    assert_eq!(status, 405);
+    server.shutdown();
+}

@@ -164,6 +164,11 @@ where
     let shards = trials.div_ceil(SHARD_TRIALS);
     let metrics = mc_metrics();
     let run_shard = |shard: usize| {
+        // Trace level: one span per 256-trial shard is far too chatty
+        // for normal logging but exactly the granularity the profiler's
+        // latency histogram wants.
+        let mut shard_span = rsmem_obs::span_at(rsmem_obs::Level::Trace, "sim.mc", "shard");
+        shard_span.record("shard", shard);
         let mut rng = StdRng::seed_from_u64(shard_seed(seed, shard as u64));
         let in_shard = SHARD_TRIALS.min(trials - shard * SHARD_TRIALS);
         let mut counts = OutcomeCounts::default();
@@ -187,9 +192,11 @@ where
             .fold(OutcomeCounts::default(), OutcomeCounts::merge);
     }
     let cursor = AtomicUsize::new(0);
-    // Carry the spawning thread's trace ID into the scoped workers so a
-    // request's shard-level events stay attributable to it.
+    // Carry the spawning thread's trace ID and profiler position into
+    // the scoped workers so a request's shard-level events stay
+    // attributable to it and shard spans nest under the campaign span.
     let trace = current_trace_id();
+    let profile_node = rsmem_obs::profile::current_node();
     thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -197,6 +204,7 @@ where
                 let run_shard = &run_shard;
                 scope.spawn(move || {
                     let _trace = trace.map(trace_scope);
+                    let _profile = rsmem_obs::profile::attach_scope(profile_node);
                     let mut counts = OutcomeCounts::default();
                     loop {
                         let shard = cursor.fetch_add(1, Ordering::Relaxed);

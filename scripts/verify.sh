@@ -31,4 +31,16 @@ grep -q '"trace_id"' /tmp/rsmem_sweep_events.jsonl || {
 }
 rm -f /tmp/rsmem_sweep_events.jsonl
 
+echo "==> profiler smoke (fig7 regeneration under the self-profiler)"
+target/release/rsmem-cli profile sweep fig7 >/dev/null
+
+echo "==> bench self-compare smoke (the regression gate must pass a run against itself)"
+target/release/rsmem-cli bench --quick --out /tmp/rsmem_bench_a.json >/dev/null
+target/release/rsmem-cli bench --compare /tmp/rsmem_bench_a.json /tmp/rsmem_bench_a.json
+# A second run on the same build must agree on every fingerprint
+# (timing may jitter on a loaded machine, so it only warns here).
+target/release/rsmem-cli bench --quick --out /tmp/rsmem_bench_b.json >/dev/null
+target/release/rsmem-cli bench --compare /tmp/rsmem_bench_a.json /tmp/rsmem_bench_b.json --warn-timing
+rm -f /tmp/rsmem_bench_a.json /tmp/rsmem_bench_b.json
+
 echo "verify: OK"
