@@ -18,7 +18,7 @@
 
 use rsmem::experiments::{run_with, ExperimentId};
 use rsmem::Parallelism;
-use rsmem_code::{DecodeOutcome, DecoderBackend, RsCode};
+use rsmem_code::{BatchDecoder, BatchOutcome, DecodeOpts, DecodeOutcome, DecoderBackend, RsCode};
 use rsmem_gf::Symbol;
 use rsmem_obs::json::Value;
 use std::collections::BTreeMap;
@@ -54,6 +54,10 @@ pub struct BenchResult {
     pub mad_us: f64,
     /// FNV-1a fingerprint of the bench's computed results.
     pub fingerprint: u64,
+    /// Symbols processed per iteration — non-zero only for throughput
+    /// benches, where it turns `min_us` into symbols/s and (for byte
+    /// symbols) GB/s in the rendered report.
+    pub symbols: u64,
 }
 
 /// A complete `rsmem bench` run.
@@ -158,6 +162,7 @@ fn run_bench(
         median_us,
         mad_us,
         fingerprint: fingerprint.unwrap_or(0),
+        symbols: 0,
     })
 }
 
@@ -245,6 +250,160 @@ fn decode_lattice() -> Result<u64, String> {
     Ok(hash.finish())
 }
 
+/// Folds one decode outcome into a fingerprint — shared by the scalar
+/// and batched throughput benches so equal behavior means equal
+/// fingerprints. Clean words hash as a bare tag (their data is the
+/// unmodified input, not a decoder product); corrected words hash the
+/// recovered data so a wrong correction changes the fingerprint.
+fn fingerprint_outcome(hash: &mut Fnv, outcome: &DecodeOutcome) {
+    match outcome {
+        DecodeOutcome::Clean { .. } => hash.write(b"c"),
+        DecodeOutcome::Corrected { data, .. } => {
+            hash.write(b"corrected");
+            for s in data {
+                hash.write(&s.to_le_bytes());
+            }
+        }
+        DecodeOutcome::Failure(_) => hash.write(b"failure"),
+    }
+}
+
+/// Batched counterpart of [`fingerprint_outcome`]: reconstructs the same
+/// byte stream from the compact outcome plus the (in-place corrected)
+/// word, so `decode_batch` and per-word `decode` fingerprints can be
+/// compared directly.
+fn fingerprint_batch_outcome(
+    hash: &mut Fnv,
+    code: &RsCode,
+    word: &[Symbol],
+    outcome: &BatchOutcome,
+) -> Result<(), String> {
+    match outcome {
+        BatchOutcome::Clean => hash.write(b"c"),
+        BatchOutcome::Corrected { .. } => {
+            hash.write(b"corrected");
+            for s in code.data_of(word).map_err(|e| e.to_string())? {
+                hash.write(&s.to_le_bytes());
+            }
+        }
+        BatchOutcome::Failure(_) => hash.write(b"failure"),
+    }
+    Ok(())
+}
+
+/// Deterministic decode corpus mirroring a scrub/read-back mix: mostly
+/// clean words (the overwhelmingly common case in the MC campaigns),
+/// plus correctable single errors, clobbered declared erasures and the
+/// occasional multi-error word that may exceed capability.
+fn throughput_corpus(code: &RsCode, words: usize) -> (Vec<Vec<Symbol>>, Vec<Vec<usize>>) {
+    let mut state = 0xB17_F00D_u64 ^ ((code.n() as u64) << 32) ^ (code.k() as u64);
+    let size = u64::from(code.field().size());
+    let mut corpus = Vec::with_capacity(words);
+    let mut erasures = Vec::with_capacity(words);
+    for i in 0..words {
+        let data: Vec<Symbol> = (0..code.k())
+            .map(|_| (splitmix(&mut state) % size) as Symbol)
+            .collect();
+        let mut word = code.encode(&data).expect("valid dataword");
+        let mut era = Vec::new();
+        // Scrub-representative density: 3 dirty words per 512 (~0.6%),
+        // one of each escalation shape, clean everywhere else. Real
+        // memory-scrub batches are cleaner still; a dirty word costs
+        // both paths the same full scalar decode, so the density mostly
+        // sets how much of the measurement escalation noise may claim.
+        match i % 512 {
+            509 => {
+                // One random symbol error (always correctable).
+                let p = (splitmix(&mut state) as usize) % code.n();
+                word[p] ^= 1 + (splitmix(&mut state) % (size - 1)) as Symbol;
+            }
+            510 => {
+                // One declared erasure, clobbered.
+                let p = (splitmix(&mut state) as usize) % code.n();
+                word[p] = (splitmix(&mut state) % size) as Symbol;
+                era.push(p);
+            }
+            511 => {
+                // Two distinct random errors (beyond t for RS(18,16)).
+                let p1 = (splitmix(&mut state) as usize) % code.n();
+                let p2 = (p1 + 1 + (splitmix(&mut state) as usize) % (code.n() - 1)) % code.n();
+                word[p1] ^= 1 + (splitmix(&mut state) % (size - 1)) as Symbol;
+                word[p2] ^= 1 + (splitmix(&mut state) % (size - 1)) as Symbol;
+            }
+            _ => {} // clean
+        }
+        corpus.push(word);
+        erasures.push(era);
+    }
+    (corpus, erasures)
+}
+
+/// The decode-throughput pair for one code: a scalar per-word baseline
+/// (`decode_scalar_*`) and the batched plane (`decode_throughput_*`),
+/// fingerprinted identically so the gate proves the batch path computes
+/// the same outcomes, not just comparable speed.
+fn decode_throughput_benches(
+    quick: bool,
+    iterations: usize,
+    benches: &mut Vec<BenchResult>,
+) -> Result<(), String> {
+    let words = if quick { 512 } else { 2048 };
+    for (tag, n, k) in [("rs18_16", 18usize, 16usize), ("rs36_16", 36, 16)] {
+        let code = RsCode::new(n, k, 8).map_err(|e| e.to_string())?;
+        let (corpus, erasures) = throughput_corpus(&code, words);
+        let symbols = (n * words) as u64;
+
+        let mut scalar = run_bench(&format!("decode_scalar_{tag}"), iterations, || {
+            let mut hash = Fnv::new();
+            for (word, era) in corpus.iter().zip(&erasures) {
+                let outcome = code.decode(word, era).map_err(|e| e.to_string())?;
+                fingerprint_outcome(&mut hash, &outcome);
+            }
+            Ok(hash.finish())
+        })?;
+        scalar.symbols = symbols;
+        let scalar_fp = scalar.fingerprint;
+        benches.push(scalar);
+
+        // Steady-state batching: the decoder workspaces, the outcome
+        // vector and the word buffers are all reused across iterations;
+        // only the refill copy (decode_batch corrects in place) is part
+        // of the measured cost.
+        let mut decoder = BatchDecoder::new();
+        let mut batch_words = corpus.clone();
+        let mut outcomes = Vec::new();
+        let mut batch = run_bench(&format!("decode_throughput_{tag}"), iterations, || {
+            for (dst, src) in batch_words.iter_mut().zip(&corpus) {
+                dst.copy_from_slice(src);
+            }
+            decoder
+                .decode_batch(
+                    &code,
+                    &mut batch_words,
+                    &erasures,
+                    &DecodeOpts::default(),
+                    &mut outcomes,
+                )
+                .map_err(|e| e.to_string())?;
+            let mut hash = Fnv::new();
+            for (word, outcome) in batch_words.iter().zip(&outcomes) {
+                fingerprint_batch_outcome(&mut hash, &code, word, outcome)?;
+            }
+            Ok(hash.finish())
+        })?;
+        batch.symbols = symbols;
+        if batch.fingerprint != scalar_fp {
+            return Err(format!(
+                "decode_throughput_{tag}: batched outcomes diverge from the \
+                 scalar baseline (fingerprints {:016x} vs {scalar_fp:016x})",
+                batch.fingerprint
+            ));
+        }
+        benches.push(batch);
+    }
+    Ok(())
+}
+
 /// One HTTP round trip against `addr`; returns the response body.
 fn http_post(addr: std::net::SocketAddr, path: &str, body: &str) -> Result<String, String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
@@ -324,6 +483,7 @@ pub fn run_suite(quick: bool) -> Result<BenchReport, String> {
         })?);
     }
     benches.push(run_bench("decode_lattice", iterations, decode_lattice)?);
+    decode_throughput_benches(quick, iterations, &mut benches)?;
     benches.push(service_roundtrip(iterations)?);
     let (version, git_hash) = rsmem_obs::build_info();
     Ok(BenchReport {
@@ -372,6 +532,12 @@ impl BenchReport {
                             "fingerprint".to_owned(),
                             Value::String(format!("{:016x}", b.fingerprint)),
                         );
+                        // Only throughput benches carry a symbol count;
+                        // omitting zero keeps older reports' documents
+                        // byte-identical.
+                        if b.symbols > 0 {
+                            bench.insert("symbols".to_owned(), Value::Number(b.symbols as f64));
+                        }
                         Value::Object(bench)
                     })
                     .collect(),
@@ -441,6 +607,8 @@ impl BenchReport {
                 .ok_or_else(|| format!("bench {name}: missing \"fingerprint\""))?;
             let fingerprint = u64::from_str_radix(fingerprint_hex, 16)
                 .map_err(|_| format!("bench {name}: bad fingerprint {fingerprint_hex:?}"))?;
+            // Absent in pre-throughput reports: tolerate and default to 0.
+            let symbols = item.get("symbols").and_then(Value::as_f64).unwrap_or(0.0) as u64;
             benches.push(BenchResult {
                 min_us: number("min_us")?,
                 median_us: number("median_us")?,
@@ -448,6 +616,7 @@ impl BenchReport {
                 name,
                 times_us,
                 fingerprint,
+                symbols,
             });
         }
         Ok(BenchReport {
@@ -471,11 +640,22 @@ impl BenchReport {
             self.benches.len()
         );
         for b in &self.benches {
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "  {:<20} min {:>10.1}µs  median {:>10.1}µs  ±{:>7.1}µs  fp {:016x}",
+                "  {:<24} min {:>10.1}µs  median {:>10.1}µs  ±{:>7.1}µs  fp {:016x}",
                 b.name, b.min_us, b.median_us, b.mad_us, b.fingerprint
             );
+            if b.symbols > 0 && b.min_us > 0.0 {
+                // Byte symbols throughout the suite: symbols/s is bytes/s.
+                let per_sec = b.symbols as f64 / (b.min_us / 1e6);
+                let _ = write!(
+                    out,
+                    "  {:>8.1} Msym/s ({:.3} GB/s)",
+                    per_sec / 1e6,
+                    per_sec / 1e9
+                );
+            }
+            let _ = writeln!(out);
         }
         out
     }
@@ -631,6 +811,7 @@ mod tests {
                     median_us: 385.0,
                     mad_us: 5.0,
                     fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                    symbols: 0,
                 },
                 BenchResult {
                     name: "decode_lattice".to_owned(),
@@ -639,6 +820,7 @@ mod tests {
                     median_us: 119.0,
                     mad_us: 1.0,
                     fingerprint: 0x0123_4567_89AB_CDEF,
+                    symbols: 9_216,
                 },
             ],
         }
@@ -754,5 +936,49 @@ mod tests {
         let a = decode_lattice().unwrap();
         let b = decode_lattice().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn throughput_benches_agree_and_beat_scalar() {
+        // The scalar baseline and the batched plane must fingerprint
+        // identically (run_bench enforces intra-bench determinism; the
+        // helper enforces cross-bench equality), and the batch path must
+        // deliver the issue's ≥3× symbols/s on both paper codes. The
+        // test binary runs its cases on parallel threads, so take the
+        // min over enough reps that each side lands at least one
+        // uncontended iteration.
+        let mut benches = Vec::new();
+        decode_throughput_benches(true, 25, &mut benches).unwrap();
+        assert_eq!(benches.len(), 4);
+        for pair in benches.chunks(2) {
+            let (scalar, batch) = (&pair[0], &pair[1]);
+            assert!(scalar.name.starts_with("decode_scalar_"));
+            assert!(batch.name.starts_with("decode_throughput_"));
+            assert_eq!(scalar.fingerprint, batch.fingerprint);
+            assert_eq!(scalar.symbols, batch.symbols);
+            assert!(scalar.symbols > 0);
+            assert!(
+                batch.min_us * 3.0 <= scalar.min_us,
+                "{}: batch {:.1}µs vs scalar {:.1}µs is under 3x",
+                batch.name,
+                batch.min_us,
+                scalar.min_us
+            );
+        }
+    }
+
+    #[test]
+    fn symbols_field_round_trips_and_renders_throughput() {
+        let report = sample_report();
+        let encoded = report.to_json().encode();
+        // fig7 carries no symbol count → omitted; decode_lattice carries
+        // one → present.
+        assert!(!encoded.contains("\"symbols\":0"));
+        assert!(encoded.contains("\"symbols\":9216"));
+        let restored = BenchReport::from_json(&json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(restored, report);
+        let text = report.render_text();
+        assert!(text.contains("Msym/s"), "{text}");
+        assert!(text.contains("GB/s"), "{text}");
     }
 }

@@ -828,6 +828,7 @@ mod tests {
             median_us: base * 1.05,
             mad_us: base * 0.01,
             fingerprint: 0xFEED_F00D,
+            symbols: 0,
         };
         BenchReport {
             mode: "quick".to_owned(),

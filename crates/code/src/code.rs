@@ -1,9 +1,11 @@
 //! The [`RsCode`] type: parameters, generator polynomial, and the public
 //! encode/decode entry points.
 
+use crate::batch::{BatchDecoder, DecodeOpts};
 use crate::decode::{decode_word, DecodeOutcome, DecoderBackend};
 use crate::encode;
 use crate::error::CodeError;
+use rsmem_gf::bulk::MulTable;
 use rsmem_gf::{GfField, Poly, Symbol};
 
 /// A systematic Reed–Solomon code RS(n,k) over GF(2^m).
@@ -38,6 +40,9 @@ pub struct RsCode {
     k: usize,
     fcr: u32,
     generator: Poly,
+    /// One bulk multiply table per generator root `α^{b+j}`, shared by
+    /// the scalar syndrome ladder and the batched syndrome plane.
+    syndrome_tables: Vec<MulTable>,
 }
 
 impl RsCode {
@@ -94,12 +99,16 @@ impl RsCode {
         }
         let roots = (0..(n - k) as u32).map(|j| field.alpha_pow(b + j));
         let generator = Poly::from_roots(roots, &field);
+        let syndrome_tables = (0..(n - k) as u32)
+            .map(|j| MulTable::new(&field, field.alpha_pow(b + j)))
+            .collect();
         Ok(RsCode {
             field,
             n,
             k,
             fcr: b,
             generator,
+            syndrome_tables,
         })
     }
 
@@ -144,6 +153,12 @@ impl RsCode {
         &self.generator
     }
 
+    /// The precomputed multiply-by-root tables, one per syndrome
+    /// `α^{b+j}`, `j = 0..n−k`.
+    pub(crate) fn syndrome_tables(&self) -> &[MulTable] {
+        &self.syndrome_tables
+    }
+
     /// True when the pattern `(erasures, random_errors)` is within the
     /// code's guaranteed correction capability, `er + 2·re ≤ n − k`.
     ///
@@ -155,6 +170,13 @@ impl RsCode {
 
     /// Validates a slice of symbols against the field.
     pub(crate) fn check_symbols(&self, word: &[Symbol]) -> Result<(), CodeError> {
+        // Field sizes are powers of two, so "every symbol in range" is an
+        // OR-fold against the out-of-range mask — branchless (and
+        // vectorizable) on the overwhelmingly common all-valid path.
+        let mask = !(self.field.size() - 1);
+        if word.iter().fold(0u32, |acc, &s| acc | u32::from(s)) & mask == 0 {
+            return Ok(());
+        }
         for (i, &s) in word.iter().enumerate() {
             if !self.field.contains(s) {
                 return Err(CodeError::SymbolOutOfRange {
@@ -163,7 +185,7 @@ impl RsCode {
                 });
             }
         }
-        Ok(())
+        unreachable!("OR-fold flagged a symbol but none is out of range")
     }
 
     /// Systematically encodes `data` (exactly `k` symbols) into an
@@ -237,6 +259,33 @@ impl RsCode {
         backend: DecoderBackend,
     ) -> Result<DecodeOutcome, CodeError> {
         decode_word(self, word, erasures, backend)
+    }
+
+    /// Decodes a batch of words through the bulk syndrome plane,
+    /// correcting each word **in place** and returning one full
+    /// [`DecodeOutcome`] per word, classification-identical to calling
+    /// [`RsCode::decode`] on each word individually.
+    ///
+    /// Syndromes for the whole batch are evaluated with the bulk GF
+    /// primitives; only words with non-zero syndromes (or over-budget
+    /// erasure sets) escalate to the scalar key-equation back-ends.
+    /// `erasures` is either empty (no erasures anywhere) or exactly one
+    /// entry per word. Allocation-sensitive callers should hold a
+    /// [`BatchDecoder`] and use
+    /// [`BatchDecoder::decode_batch`] instead, which reuses its
+    /// workspaces and reports compact per-word outcomes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError`] on the first malformed word or erasure set; the
+    /// batch is left unmodified in that case.
+    pub fn decode_many(
+        &self,
+        words: &mut [Vec<Symbol>],
+        erasures: &[Vec<usize>],
+        opts: &DecodeOpts,
+    ) -> Result<Vec<DecodeOutcome>, CodeError> {
+        BatchDecoder::new().decode_many(self, words, erasures, opts)
     }
 }
 

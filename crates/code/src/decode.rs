@@ -5,9 +5,9 @@ use crate::bm::berlekamp_massey;
 use crate::euclid::{modified_syndrome, solve_key_equation};
 use crate::forney::magnitude_at;
 use crate::locator::{erasure_locator, locator_positions};
-use crate::syndrome::{syndrome_poly, syndromes};
+use crate::syndrome::syndromes;
 use crate::{CodeError, RsCode};
-use rsmem_gf::Symbol;
+use rsmem_gf::{Poly, Symbol};
 use rsmem_obs::metrics::{global, Counter};
 use std::fmt;
 use std::sync::OnceLock;
@@ -47,9 +47,26 @@ fn decode_metrics() -> &'static DecodeMetrics {
 }
 
 /// Eagerly registers the decode metric families (all label variants) in
-/// the global registry.
+/// the global registry, including the bulk-plane counters.
 pub fn register_metrics() {
     let _ = decode_metrics();
+    crate::batch::register_metrics();
+}
+
+/// Records `count` clean decodes attributed to `backend` — the batch
+/// plane's zero-syndrome fast path bypasses [`decode_word`], so it
+/// settles the same counters here to keep `/metrics` identical to the
+/// per-word path.
+pub(crate) fn record_clean_many(backend: DecoderBackend, count: u64) {
+    if count == 0 {
+        return;
+    }
+    let metrics = decode_metrics();
+    match backend {
+        DecoderBackend::Sugiyama => metrics.sugiyama.add(count),
+        DecoderBackend::BerlekampMassey => metrics.berlekamp_massey.add(count),
+    }
+    metrics.clean.add(count);
 }
 
 /// Selects the key-equation solver.
@@ -193,6 +210,19 @@ impl DecodeOutcome {
 
 fn validate_erasures(code: &RsCode, erasures: &[usize]) -> Result<(), CodeError> {
     let mut seen = vec![false; code.n()];
+    validate_erasures_into(code, erasures, &mut seen)
+}
+
+/// [`validate_erasures`] against a caller-owned scratch buffer (resized
+/// and cleared here), so the batch plane can validate without
+/// allocating per word.
+pub(crate) fn validate_erasures_into(
+    code: &RsCode,
+    erasures: &[usize],
+    seen: &mut Vec<bool>,
+) -> Result<(), CodeError> {
+    seen.clear();
+    seen.resize(code.n(), false);
     for &pos in erasures {
         if pos >= code.n() || seen[pos] {
             return Err(CodeError::BadErasure {
@@ -267,7 +297,9 @@ fn decode_word_inner(
     }
 
     let field = code.field();
-    let s_poly = syndrome_poly(code, word);
+    // Reuse the syndromes computed for the clean check above; the old
+    // code paid a second full Horner pass here.
+    let s_poly = Poly::from_coeffs(syn.clone());
     let gamma = erasure_locator(code, erasures);
 
     // Solve for the combined locator Ψ (errors × erasures).
@@ -563,6 +595,38 @@ mod tests {
                 word[p] ^= 1 + ((seed + j as u32) % 15) as Symbol;
             }
             assert_beyond_bound_contract(&code, &data, &word, &[]);
+        }
+    }
+
+    #[test]
+    fn clean_fast_path_preserves_outcome_classification() {
+        // Regression pin for the zero-syndrome early-out: a codeword is
+        // Clean whether or not erasures are declared (the erased
+        // positions evidently held valid data), the erasure budget
+        // check still fires *before* the fast path, and a corrupted
+        // word can never ride the fast path to Clean.
+        let code = code_15_9();
+        let data: Vec<Symbol> = (4..13).collect();
+        let word = code.encode(&data).unwrap();
+        for backend in [DecoderBackend::Sugiyama, DecoderBackend::BerlekampMassey] {
+            let out = code.decode_with(&word, &[], backend).unwrap();
+            assert_eq!(out, DecodeOutcome::Clean { data: data.clone() });
+            let out = code.decode_with(&word, &[0, 5, 9], backend).unwrap();
+            assert_eq!(out, DecodeOutcome::Clean { data: data.clone() });
+            // 7 erasures > n−k = 6: rejected before the syndrome check,
+            // even though every syndrome of this word is zero.
+            let every: Vec<usize> = (0..7).collect();
+            let out = code.decode_with(&word, &every, backend).unwrap();
+            assert!(matches!(
+                out,
+                DecodeOutcome::Failure(DecodeFailure::TooManyErasures { .. })
+            ));
+            for pos in 0..code.n() {
+                let mut corrupt = word.clone();
+                corrupt[pos] ^= 1;
+                let out = code.decode_with(&corrupt, &[], backend).unwrap();
+                assert!(!matches!(out, DecodeOutcome::Clean { .. }), "pos={pos}");
+            }
         }
     }
 

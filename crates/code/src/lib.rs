@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod bm;
 mod code;
 pub mod complexity;
@@ -53,6 +54,7 @@ mod locator;
 pub mod matrix;
 mod syndrome;
 
+pub use batch::{BatchDecoder, BatchOutcome, DecodeOpts, SyndromeBatch};
 pub use code::RsCode;
 pub use decode::{register_metrics, Correction, DecodeFailure, DecodeOutcome, DecoderBackend};
 pub use error::CodeError;

@@ -1,29 +1,33 @@
 //! Syndrome computation.
 
 use crate::RsCode;
-use rsmem_gf::{Poly, Symbol};
+#[cfg(test)]
+use rsmem_gf::Poly;
+use rsmem_gf::Symbol;
 
 /// Computes the `n − k` syndromes `S_j = r(α^{b+j})`, `j = 0..n−k`,
 /// of the received word `r`.
 ///
 /// All syndromes are zero iff `r` is a codeword.
 pub(crate) fn syndromes(code: &RsCode, word: &[Symbol]) -> Vec<Symbol> {
-    let field = code.field();
-    let b = code.first_root();
     let mut out = Vec::with_capacity(code.parity_symbols());
-    for j in 0..code.parity_symbols() as u32 {
-        let x = field.alpha_pow(b + j);
-        // Horner evaluation of the received polynomial at α^{b+j}.
+    for table in code.syndrome_tables() {
+        // Horner evaluation of the received polynomial at α^{b+j},
+        // through the precomputed multiply-by-root table (identical
+        // products to `field.mul`, one lookup instead of three).
         let mut acc: Symbol = 0;
         for &c in word.iter().rev() {
-            acc = field.mul(acc, x) ^ c;
+            acc = table.mul(acc) ^ c;
         }
         out.push(acc);
     }
     out
 }
 
-/// The syndrome polynomial `S(x) = Σ_j S_j x^j`.
+/// The syndrome polynomial `S(x) = Σ_j S_j x^j`. The decode path now
+/// builds this directly from its own syndrome pass; this helper remains
+/// as the test-suite oracle.
+#[cfg(test)]
 pub(crate) fn syndrome_poly(code: &RsCode, word: &[Symbol]) -> Poly {
     Poly::from_coeffs(syndromes(code, word))
 }
@@ -31,6 +35,33 @@ pub(crate) fn syndrome_poly(code: &RsCode, word: &[Symbol]) -> Poly {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn table_syndromes_match_direct_field_horner() {
+        // The cached multiply-by-root tables must reproduce the plain
+        // log/exp Horner ladder bit for bit.
+        for (n, k, m, b) in [
+            (15usize, 9usize, 4u32, 0u32),
+            (18, 16, 8, 0),
+            (36, 16, 8, 112),
+        ] {
+            let code = RsCode::with_first_root(n, k, m, b).unwrap();
+            let f = code.field();
+            let mut word: Vec<Symbol> = (0..n as u32)
+                .map(|i| ((i * 37 + 11) % f.size()) as Symbol)
+                .collect();
+            word[n / 2] ^= 1;
+            let got = syndromes(&code, &word);
+            for (j, &s) in got.iter().enumerate() {
+                let x = f.alpha_pow(b + j as u32);
+                let mut acc: Symbol = 0;
+                for &c in word.iter().rev() {
+                    acc = f.mul(acc, x) ^ c;
+                }
+                assert_eq!(s, acc, "n={n} k={k} j={j}");
+            }
+        }
+    }
 
     #[test]
     fn syndromes_of_codeword_are_zero() {

@@ -1,5 +1,6 @@
 //! Table-driven GF(2^m) field arithmetic.
 
+use crate::bulk::BulkKind;
 use crate::primitive::{self, clmul_mod};
 use crate::{GfError, Symbol};
 
@@ -32,6 +33,8 @@ pub struct GfField {
     exp: Vec<Symbol>,
     /// `log[a] = i` such that `α^i = a`; `log[0]` is a sentinel (unused).
     log: Vec<u32>,
+    /// Strategy the bulk slice primitives use for this width.
+    bulk_kind: BulkKind,
 }
 
 impl GfField {
@@ -80,6 +83,13 @@ impl GfField {
             prim_poly: poly,
             exp,
             log,
+            // SWAR lanes need carry headroom above bit m; byte-or-narrower
+            // symbols always have it, wider fields fall back to tables.
+            bulk_kind: if m <= 8 {
+                BulkKind::Swar64
+            } else {
+                BulkKind::Scalar
+            },
         })
     }
 
@@ -222,6 +232,12 @@ impl GfField {
         Ok(self.log[a as usize])
     }
 
+    /// The execution strategy [`crate::bulk`] slice primitives use for
+    /// this field, fixed at construction from the symbol width.
+    pub fn bulk_kind(&self) -> BulkKind {
+        self.bulk_kind
+    }
+
     /// Reference multiply using carry-less multiplication and reduction,
     /// bypassing the tables. Used by the test-suite as an oracle.
     pub fn mul_reference(&self, a: Symbol, b: Symbol) -> Symbol {
@@ -315,6 +331,26 @@ mod tests {
                 acc = f.mul(acc, a);
             }
         }
+    }
+
+    #[test]
+    fn pow_matches_naive_loop_for_large_and_wrapping_exponents() {
+        // Property pin for the log-domain exponentiation: for every base,
+        // `pow(a, e)` must equal the naive repeated product for exponents
+        // spanning several multiples of the group order (the `e % order`
+        // reduction is where an off-by-one would hide).
+        let f = GfField::new(4).unwrap();
+        let span = 3 * f.order() as u64 + 5;
+        for a in f.elements() {
+            let mut acc: Symbol = 1;
+            for e in 0..span {
+                assert_eq!(f.pow(a, e), acc, "a={a} e={e}");
+                acc = f.mul(acc, a);
+            }
+        }
+        // 0^0 == 1 by convention, 0^e == 0 otherwise.
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 7), 0);
     }
 
     #[test]

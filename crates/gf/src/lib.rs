@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bulk;
 mod error;
 mod field;
 pub mod gf2;

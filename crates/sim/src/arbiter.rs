@@ -20,7 +20,7 @@
 //! no usable output for that word: if the other word decodes, it is
 //! output; if both fail, there is no output.
 
-use rsmem_code::{CodeError, DecodeOutcome, RsCode, Symbol};
+use rsmem_code::{BatchOutcome, CodeError, DecodeOutcome, RsCode, Symbol};
 
 /// The arbiter's verdict for one read access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,41 +85,33 @@ fn validate_module(code: &RsCode, word: &[Symbol], erasures: &[usize]) -> Result
     Ok(())
 }
 
-/// Runs the Section-3 arbiter over the two module words.
-///
-/// `word1`/`word2` are the raw stored words; `erasures1`/`erasures2` the
-/// located permanent-fault positions per module.
-///
-/// # Tie-break policy
-///
-/// When both words are flagged (each decoder performed a correction) and
-/// the decoded datawords still differ, the arbiter emits **no output** —
-/// even though one of the two words may in fact be correct. This is the
-/// paper's rule, and it is the only sound one at this level: the flags
-/// are symmetric and the arbiter has no third copy to break the tie with,
-/// so any choice would convert a detectable event into a potential silent
-/// corruption half of the time. The cost is availability (a detected,
-/// uncorrected access), never integrity.
+/// Both masked module words plus the positions erased in *both*
+/// modules (the paper's common-erasure set X).
+pub(crate) type MaskedPair = (Vec<Symbol>, Vec<Symbol>, Vec<usize>);
+
+/// Step 1 of the arbiter, factored out so the batched Monte-Carlo path
+/// can mask word-pairs up front and push all decodes through
+/// [`rsmem_code::BatchDecoder`]: validates both modules, substitutes
+/// every single-sided erasure from the sibling module, and returns the
+/// two masked words plus the positions erased in *both* modules (which
+/// stay erasures for both decoders).
 ///
 /// # Errors
 ///
-/// Only [`CodeError`] for malformed inputs (wrong word length,
-/// out-of-range or duplicate erasure positions) — uncorrectable
-/// corruption is a [`ArbiterOutput::NoOutput`], not an error.
-pub fn arbitrate(
+/// [`CodeError`] for malformed inputs, exactly like [`arbitrate`].
+pub(crate) fn mask(
     code: &RsCode,
     word1: &[Symbol],
     erasures1: &[usize],
     word2: &[Symbol],
     erasures2: &[usize],
-) -> Result<ArbiterOutput, CodeError> {
+) -> Result<MaskedPair, CodeError> {
     // Malformed inputs must surface as typed errors before the masking
     // step indexes into the words (found by rsmem-stress: out-of-range
     // erasure positions and short words used to panic here).
     validate_module(code, word1, erasures1)?;
     validate_module(code, word2, erasures2)?;
 
-    // Step 1: erasure recovery (masking).
     let mut w1 = word1.to_vec();
     let mut w2 = word2.to_vec();
     let mut common_erasures = Vec::new();
@@ -137,23 +129,77 @@ pub fn arbitrate(
             w2[p] = word1[p];
         }
     }
+    Ok((w1, w2, common_erasures))
+}
 
-    // Step 2: independent decoding with the common (unmaskable) erasures.
-    let out1 = code.decode(&w1, &common_erasures)?;
-    let out2 = code.decode(&w2, &common_erasures)?;
+/// One decoded word as the comparison step sees it: either a detected
+/// failure, or data with the per-word correction flag.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WordVerdict<'a> {
+    /// The decoder detected an uncorrectable word.
+    Failed,
+    /// The decoder produced data; `flagged` iff it corrected anything.
+    Decoded {
+        /// The `k` decoded data symbols.
+        data: &'a [Symbol],
+        /// The Section-3 flag (a correction was performed).
+        flagged: bool,
+    },
+}
 
-    // Step 3: flag-based comparison.
-    let verdict = match (&out1, &out2) {
-        (DecodeOutcome::Failure(_), DecodeOutcome::Failure(_)) => ArbiterOutput::NoOutput,
-        (DecodeOutcome::Failure(_), ok) | (ok, DecodeOutcome::Failure(_)) => ArbiterOutput::Data {
-            data: ok.data().expect("non-failure produces data").to_vec(),
+/// The comparison view of a full scalar [`DecodeOutcome`].
+pub(crate) fn verdict_of(outcome: &DecodeOutcome) -> WordVerdict<'_> {
+    match outcome {
+        DecodeOutcome::Failure(_) => WordVerdict::Failed,
+        _ => WordVerdict::Decoded {
+            data: outcome.data().expect("non-failure produces data"),
+            flagged: outcome.is_flagged(),
+        },
+    }
+}
+
+/// The comparison view of a compact [`BatchOutcome`] whose word was
+/// corrected in place by the batch decoder.
+pub(crate) fn verdict_of_batch<'a>(
+    code: &RsCode,
+    word: &'a [Symbol],
+    outcome: &BatchOutcome,
+) -> WordVerdict<'a> {
+    match outcome {
+        BatchOutcome::Failure(_) => WordVerdict::Failed,
+        BatchOutcome::Clean => WordVerdict::Decoded {
+            data: code.data_of(word).expect("word has length n"),
+            flagged: false,
+        },
+        BatchOutcome::Corrected { .. } => WordVerdict::Decoded {
+            data: code.data_of(word).expect("word has length n"),
+            flagged: true,
+        },
+    }
+}
+
+/// Steps 2½–3 of the arbiter: the flag-based comparison over the two
+/// per-word verdicts, shared verbatim by the scalar [`arbitrate`] and
+/// the batched campaign path (so the decision rule and its metrics
+/// cannot drift apart).
+pub(crate) fn combine(v1: WordVerdict<'_>, v2: WordVerdict<'_>) -> ArbiterOutput {
+    let verdict = match (v1, v2) {
+        (WordVerdict::Failed, WordVerdict::Failed) => ArbiterOutput::NoOutput,
+        (WordVerdict::Failed, WordVerdict::Decoded { data, .. })
+        | (WordVerdict::Decoded { data, .. }, WordVerdict::Failed) => ArbiterOutput::Data {
+            data: data.to_vec(),
             branch: ArbiterBranch::SingleSurvivor,
         },
-        (a, b) => {
-            let d1 = a.data().expect("checked");
-            let d2 = b.data().expect("checked");
-            let f1 = a.is_flagged();
-            let f2 = b.is_flagged();
+        (
+            WordVerdict::Decoded {
+                data: d1,
+                flagged: f1,
+            },
+            WordVerdict::Decoded {
+                data: d2,
+                flagged: f2,
+            },
+        ) => {
             if !f1 && !f2 {
                 ArbiterOutput::Data {
                     data: d1.to_vec(),
@@ -187,7 +233,46 @@ pub fn arbitrate(
             ArbiterBranch::SingleSurvivor => metrics.single_survivor.inc(),
         },
     }
-    Ok(verdict)
+    verdict
+}
+
+/// Runs the Section-3 arbiter over the two module words.
+///
+/// `word1`/`word2` are the raw stored words; `erasures1`/`erasures2` the
+/// located permanent-fault positions per module.
+///
+/// # Tie-break policy
+///
+/// When both words are flagged (each decoder performed a correction) and
+/// the decoded datawords still differ, the arbiter emits **no output** —
+/// even though one of the two words may in fact be correct. This is the
+/// paper's rule, and it is the only sound one at this level: the flags
+/// are symmetric and the arbiter has no third copy to break the tie with,
+/// so any choice would convert a detectable event into a potential silent
+/// corruption half of the time. The cost is availability (a detected,
+/// uncorrected access), never integrity.
+///
+/// # Errors
+///
+/// Only [`CodeError`] for malformed inputs (wrong word length,
+/// out-of-range or duplicate erasure positions) — uncorrectable
+/// corruption is a [`ArbiterOutput::NoOutput`], not an error.
+pub fn arbitrate(
+    code: &RsCode,
+    word1: &[Symbol],
+    erasures1: &[usize],
+    word2: &[Symbol],
+    erasures2: &[usize],
+) -> Result<ArbiterOutput, CodeError> {
+    // Step 1: validation + erasure recovery (masking).
+    let (w1, w2, common_erasures) = mask(code, word1, erasures1, word2, erasures2)?;
+
+    // Step 2: independent decoding with the common (unmaskable) erasures.
+    let out1 = code.decode(&w1, &common_erasures)?;
+    let out2 = code.decode(&w2, &common_erasures)?;
+
+    // Step 3: flag-based comparison.
+    Ok(combine(verdict_of(&out1), verdict_of(&out2)))
 }
 
 #[cfg(test)]

@@ -17,13 +17,14 @@
 //!
 //! The `ablation_mbu` bench and integration tests quantify both.
 
+use crate::arbiter::{combine, mask, verdict_of_batch, ArbiterOutput};
 use crate::events::sample_exponential;
 use crate::memory::MemoryModule;
 use crate::runner::wilson_interval;
 use crate::{ScrubTiming, SimConfig, SimError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rsmem_code::{DecodeOutcome, Interleaver, RsCode, Symbol};
+use rsmem_code::{BatchDecoder, BatchOutcome, DecodeOpts, Interleaver, RsCode, Symbol};
 
 /// Configuration of a whole-memory array simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,11 +149,12 @@ pub fn run_simplex_array(
     let code = RsCode::new(config.base.n, config.base.k, config.base.m)?;
     let interleaver = Interleaver::new(config.interleave_depth)?;
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut decoder = BatchDecoder::new();
     let mut failed_words = 0usize;
     let mut silent_words = 0usize;
 
     for _ in 0..trials {
-        let (f, s) = run_one_trial(&code, config, interleaver, &mut rng);
+        let (f, s) = run_one_trial(&code, config, interleaver, &mut rng, &mut decoder);
         failed_words += f;
         silent_words += s;
     }
@@ -192,11 +194,12 @@ pub fn run_duplex_array(
     let code = RsCode::new(config.base.n, config.base.k, config.base.m)?;
     let interleaver = Interleaver::new(config.interleave_depth)?;
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut decoder = BatchDecoder::new();
     let mut failed_words = 0usize;
     let mut silent_words = 0usize;
 
     for _ in 0..trials {
-        let (f, s) = run_one_duplex_trial(&code, config, interleaver, &mut rng);
+        let (f, s) = run_one_duplex_trial(&code, config, interleaver, &mut rng, &mut decoder);
         failed_words += f;
         silent_words += s;
     }
@@ -221,6 +224,7 @@ fn run_one_duplex_trial(
     config: &ArrayConfig,
     interleaver: Interleaver,
     rng: &mut StdRng,
+    decoder: &mut BatchDecoder,
 ) -> (usize, usize) {
     let originals: Vec<Vec<Symbol>> = (0..config.words)
         .map(|_| {
@@ -270,7 +274,7 @@ fn run_one_duplex_trial(
             break;
         }
         if best == t_scrub {
-            scrub_duplex_arrays(code, &mut replicas);
+            scrub_duplex_arrays(code, &mut replicas, decoder);
             t_scrub += match config.base.scrub {
                 None => f64::INFINITY,
                 Some((period, ScrubTiming::Periodic)) => period,
@@ -302,16 +306,39 @@ fn run_one_duplex_trial(
         }
     }
 
-    // Final read: every word-pair through the arbiter.
+    // Final read: mask every word-pair (arbiter step 1), batch-decode
+    // all 2·words masked words at once, then run the flag comparison
+    // per pair — the same pipeline as the arbiter, restructured around
+    // one `BatchDecoder` pass.
+    let mut words = Vec::with_capacity(2 * originals.len());
+    let mut erasures = Vec::with_capacity(2 * originals.len());
+    for w in 0..originals.len() {
+        let (m1, m2) = (&replicas[0].modules[w], &replicas[1].modules[w]);
+        let (w1, w2, common) = mask(code, m1.read(), &m1.erasures(), m2.read(), &m2.erasures())
+            .expect("well-formed stored words");
+        words.push(w1);
+        words.push(w2);
+        erasures.push(common.clone());
+        erasures.push(common);
+    }
+    let mut outcomes = Vec::with_capacity(words.len());
+    decoder
+        .decode_batch(
+            code,
+            &mut words,
+            &erasures,
+            &DecodeOpts::default(),
+            &mut outcomes,
+        )
+        .expect("well-formed stored words");
     let mut failed = 0usize;
     let mut silent = 0usize;
     for (w, original) in originals.iter().enumerate() {
-        let (m1, m2) = (&replicas[0].modules[w], &replicas[1].modules[w]);
-        match crate::arbiter::arbitrate(code, m1.read(), &m1.erasures(), m2.read(), &m2.erasures())
-            .expect("well-formed stored words")
-        {
-            crate::arbiter::ArbiterOutput::NoOutput => failed += 1,
-            crate::arbiter::ArbiterOutput::Data { data, .. } => {
+        let v1 = verdict_of_batch(code, &words[2 * w], &outcomes[2 * w]);
+        let v2 = verdict_of_batch(code, &words[2 * w + 1], &outcomes[2 * w + 1]);
+        match combine(v1, v2) {
+            ArbiterOutput::NoOutput => failed += 1,
+            ArbiterOutput::Data { data, .. } => {
                 if data != *original {
                     failed += 1;
                     silent += 1;
@@ -323,34 +350,37 @@ fn run_one_duplex_trial(
 }
 
 /// Per-word-pair joint scrub across the two replica arrays (the same
-/// masking + decode + rewrite the single-pair `DuplexSim` performs).
-fn scrub_duplex_arrays(code: &RsCode, replicas: &mut [Array]) {
-    let words = replicas[0].modules.len();
-    for w in 0..words {
-        let e1 = replicas[0].modules[w].erasures();
-        let e2 = replicas[1].modules[w].erasures();
-        let mut w1 = replicas[0].modules[w].read().to_vec();
-        let mut w2 = replicas[1].modules[w].read().to_vec();
-        let mut common = Vec::new();
-        for &p in &e1 {
-            if e2.contains(&p) {
-                common.push(p);
-            } else {
-                w1[p] = w2[p];
-            }
-        }
-        for &p in &e2 {
-            if !e1.contains(&p) {
-                w2[p] = replicas[0].modules[w].read()[p];
-            }
-        }
-        for (r, word) in [w1, w2].into_iter().enumerate() {
-            match code.decode(&word, &common).expect("well-formed") {
-                DecodeOutcome::Clean { .. } => replicas[r].modules[w].write(&word),
-                DecodeOutcome::Corrected { codeword, .. } => {
-                    replicas[r].modules[w].write(&codeword)
-                }
-                DecodeOutcome::Failure(_) => {}
+/// masking + decode + rewrite the single-pair `DuplexSim` performs),
+/// with all 2·words decodes pushed through one batch pass.
+fn scrub_duplex_arrays(code: &RsCode, replicas: &mut [Array], decoder: &mut BatchDecoder) {
+    let word_count = replicas[0].modules.len();
+    let mut words = Vec::with_capacity(2 * word_count);
+    let mut erasures = Vec::with_capacity(2 * word_count);
+    for w in 0..word_count {
+        let (m1, m2) = (&replicas[0].modules[w], &replicas[1].modules[w]);
+        let (w1, w2, common) = mask(code, m1.read(), &m1.erasures(), m2.read(), &m2.erasures())
+            .expect("well-formed stored words");
+        words.push(w1);
+        words.push(w2);
+        erasures.push(common.clone());
+        erasures.push(common);
+    }
+    let mut outcomes = Vec::with_capacity(words.len());
+    decoder
+        .decode_batch(
+            code,
+            &mut words,
+            &erasures,
+            &DecodeOpts::default(),
+            &mut outcomes,
+        )
+        .expect("well-formed stored words");
+    for w in 0..word_count {
+        for r in 0..2 {
+            // A decodable word (Clean after masking, or Corrected in
+            // place) is rewritten; an undecodable one is left alone.
+            if !matches!(outcomes[2 * w + r], BatchOutcome::Failure(_)) {
+                replicas[r].modules[w].write(&words[2 * w + r]);
             }
         }
     }
@@ -361,6 +391,7 @@ fn run_one_trial(
     config: &ArrayConfig,
     interleaver: Interleaver,
     rng: &mut StdRng,
+    decoder: &mut BatchDecoder,
 ) -> (usize, usize) {
     // Store one random dataword per module.
     let originals: Vec<Vec<Symbol>> = (0..config.words)
@@ -417,13 +448,24 @@ fn run_one_trial(
             array.modules[module].stick(sym, value);
             t_perm += sample_exponential(rng, perm_rate);
         } else {
-            // Scrub every word.
-            for module in &mut array.modules {
-                let erasures = module.erasures();
-                if let DecodeOutcome::Corrected { codeword, .. } =
-                    code.decode(module.read(), &erasures).expect("well-formed")
-                {
-                    module.write(&codeword);
+            // Scrub every word: one batch decode over the whole array,
+            // rewriting only the words the decoder actually corrected.
+            let mut words: Vec<Vec<Symbol>> =
+                array.modules.iter().map(|m| m.read().to_vec()).collect();
+            let erasures: Vec<Vec<usize>> = array.modules.iter().map(|m| m.erasures()).collect();
+            let mut outcomes = Vec::with_capacity(words.len());
+            decoder
+                .decode_batch(
+                    code,
+                    &mut words,
+                    &erasures,
+                    &DecodeOpts::default(),
+                    &mut outcomes,
+                )
+                .expect("well-formed stored words");
+            for (i, outcome) in outcomes.iter().enumerate() {
+                if matches!(outcome, BatchOutcome::Corrected { .. }) {
+                    array.modules[i].write(&words[i]);
                 }
             }
             t_scrub += match config.base.scrub {
@@ -434,17 +476,26 @@ fn run_one_trial(
         }
     }
 
-    // Final read of every word.
+    // Final read of every word, decoded in one batch.
+    let mut words: Vec<Vec<Symbol>> = array.modules.iter().map(|m| m.read().to_vec()).collect();
+    let erasures: Vec<Vec<usize>> = array.modules.iter().map(|m| m.erasures()).collect();
+    let mut outcomes = Vec::with_capacity(words.len());
+    decoder
+        .decode_batch(
+            code,
+            &mut words,
+            &erasures,
+            &DecodeOpts::default(),
+            &mut outcomes,
+        )
+        .expect("well-formed stored words");
     let mut failed = 0usize;
     let mut silent = 0usize;
-    for (module, original) in array.modules.iter().zip(&originals) {
-        match code
-            .decode(module.read(), &module.erasures())
-            .expect("well-formed")
-        {
-            DecodeOutcome::Failure(_) => failed += 1,
-            out => {
-                if out.data() != Some(&original[..]) {
+    for ((outcome, word), original) in outcomes.iter().zip(&words).zip(&originals) {
+        match outcome {
+            BatchOutcome::Failure(_) => failed += 1,
+            _ => {
+                if code.data_of(word).expect("word has length n") != &original[..] {
                     failed += 1;
                     silent += 1;
                 }

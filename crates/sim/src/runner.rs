@@ -9,11 +9,13 @@
 //! Outcome counts are merged by integer addition, which is
 //! order-independent.
 
+use crate::arbiter::{combine, verdict_of_batch, ArbiterOutput};
 use crate::metrics::mc_metrics;
 use crate::system::{DuplexSim, SimplexSim};
 use crate::{SimConfig, SimError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rsmem_code::{BatchDecoder, BatchOutcome, DecodeOpts, RsCode, Symbol};
 use rsmem_obs::log::{current_trace_id, trace_scope};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -157,9 +159,15 @@ fn summarize(counts: OutcomeCounts, n: usize, k: usize, m: u32) -> MonteCarloRep
 /// Runs the sharded campaign: workers pull shard indices from an atomic
 /// cursor, simulate each shard with its own deterministically-seeded RNG,
 /// and the per-worker counts merge commutatively.
-fn run_sharded<F>(trials: usize, seed: u64, threads: usize, run_trial: F) -> OutcomeCounts
+///
+/// `run_shard_trials` receives the shard's RNG and its trial count and
+/// returns the shard's outcome counts. Handing the closure the *whole*
+/// shard (rather than one trial at a time) lets campaign entry points
+/// prepare all trials first and then push the final read-back decodes
+/// through one [`BatchDecoder`] pass per shard.
+fn run_sharded<F>(trials: usize, seed: u64, threads: usize, run_shard_trials: F) -> OutcomeCounts
 where
-    F: Fn(&mut StdRng) -> TrialOutcome + Sync,
+    F: Fn(&mut StdRng, usize) -> OutcomeCounts + Sync,
 {
     let shards = trials.div_ceil(SHARD_TRIALS);
     let metrics = mc_metrics();
@@ -171,10 +179,7 @@ where
         shard_span.record("shard", shard);
         let mut rng = StdRng::seed_from_u64(shard_seed(seed, shard as u64));
         let in_shard = SHARD_TRIALS.min(trials - shard * SHARD_TRIALS);
-        let mut counts = OutcomeCounts::default();
-        for _ in 0..in_shard {
-            counts.record(run_trial(&mut rng));
-        }
+        let counts = run_shard_trials(&mut rng, in_shard);
         // Publish per shard, not per trial: five relaxed adds per 256
         // trials instead of contended increments inside the trial loop.
         metrics.shards.inc();
@@ -222,6 +227,101 @@ where
             .map(|h| h.join().expect("MC shard worker panicked"))
             .fold(OutcomeCounts::default(), OutcomeCounts::merge)
     })
+}
+
+/// Classifies one simplex trial from its compact batch outcome: the
+/// exact classification [`SimplexSim::run_trial`] applies to the scalar
+/// [`rsmem_code::DecodeOutcome`].
+fn classify_simplex(
+    code: &RsCode,
+    outcome: &BatchOutcome,
+    word: &[Symbol],
+    data: &[Symbol],
+) -> TrialOutcome {
+    match outcome {
+        BatchOutcome::Failure(_) => TrialOutcome::Detected,
+        // Clean or Corrected: the word was fixed up in place, so its
+        // data section is the decoder's output.
+        _ => {
+            if code.data_of(word).expect("word has length n") == data {
+                TrialOutcome::Correct
+            } else {
+                TrialOutcome::SilentCorruption
+            }
+        }
+    }
+}
+
+/// One simplex shard: play out every trial's fault history, then decode
+/// all the final read-backs in a single batch pass.
+fn simplex_shard(sim: &SimplexSim, rng: &mut StdRng, in_shard: usize) -> OutcomeCounts {
+    let mut datas = Vec::with_capacity(in_shard);
+    let mut words = Vec::with_capacity(in_shard);
+    let mut erasures = Vec::with_capacity(in_shard);
+    for _ in 0..in_shard {
+        let trial = sim.prepare_trial(rng);
+        datas.push(trial.data);
+        words.push(trial.word);
+        erasures.push(trial.erasures);
+    }
+    let mut outcomes = Vec::with_capacity(in_shard);
+    BatchDecoder::new()
+        .decode_batch(
+            sim.code(),
+            &mut words,
+            &erasures,
+            &DecodeOpts::default(),
+            &mut outcomes,
+        )
+        .expect("well-formed stored words");
+    let mut counts = OutcomeCounts::default();
+    for ((outcome, word), data) in outcomes.iter().zip(&words).zip(&datas) {
+        counts.record(classify_simplex(sim.code(), outcome, word, data));
+    }
+    counts
+}
+
+/// One duplex shard: play out every trial (including the arbiter's
+/// masking step), batch-decode all `2 × in_shard` masked words at once,
+/// then run the flag comparison per pair.
+fn duplex_shard(sim: &DuplexSim, rng: &mut StdRng, in_shard: usize) -> OutcomeCounts {
+    let mut datas = Vec::with_capacity(in_shard);
+    let mut words = Vec::with_capacity(2 * in_shard);
+    let mut erasures = Vec::with_capacity(2 * in_shard);
+    for _ in 0..in_shard {
+        let trial = sim.prepare_trial(rng);
+        datas.push(trial.data);
+        words.push(trial.w1);
+        words.push(trial.w2);
+        erasures.push(trial.common.clone());
+        erasures.push(trial.common);
+    }
+    let mut outcomes = Vec::with_capacity(2 * in_shard);
+    BatchDecoder::new()
+        .decode_batch(
+            sim.code(),
+            &mut words,
+            &erasures,
+            &DecodeOpts::default(),
+            &mut outcomes,
+        )
+        .expect("well-formed stored words");
+    let mut counts = OutcomeCounts::default();
+    for (i, data) in datas.iter().enumerate() {
+        let v1 = verdict_of_batch(sim.code(), &words[2 * i], &outcomes[2 * i]);
+        let v2 = verdict_of_batch(sim.code(), &words[2 * i + 1], &outcomes[2 * i + 1]);
+        counts.record(match combine(v1, v2) {
+            ArbiterOutput::NoOutput => TrialOutcome::Detected,
+            ArbiterOutput::Data { data: d, .. } => {
+                if d == *data {
+                    TrialOutcome::Correct
+                } else {
+                    TrialOutcome::SilentCorruption
+                }
+            }
+        });
+    }
+    counts
 }
 
 /// Attaches a finished campaign's outcome counts (and the implied
@@ -277,7 +377,9 @@ pub fn run_simplex_threaded(
     let mut span = rsmem_obs::span("sim.mc", "simplex_campaign");
     span.record("trials", trials);
     span.record("threads", threads);
-    let counts = run_sharded(trials, seed, threads, |rng| sim.run_trial(rng));
+    let counts = run_sharded(trials, seed, threads, |rng, in_shard| {
+        simplex_shard(&sim, rng, in_shard)
+    });
     record_campaign(&mut span, &counts);
     Ok(summarize(counts, config.n, config.k, config.m))
 }
@@ -315,7 +417,9 @@ pub fn run_duplex_threaded(
     let mut span = rsmem_obs::span("sim.mc", "duplex_campaign");
     span.record("trials", trials);
     span.record("threads", threads);
-    let counts = run_sharded(trials, seed, threads, |rng| sim.run_trial(rng));
+    let counts = run_sharded(trials, seed, threads, |rng, in_shard| {
+        duplex_shard(&sim, rng, in_shard)
+    });
     record_campaign(&mut span, &counts);
     Ok(summarize(counts, config.n, config.k, config.m))
 }
@@ -413,6 +517,48 @@ mod tests {
         let report = run_simplex(&SimConfig::rs18_16_baseline(), 300, 9).unwrap();
         assert_eq!(report.trials, 300);
         assert_eq!(report.correct + report.silent + report.detected, 300);
+    }
+
+    #[test]
+    fn batched_campaign_matches_per_trial_decodes() {
+        // The campaign entry points batch all of a shard's final decodes
+        // through BatchDecoder. Rebuilding the same shard layout with the
+        // scalar per-trial `run_trial` must give bit-identical counts —
+        // the batch plane is an optimization, never a behavior change.
+        let mut config = SimConfig::rs18_16_baseline();
+        config.seu_per_bit_day = 2e-2;
+        config.erasure_per_symbol_day = 2e-3;
+        let trials = 300usize;
+        let seed = 5u64;
+
+        let per_trial = |run: &dyn Fn(&mut StdRng) -> TrialOutcome| {
+            let mut counts = OutcomeCounts::default();
+            for shard in 0..trials.div_ceil(SHARD_TRIALS) {
+                let mut rng = StdRng::seed_from_u64(shard_seed(seed, shard as u64));
+                for _ in 0..SHARD_TRIALS.min(trials - shard * SHARD_TRIALS) {
+                    counts.record(run(&mut rng));
+                }
+            }
+            counts
+        };
+
+        let simplex = SimplexSim::new(config).unwrap();
+        let scalar = per_trial(&|rng| simplex.run_trial(rng));
+        let batched = run_simplex(&config, trials, seed).unwrap();
+        assert_eq!(
+            (batched.correct, batched.silent, batched.detected),
+            (scalar.correct, scalar.silent, scalar.detected),
+            "simplex batch/scalar divergence"
+        );
+
+        let duplex = DuplexSim::new(config).unwrap();
+        let scalar = per_trial(&|rng| duplex.run_trial(rng));
+        let batched = run_duplex(&config, trials, seed).unwrap();
+        assert_eq!(
+            (batched.correct, batched.silent, batched.detected),
+            (scalar.correct, scalar.silent, scalar.detected),
+            "duplex batch/scalar divergence"
+        );
     }
 
     #[test]

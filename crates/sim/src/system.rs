@@ -1,6 +1,6 @@
 //! Event-driven simulation of the simplex and duplex memory systems.
 
-use crate::arbiter::{arbitrate, ArbiterOutput};
+use crate::arbiter::{combine, mask, verdict_of, ArbiterOutput};
 use crate::config::{ScrubTiming, SimConfig};
 use crate::events::sample_exponential;
 use crate::memory::MemoryModule;
@@ -97,6 +97,35 @@ fn inject_permanent<R: Rng + ?Sized>(rng: &mut R, module: &mut MemoryModule, cod
     module.stick(pos, value);
 }
 
+/// A trial whose fault history has been played out but whose final
+/// read-back has not yet been decoded. The sharded Monte-Carlo runner
+/// prepares every trial of a shard, then pushes all the final decodes
+/// through one [`rsmem_code::BatchDecoder`] pass.
+#[derive(Debug)]
+pub(crate) struct PendingTrial {
+    /// The originally stored dataword.
+    pub(crate) data: Vec<Symbol>,
+    /// The (possibly corrupted) word read back at the stopping time.
+    pub(crate) word: Vec<Symbol>,
+    /// Located permanent-fault positions at the stopping time.
+    pub(crate) erasures: Vec<usize>,
+}
+
+/// A duplex trial after fault injection *and* arbiter step 1 (masking):
+/// both masked words are ready for independent decoding with the common
+/// erasures.
+#[derive(Debug)]
+pub(crate) struct PendingDuplexTrial {
+    /// The originally stored dataword.
+    pub(crate) data: Vec<Symbol>,
+    /// Module 1's masked word.
+    pub(crate) w1: Vec<Symbol>,
+    /// Module 2's masked word.
+    pub(crate) w2: Vec<Symbol>,
+    /// Positions erased in both modules (kept as erasures for both).
+    pub(crate) common: Vec<usize>,
+}
+
 /// A single simulated simplex memory word.
 ///
 /// Holds the code and configuration; [`SimplexSim::run_trial`] plays one
@@ -127,6 +156,28 @@ impl SimplexSim {
 
     /// Runs one independent trial.
     pub fn run_trial<R: Rng + ?Sized>(&self, rng: &mut R) -> TrialOutcome {
+        let trial = self.prepare_trial(rng);
+        match self
+            .code
+            .decode(&trial.word, &trial.erasures)
+            .expect("well-formed stored word")
+        {
+            DecodeOutcome::Failure(_) => TrialOutcome::Detected,
+            out => {
+                if out.data() == Some(&trial.data[..]) {
+                    TrialOutcome::Correct
+                } else {
+                    TrialOutcome::SilentCorruption
+                }
+            }
+        }
+    }
+
+    /// Plays one trial's fault history (injection + scrubbing) and stops
+    /// just short of the final read-back decode, so callers can batch
+    /// that decode across many trials. Consumes exactly the same RNG
+    /// stream as [`SimplexSim::run_trial`] — the decode draws nothing.
+    pub(crate) fn prepare_trial<R: Rng + ?Sized>(&self, rng: &mut R) -> PendingTrial {
         let data = random_data(rng, &self.code);
         let codeword = self.code.encode(&data).expect("validated parameters");
         let mut module = MemoryModule::new(codeword, self.config.m);
@@ -154,19 +205,11 @@ impl SimplexSim {
             }
         }
 
-        match self
-            .code
-            .decode(module.read(), &module.erasures())
-            .expect("well-formed stored word")
-        {
-            DecodeOutcome::Failure(_) => TrialOutcome::Detected,
-            out => {
-                if out.data() == Some(&data[..]) {
-                    TrialOutcome::Correct
-                } else {
-                    TrialOutcome::SilentCorruption
-                }
-            }
+        let erasures = module.erasures();
+        PendingTrial {
+            data,
+            word: module.read().to_vec(),
+            erasures,
         }
     }
 
@@ -212,6 +255,32 @@ impl DuplexSim {
 
     /// Runs one independent trial.
     pub fn run_trial<R: Rng + ?Sized>(&self, rng: &mut R) -> TrialOutcome {
+        let trial = self.prepare_trial(rng);
+        let out1 = self
+            .code
+            .decode(&trial.w1, &trial.common)
+            .expect("well-formed stored word");
+        let out2 = self
+            .code
+            .decode(&trial.w2, &trial.common)
+            .expect("well-formed stored word");
+        match combine(verdict_of(&out1), verdict_of(&out2)) {
+            ArbiterOutput::NoOutput => TrialOutcome::Detected,
+            ArbiterOutput::Data { data: d, .. } => {
+                if d == trial.data {
+                    TrialOutcome::Correct
+                } else {
+                    TrialOutcome::SilentCorruption
+                }
+            }
+        }
+    }
+
+    /// Plays one trial's fault history and the arbiter's masking step,
+    /// stopping just short of the two final decodes so callers can batch
+    /// them. Consumes exactly the same RNG stream as
+    /// [`DuplexSim::run_trial`] — masking and decoding draw nothing.
+    pub(crate) fn prepare_trial<R: Rng + ?Sized>(&self, rng: &mut R) -> PendingDuplexTrial {
         let data = random_data(rng, &self.code);
         let codeword = self.code.encode(&data).expect("validated parameters");
         let mut modules = [
@@ -242,23 +311,19 @@ impl DuplexSim {
         }
 
         let [m1, m2] = &modules;
-        match arbitrate(
+        let (w1, w2, common) = mask(
             &self.code,
             m1.read(),
             &m1.erasures(),
             m2.read(),
             &m2.erasures(),
         )
-        .expect("well-formed stored words")
-        {
-            ArbiterOutput::NoOutput => TrialOutcome::Detected,
-            ArbiterOutput::Data { data: d, .. } => {
-                if d == data {
-                    TrialOutcome::Correct
-                } else {
-                    TrialOutcome::SilentCorruption
-                }
-            }
+        .expect("well-formed stored words");
+        PendingDuplexTrial {
+            data,
+            w1,
+            w2,
+            common,
         }
     }
 

@@ -20,8 +20,13 @@
 use crate::report::{DecodeReport, Divergence};
 use crate::rng::SplitMix64;
 use crate::shrink;
-use rsmem_code::{DecodeOutcome, DecoderBackend, RsCode, Symbol};
+use rsmem_code::{DecodeOpts, DecodeOutcome, DecoderBackend, RsCode, Symbol};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Cases accumulated per code before a batched differential flush. Large
+/// enough to exercise the batch plane's SoA path, small enough to keep
+/// the corpus memory bounded regardless of the sweep budget.
+const BATCH_FLUSH: usize = 256;
 
 /// The code zoo the random sweep draws from: the paper's RS(18,16) and
 /// RS(36,16), plus small/odd shapes (tiny fields, non-zero first roots,
@@ -165,6 +170,78 @@ pub fn check_case(code: &RsCode, case: &DecodeCase) -> Option<(&'static str, Str
     None
 }
 
+/// Differentially checks [`RsCode::decode_many`] against the scalar
+/// per-word decode over a slice of same-code cases: the batch plane is
+/// an optimization and must agree **exactly** — same outcome
+/// classification, same corrected words, untouched words otherwise. Any
+/// disagreement is reported as a `batch-divergence`.
+fn check_batch(
+    code: &RsCode,
+    cases: &[DecodeCase],
+    report: &mut DecodeReport,
+    max_divergences: usize,
+) {
+    if cases.is_empty() {
+        return;
+    }
+    let mut push = |case: &DecodeCase, detail: String| {
+        if report.divergences.len() < max_divergences {
+            report.divergences.push(Divergence {
+                suite: "decode",
+                kind: "batch-divergence",
+                summary: format!(
+                    "RS({},{}) m={} b={}: {detail}",
+                    case.n, case.k, case.m, case.b
+                ),
+                repro: shrink::render_decode_repro(case, "batch-divergence", &detail),
+            });
+        }
+    };
+    let mut words: Vec<Vec<Symbol>> = cases.iter().map(|c| c.word.clone()).collect();
+    let erasures: Vec<Vec<usize>> = cases.iter().map(|c| c.erasures.clone()).collect();
+    let batched = match code.decode_many(&mut words, &erasures, &DecodeOpts::default()) {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            push(
+                &cases[0],
+                format!("decode_many rejected a well-formed batch: {e}"),
+            );
+            return;
+        }
+    };
+    for (i, case) in cases.iter().enumerate() {
+        let scalar = code
+            .decode(&case.word, &case.erasures)
+            .expect("well-formed case");
+        if batched[i] != scalar {
+            push(
+                case,
+                format!(
+                    "outcome mismatch: batch {:?} vs scalar {scalar:?}",
+                    batched[i]
+                ),
+            );
+            continue;
+        }
+        match &scalar {
+            DecodeOutcome::Corrected { codeword, .. } => {
+                if &words[i] != codeword {
+                    push(
+                        case,
+                        "in-place corrected word differs from scalar codeword".to_string(),
+                    );
+                }
+            }
+            // Clean and Failure must leave the word untouched.
+            _ => {
+                if words[i] != case.word {
+                    push(case, "batch mutated a word it did not correct".to_string());
+                }
+            }
+        }
+    }
+}
+
 /// Classification of the default back-end's outcome, for the report.
 fn classify(code: &RsCode, case: &DecodeCase, report: &mut DecodeReport) {
     match code
@@ -229,6 +306,9 @@ pub fn run(
         .iter()
         .map(|&(n, k, m, b)| RsCode::with_first_root(n, k, m, b).expect("zoo codes are valid"))
         .collect();
+    // Per-code corpora for the batched differential pass; flushed in
+    // BATCH_FLUSH-sized blocks so memory stays bounded.
+    let mut corpora: Vec<Vec<DecodeCase>> = vec![Vec::new(); CODES.len()];
 
     for i in 0..budget {
         if (i + 1).is_multiple_of(512) {
@@ -276,6 +356,14 @@ pub fn run(
             erasures,
         };
         record(code, &case, &mut report, max_divergences);
+        corpora[idx].push(case);
+        if corpora[idx].len() >= BATCH_FLUSH {
+            check_batch(code, &corpora[idx], &mut report, max_divergences);
+            corpora[idx].clear();
+        }
+    }
+    for (idx, corpus) in corpora.iter().enumerate() {
+        check_batch(&codes[idx], corpus, &mut report, max_divergences);
     }
     progress.finish(
         budget as u64,
@@ -302,6 +390,7 @@ fn run_exhaustive(report: &mut DecodeReport, budget: usize, max_divergences: usi
     let clean = code.encode(&data).expect("valid dataword");
     let mut progress = rsmem_obs::Progress::new("stress.decode", "exhaustive sweep");
     let mut spent = 0usize;
+    let mut corpus: Vec<DecodeCase> = Vec::with_capacity(BATCH_FLUSH);
 
     for emask in 0u32..(1 << n) {
         let erasures: Vec<usize> = (0..n).filter(|i| emask >> i & 1 == 1).collect();
@@ -321,6 +410,7 @@ fn run_exhaustive(report: &mut DecodeReport, budget: usize, max_divergences: usi
             for fc in 0..combos_f {
                 for ec in 0..combos_e {
                     if spent >= budget {
+                        check_batch(&code, &corpus, report, max_divergences);
                         progress.finish(
                             spent as u64,
                             budget as u64,
@@ -357,10 +447,16 @@ fn run_exhaustive(report: &mut DecodeReport, budget: usize, max_divergences: usi
                         erasures: erasures.clone(),
                     };
                     record(&code, &case, report, max_divergences);
+                    corpus.push(case);
+                    if corpus.len() >= BATCH_FLUSH {
+                        check_batch(&code, &corpus, report, max_divergences);
+                        corpus.clear();
+                    }
                 }
             }
         }
     }
+    check_batch(&code, &corpus, report, max_divergences);
     // The lattice ran dry before the budget did.
     progress.finish(
         spent as u64,
@@ -398,6 +494,19 @@ mod tests {
         let report = run(1, 0, 30_000, 8);
         assert!(report.divergences.is_empty(), "{:?}", report.divergences);
         assert_eq!(report.cases, 30_000);
+    }
+
+    #[test]
+    fn batch_differential_over_pinned_corpus_is_clean() {
+        // Pinned seeds exercising the random lattice (every zoo code, so
+        // every bucket flush path) plus the exhaustive RS(7,3) sweep —
+        // both now run decode_many differentially against the scalar
+        // decode inside `run`. Divergences here mean the batch plane
+        // changed decoder behavior.
+        for seed in [0x5EED_CAFEu64, 42] {
+            let report = run(seed, 1_500, 4_000, 8);
+            assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+        }
     }
 
     #[test]
