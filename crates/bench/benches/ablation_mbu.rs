@@ -17,13 +17,11 @@ use std::hint::black_box;
 fn config(mbu: u32, depth: usize) -> ArrayConfig {
     ArrayConfig {
         base: SimConfig {
-            n: 18,
-            k: 16,
-            m: 8,
             seu_per_bit_day: 1e-3, // accelerated for measurable statistics
             erasure_per_symbol_day: 0.0,
             scrub: None,
             store_days: 2.0,
+            ..SimConfig::rs18_16_baseline()
         },
         words: 32,
         mbu_width_bits: mbu,

@@ -404,6 +404,78 @@ fn decode_throughput_benches(
     Ok(())
 }
 
+/// One encode+decode throughput bench per code family, driven through
+/// the `MemoryCode` trait object — the cross-family analogue of the RS
+/// scalar/batch pair above. Each corpus mixes clean words with one
+/// within-capability random error or clobbered declared erasure per
+/// eight words, and the fingerprint covers every recovered dataword,
+/// so the gate proves each family still computes the same corrections,
+/// not just that the decoder runs.
+fn family_codec_benches(
+    quick: bool,
+    iterations: usize,
+    benches: &mut Vec<BenchResult>,
+) -> Result<(), String> {
+    let words = if quick { 256 } else { 1024 };
+    let families = [
+        ("rs", rsmem::CodeParams::rs18_16()),
+        ("rm", rsmem::CodeParams::rm1(5).map_err(|e| e.to_string())?),
+        (
+            "irs",
+            rsmem::CodeParams::interleaved(18, 16, 8, 2).map_err(|e| e.to_string())?,
+        ),
+    ];
+    for (tag, params) in families {
+        let code = rsmem::codes::build(params).map_err(|e| e.to_string())?;
+        let size = 1u64 << code.symbol_bits();
+        let mut state = 0xC0DE_FACE_u64 ^ ((code.n() as u64) << 24) ^ code.k() as u64;
+        let mut corpus = Vec::with_capacity(words);
+        let mut erasures = Vec::with_capacity(words);
+        for i in 0..words {
+            let data: Vec<Symbol> = (0..code.k())
+                .map(|_| (splitmix(&mut state) % size) as Symbol)
+                .collect();
+            let mut word = code.encode(&data).map_err(|e| e.to_string())?;
+            let mut era = Vec::new();
+            match i % 8 {
+                3 => {
+                    // One declared erasure, clobbered (cost 1 against
+                    // every representative's budget).
+                    let p = (splitmix(&mut state) as usize) % code.n();
+                    word[p] = (splitmix(&mut state) % size) as Symbol;
+                    era.push(p);
+                }
+                7 => {
+                    // One random symbol error (cost 2 — still within
+                    // even RS(18,16)'s budget of n−k = 2).
+                    let p = (splitmix(&mut state) as usize) % code.n();
+                    word[p] ^= (1 + splitmix(&mut state) % (size - 1)) as Symbol;
+                }
+                _ => {} // clean
+            }
+            corpus.push(word);
+            erasures.push(era);
+        }
+        let mut bench = run_bench(&format!("codec_family_{tag}"), iterations, || {
+            let mut hash = Fnv::new();
+            for (word, era) in corpus.iter().zip(&erasures) {
+                match code.decode(word, era).map_err(|e| e.to_string())? {
+                    DecodeOutcome::Clean { data } | DecodeOutcome::Corrected { data, .. } => {
+                        for s in &data {
+                            hash.write(&s.to_le_bytes());
+                        }
+                    }
+                    DecodeOutcome::Failure(_) => hash.write(b"failure"),
+                }
+            }
+            Ok(hash.finish())
+        })?;
+        bench.symbols = (code.n() * words) as u64;
+        benches.push(bench);
+    }
+    Ok(())
+}
+
 /// One HTTP round trip against `addr`; returns the response body.
 fn http_post(addr: std::net::SocketAddr, path: &str, body: &str) -> Result<String, String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
@@ -484,6 +556,7 @@ pub fn run_suite(quick: bool) -> Result<BenchReport, String> {
     }
     benches.push(run_bench("decode_lattice", iterations, decode_lattice)?);
     decode_throughput_benches(quick, iterations, &mut benches)?;
+    family_codec_benches(quick, iterations, &mut benches)?;
     benches.push(service_roundtrip(iterations)?);
     let (version, git_hash) = rsmem_obs::build_info();
     Ok(BenchReport {
@@ -965,6 +1038,29 @@ mod tests {
                 scalar.min_us
             );
         }
+    }
+
+    #[test]
+    fn family_codec_benches_cover_every_family_deterministically() {
+        // Two independent runs must agree on every fingerprint (the
+        // corpora and decoders are fully deterministic), and each family
+        // carries a symbol count so the report renders throughput.
+        let mut a = Vec::new();
+        family_codec_benches(true, 2, &mut a).unwrap();
+        let mut b = Vec::new();
+        family_codec_benches(true, 2, &mut b).unwrap();
+        let names: Vec<&str> = a.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["codec_family_rs", "codec_family_rm", "codec_family_irs"]
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fingerprint, y.fingerprint, "{}", x.name);
+            assert!(x.symbols > 0, "{}", x.name);
+        }
+        // Distinct families see distinct corpora/geometries.
+        assert_ne!(a[0].fingerprint, a[1].fingerprint);
+        assert_ne!(a[1].fingerprint, a[2].fingerprint);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use rsmem::experiments::{
 };
 use rsmem::scrub::{minimum_scrub_period, ScrubRecommendation};
 use rsmem::units::{ErasureRate, SeuRate, Time, TimeGrid};
-use rsmem::{report, MemorySystem, Parallelism, ScrubTiming, Scrubbing};
+use rsmem::{report, CodeFamily, CodeParams, MemorySystem, Parallelism, ScrubTiming, Scrubbing};
 use rsmem_obs::log::{next_trace_id, trace_scope, LogConfig};
 use rsmem_obs::Progress;
 use std::fmt::Write as _;
@@ -28,6 +28,8 @@ USAGE:
   rsmem array [flags]                 whole-memory simulation with MBUs
   rsmem advise [flags]                slowest scrub period meeting a BER target
   rsmem complexity                    Section-6 decoder comparison
+  rsmem compare [flags]               head-to-head BER + complexity across
+                                      code families (RS / RM / interleaved RS)
   rsmem stress [flags]                differential stress/fault-injection run
   rsmem serve [flags]                 run the analysis daemon (rsmem-service)
   rsmem check-jsonl                   validate stdin as canonical JSON-lines
@@ -62,6 +64,14 @@ COMMAND FLAGS:
   --interleave D          interleaving depth for `array` (default: 1)
   --threads N             worker threads for `experiment`/`simulate`
                           (default: all cores; results do not depend on N)
+
+COMPARE FLAGS:
+  --families F1,F2,...    families to compare: rs, rm, irs
+                          (default: rs,rm,irs)
+  --quick                 CI smoke mode: 5 grid points
+  --csv                   emit the BER matrix as CSV
+  (also honours --duplex, --seu [default 1.7e-5], --erasure, --tsc,
+   --hours/--months and --points)
 
 STRESS FLAGS:
   --seed S                corpus seed, decimal or 0x-hex (default: 0xDA7E)
@@ -112,6 +122,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
             let rows = rsmem::complexity::section6_comparison();
             Ok(report::render_complexity(&rows))
         }
+        Some("compare") => cmd_compare(&parsed),
         Some("stress") => cmd_stress(&parsed),
         Some("serve") => cmd_serve(&parsed),
         Some("profile") => cmd_profile(argv, &parsed),
@@ -321,6 +332,8 @@ fn cmd_array(parsed: &Parsed) -> Result<String, String> {
             n,
             k,
             m,
+            family: code.family(),
+            depth: u8::try_from(code.depth()).map_err(|_| "interleave depth too large")?,
             seu_per_bit_day: parsed.f64_flag("--seu", 0.0)?,
             erasure_per_symbol_day: parsed.f64_flag("--erasure", 0.0)?,
             scrub: parsed
@@ -542,6 +555,152 @@ fn cmd_advise(parsed: &Parsed) -> Result<String, String> {
     })
 }
 
+/// Parses `--families rs,rm,irs` into a deduplicated, order-preserving
+/// family list.
+fn parse_families(spec: &str) -> Result<Vec<CodeFamily>, String> {
+    let mut families = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let family: CodeFamily = part
+            .parse()
+            .map_err(|_| format!("--families: unknown family {part:?} (expected rs, rm or irs)"))?;
+        if !families.contains(&family) {
+            families.push(family);
+        }
+    }
+    if families.is_empty() {
+        return Err("--families requires at least one of rs, rm, irs".to_owned());
+    }
+    Ok(families)
+}
+
+/// The representative geometry each family fields in `rsmem compare`.
+///
+/// All three sit in the same ~16-symbol-payload class so the BER axis
+/// compares protection strategies, not word sizes: the paper's
+/// RS(18,16) over GF(2^8), the majority-logic RM(1,5) (32 bits, 6 data)
+/// and a depth-2 interleaving of RS(18,16) for burst resilience.
+fn compare_family_params(family: CodeFamily) -> CodeParams {
+    match family {
+        CodeFamily::Rs => CodeParams::rs18_16(),
+        CodeFamily::Rm => CodeParams::rm1(5).expect("RM(1,5) is a valid code"),
+        CodeFamily::Irs => {
+            CodeParams::interleaved(18, 16, 8, 2).expect("IRS(18,16)x2 is a valid code")
+        }
+    }
+}
+
+/// `rsmem compare` — the head-to-head code-family study: one
+/// representative geometry per family under identical fault rates and
+/// scrubbing, reporting BER(t) side by side plus the Section-6-schema
+/// decoder complexity rows. `--quick` shrinks the time grid for CI
+/// smoke runs; `--csv` emits the BER matrix alone.
+fn cmd_compare(parsed: &Parsed) -> Result<String, String> {
+    let families = parse_families(parsed.value("--families").unwrap_or("rs,rm,irs"))?;
+    // Default to the paper's worst-case SEU environment so the curves
+    // separate; `--seu 0` still yields the all-zero baseline.
+    let seu = parsed.f64_flag("--seu", 1.7e-5)?;
+    let erasure = parsed.f64_flag("--erasure", 0.0)?;
+    let default_points = if parsed.has("--quick") { 5 } else { 25 };
+    let points = parsed.usize_flag("--points", default_points)?.max(2);
+    let horizon = horizon_from(parsed)?;
+    let grid = TimeGrid::linspace(Time::zero(), horizon, points);
+
+    let mut curves = Vec::with_capacity(families.len());
+    let mut rows = Vec::with_capacity(families.len());
+    for &family in &families {
+        let params = compare_family_params(family);
+        let mut system = if parsed.has("--duplex") {
+            MemorySystem::duplex(params)
+        } else {
+            MemorySystem::simplex(params)
+        };
+        system = system
+            .with_seu_rate(SeuRate::per_bit_day(seu))
+            .with_erasure_rate(ErasureRate::per_symbol_day(erasure));
+        if parsed.value("--tsc").is_some() {
+            let tsc = parsed.f64_flag("--tsc", 0.0)?;
+            system = system.with_scrubbing(Scrubbing::every_seconds(tsc));
+        }
+        let curve = system.ber_curve(grid.points()).map_err(|e| e.to_string())?;
+        rows.push(
+            rsmem::codes::build(params)
+                .map_err(|e| e.to_string())?
+                .complexity_model(),
+        );
+        curves.push((family, params, curve));
+    }
+
+    let mut out = String::new();
+    if parsed.has("--csv") {
+        let _ = write!(out, "hours");
+        for (family, _, _) in &curves {
+            let _ = write!(out, ",ber_{family}");
+        }
+        out.push('\n');
+        for (i, t) in grid.points().iter().enumerate() {
+            let _ = write!(out, "{}", t.as_hours());
+            for (_, _, curve) in &curves {
+                let _ = write!(out, ",{:e}", curve.ber[i]);
+            }
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+
+    let _ = writeln!(
+        out,
+        "code-family comparison — {}, SEU {seu:e}/bit/day, erasure {erasure:e}/symbol/day, {}",
+        if parsed.has("--duplex") {
+            "duplex"
+        } else {
+            "simplex"
+        },
+        match parsed.value("--tsc") {
+            Some(tsc) => format!("scrub every {tsc} s"),
+            None => "no scrubbing".to_owned(),
+        }
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<8} {:<26} {:>4} {:>4} {:>3} {:>7}",
+        "family", "code", "n", "k", "m", "budget"
+    );
+    for (family, params, _) in &curves {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<26} {:>4} {:>4} {:>3} {:>7}",
+            family.to_string(),
+            params.to_string(),
+            params.n(),
+            params.k(),
+            params.m(),
+            params.capability().budget
+        );
+    }
+    out.push('\n');
+    let _ = write!(out, "{:>12}", "hours");
+    for (family, _, _) in &curves {
+        let _ = write!(out, " {:>14}", format!("BER {family}"));
+    }
+    out.push('\n');
+    for (i, t) in grid.points().iter().enumerate() {
+        let _ = write!(out, "{:>12.3}", t.as_hours());
+        for (_, _, curve) in &curves {
+            let _ = write!(out, " {:>14.4e}", curve.ber[i]);
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    let _ = writeln!(out, "decoder complexity (Section-6 schema):");
+    out.push_str(&report::render_complexity(&rows));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -569,6 +728,31 @@ mod tests {
         let out = run_cli(&["stress", "--seed", "0xDA7E", "--budget", "500"]).unwrap();
         assert!(out.contains("stress run"), "{out}");
         assert!(out.contains("divergences:   none"), "{out}");
+    }
+
+    #[test]
+    fn compare_default_covers_all_three_families() {
+        let out = run_cli(&["compare", "--quick"]).unwrap();
+        assert!(out.contains("RS(18,16)"), "{out}");
+        assert!(out.contains("RM(1,5)"), "{out}");
+        assert!(out.contains("IRS(18,16)x2"), "{out}");
+        assert!(out.contains("decode cycles"), "{out}");
+        assert!(out.contains("BER rs"), "{out}");
+    }
+
+    #[test]
+    fn compare_subset_csv_has_one_column_per_family() {
+        let csv = run_cli(&["compare", "--quick", "--csv", "--families", "rs,rm"]).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "hours,ber_rs,ber_rm");
+        // --quick pins 5 grid points; header + 5 rows.
+        assert_eq!(csv.lines().count(), 6, "{csv}");
+    }
+
+    #[test]
+    fn compare_rejects_unknown_families() {
+        assert!(run_cli(&["compare", "--families", "bogus"]).is_err());
+        assert!(run_cli(&["compare", "--families", ","]).is_err());
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub fn area_units(m: u32, n: usize, k: usize) -> u64 {
 pub struct ComplexityRow {
     /// Human-readable arrangement label.
     pub label: String,
+    /// Short code-family name (`rs`, `rm`, `irs`) so per-family rows
+    /// share one CSV/JSON schema.
+    pub family: String,
     /// Codeword length.
     pub n: usize,
     /// Dataword length.
@@ -72,6 +75,7 @@ pub fn section6_comparison() -> Vec<ComplexityRow> {
     vec![
         ComplexityRow {
             label: "simplex RS(18,16)".to_owned(),
+            family: "rs".to_owned(),
             n: narrow.0,
             k: narrow.1,
             decode_cycles: decode_cycles(narrow.0, narrow.1),
@@ -80,6 +84,7 @@ pub fn section6_comparison() -> Vec<ComplexityRow> {
         },
         ComplexityRow {
             label: "duplex RS(18,16)".to_owned(),
+            family: "rs".to_owned(),
             n: narrow.0,
             k: narrow.1,
             // The two decoders operate in parallel: latency is one decode.
@@ -91,6 +96,7 @@ pub fn section6_comparison() -> Vec<ComplexityRow> {
         },
         ComplexityRow {
             label: "simplex RS(36,16)".to_owned(),
+            family: "rs".to_owned(),
             n: wide.0,
             k: wide.1,
             decode_cycles: decode_cycles(wide.0, wide.1),

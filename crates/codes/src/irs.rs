@@ -1,0 +1,299 @@
+//! Depth-d interleaved Reed–Solomon: the burst-error variant.
+//!
+//! `depth` constituent RS(n_i,k_i) words are stored round-robin via
+//! `rsmem_code::Interleaver`, so `depth` physically adjacent symbols
+//! always belong to `depth` different words. A contiguous burst of `b`
+//! symbols degrades into `≤ ⌈b/depth⌉` errors per constituent — up to
+//! `depth · t_inner` burst symbols corrected, at the cost of a
+//! worst-case *random* guarantee of only the inner budget (all faults
+//! can land in one constituent).
+
+use crate::MemoryCode;
+use rsmem_code::complexity::{area_units, decode_cycles, ComplexityRow};
+use rsmem_code::{CodeError, Correction, DecodeOutcome, Interleaver, RsCode, Symbol};
+use rsmem_models::CodeParams;
+use std::borrow::Cow;
+
+/// Interleaved RS behind the [`MemoryCode`] trait.
+///
+/// The composite dataword is itself round-robin: data symbol `j`
+/// belongs to constituent `j % depth` — so, like the physical layout,
+/// a burst of writes spreads evenly over the constituent words.
+#[derive(Debug, Clone)]
+pub struct InterleavedRs {
+    inner: RsCode,
+    interleaver: Interleaver,
+    params: CodeParams,
+}
+
+impl InterleavedRs {
+    /// Builds a depth-`depth` interleave of RS(`inner_n`,`inner_k`)
+    /// over GF(2^m).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::InvalidParameters`] for an invalid inner geometry
+    /// or `depth ∉ 2..=64`.
+    pub fn new(inner_n: usize, inner_k: usize, m: u32, depth: usize) -> Result<Self, CodeError> {
+        let params = CodeParams::interleaved(inner_n, inner_k, m, u8::try_from(depth).unwrap_or(0))
+            .map_err(|_| CodeError::InvalidParameters {
+                n: inner_n,
+                k: inner_k,
+                m,
+                reason: "invalid interleaved-RS parameters (depth must be 2..=64)",
+            })?;
+        Ok(InterleavedRs {
+            inner: RsCode::new(inner_n, inner_k, m)?,
+            interleaver: Interleaver::new(depth)?,
+            params,
+        })
+    }
+
+    /// The constituent code.
+    pub fn inner(&self) -> &RsCode {
+        &self.inner
+    }
+
+    /// The interleave depth.
+    pub fn depth(&self) -> usize {
+        self.interleaver.depth()
+    }
+
+    /// Longest contiguous burst guaranteed correctable,
+    /// `depth · t_inner`.
+    pub fn max_burst(&self) -> usize {
+        self.params.max_burst()
+    }
+
+    fn check_len(&self, got: usize, expected: usize) -> Result<(), CodeError> {
+        if got != expected {
+            return Err(CodeError::CodewordLength { got, expected });
+        }
+        Ok(())
+    }
+
+    /// Splits composite round-robin data into per-constituent datawords.
+    fn split_data(&self, data: &[Symbol]) -> Vec<Vec<Symbol>> {
+        let depth = self.depth();
+        let mut split = vec![Vec::with_capacity(self.inner.k()); depth];
+        for (j, &s) in data.iter().enumerate() {
+            split[j % depth].push(s);
+        }
+        split
+    }
+}
+
+impl MemoryCode for InterleavedRs {
+    fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    fn encode(&self, data: &[Symbol]) -> Result<Vec<Symbol>, CodeError> {
+        if data.len() != self.params.k() {
+            return Err(CodeError::DatawordLength {
+                got: data.len(),
+                expected: self.params.k(),
+            });
+        }
+        let words = self
+            .split_data(data)
+            .iter()
+            .map(|d| self.inner.encode(d))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.interleaver.interleave(&words)
+    }
+
+    fn decode(&self, word: &[Symbol], erasures: &[usize]) -> Result<DecodeOutcome, CodeError> {
+        let (n, depth) = (self.params.n(), self.depth());
+        self.check_len(word.len(), n)?;
+        for &p in erasures {
+            if p >= n {
+                return Err(CodeError::BadErasure { position: p, n });
+            }
+        }
+        let mut words = self.interleaver.deinterleave(word, self.inner.n())?;
+        let mut split_erasures = vec![Vec::new(); depth];
+        for &p in erasures {
+            let (w, i) = self.interleaver.locate(p);
+            split_erasures[w].push(i);
+        }
+
+        let mut datas = Vec::with_capacity(depth);
+        let mut corrections: Vec<Correction> = Vec::new();
+        for w in 0..depth {
+            split_erasures[w].sort_unstable();
+            match self.inner.decode(&words[w], &split_erasures[w])? {
+                DecodeOutcome::Clean { data } => datas.push(data),
+                DecodeOutcome::Corrected {
+                    data,
+                    codeword,
+                    corrections: inner_corr,
+                } => {
+                    corrections.extend(inner_corr.iter().map(|c| Correction {
+                        position: c.position * depth + w,
+                        magnitude: c.magnitude,
+                        was_erasure: c.was_erasure,
+                    }));
+                    words[w] = codeword;
+                    datas.push(data);
+                }
+                // Any constituent failure is a composite failure.
+                DecodeOutcome::Failure(failure) => return Ok(DecodeOutcome::Failure(failure)),
+            }
+        }
+
+        let data = {
+            let mut out = Vec::with_capacity(self.params.k());
+            for i in 0..self.inner.k() {
+                for d in datas.iter().take(depth) {
+                    out.push(d[i]);
+                }
+            }
+            out
+        };
+        if corrections.is_empty() {
+            Ok(DecodeOutcome::Clean { data })
+        } else {
+            corrections.sort_unstable_by_key(|c| c.position);
+            Ok(DecodeOutcome::Corrected {
+                data,
+                codeword: self.interleaver.interleave(&words)?,
+                corrections,
+            })
+        }
+    }
+
+    fn data_of<'w>(&self, word: &'w [Symbol]) -> Result<Cow<'w, [Symbol]>, CodeError> {
+        self.check_len(word.len(), self.params.n())?;
+        let words = self.interleaver.deinterleave(word, self.inner.n())?;
+        let mut out = Vec::with_capacity(self.params.k());
+        for i in 0..self.inner.k() {
+            for w in &words {
+                out.push(self.inner.data_of(w)?[i]);
+            }
+        }
+        Ok(Cow::Owned(out))
+    }
+
+    fn complexity_model(&self) -> ComplexityRow {
+        let (n_i, k_i, m) = (self.inner.n(), self.inner.k(), self.inner.symbol_bits());
+        // One shared inner decoder works through the constituents
+        // sequentially: latency scales with depth, area does not.
+        ComplexityRow {
+            label: self.params.to_string(),
+            family: "irs".to_owned(),
+            n: self.params.n(),
+            k: self.params.k(),
+            decode_cycles: self.depth() as u64 * decode_cycles(n_i, k_i),
+            area_units: area_units(m, n_i, k_i),
+            redundant_symbols: self.params.n() - self.params.k(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code() -> InterleavedRs {
+        InterleavedRs::new(18, 16, 8, 4).unwrap()
+    }
+
+    fn data_for(code: &InterleavedRs) -> Vec<Symbol> {
+        (0..code.params().k())
+            .map(|j| ((j * 31 + 7) % 251) as Symbol)
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let code = code();
+        let data = data_for(&code);
+        let word = code.encode(&data).unwrap();
+        assert_eq!(word.len(), 72);
+        match code.decode(&word, &[]).unwrap() {
+            DecodeOutcome::Clean { data: got } => assert_eq!(got, data),
+            other => panic!("clean word misread: {other:?}"),
+        }
+        assert_eq!(code.data_of(&word).unwrap().into_owned(), data);
+    }
+
+    #[test]
+    fn max_burst_is_corrected_anywhere() {
+        // depth 4 × t_inner 1 → any burst of 4 adjacent symbols.
+        let code = code();
+        let data = data_for(&code);
+        let word = code.encode(&data).unwrap();
+        assert_eq!(code.max_burst(), 4);
+        for start in 0..=(72 - 4) {
+            let mut corrupted = word.clone();
+            for cell in &mut corrupted[start..start + 4] {
+                *cell ^= 0x55;
+            }
+            match code.decode(&corrupted, &[]).unwrap() {
+                DecodeOutcome::Corrected {
+                    data: got,
+                    codeword,
+                    corrections,
+                } => {
+                    assert_eq!(got, data);
+                    assert_eq!(codeword, word);
+                    assert_eq!(corrections.len(), 4);
+                }
+                other => panic!("burst at {start} not corrected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn burst_beyond_guarantee_is_not_silent_success() {
+        // A burst of depth + 1 puts 2 errors in one constituent with
+        // t_inner = 1: must fail (or at least flag), never return the
+        // wrong data as Clean.
+        let code = code();
+        let data = data_for(&code);
+        let word = code.encode(&data).unwrap();
+        let mut corrupted = word.clone();
+        for cell in &mut corrupted[10..15] {
+            *cell ^= 0x55;
+        }
+        match code.decode(&corrupted, &[]).unwrap() {
+            DecodeOutcome::Failure(_) => {}
+            DecodeOutcome::Corrected { .. } => {}
+            DecodeOutcome::Clean { .. } => panic!("corrupted word read as clean"),
+        }
+    }
+
+    #[test]
+    fn erasures_map_to_constituents() {
+        let code = code();
+        let data = data_for(&code);
+        let word = code.encode(&data).unwrap();
+        // Erase two adjacent physical symbols → one erasure in each of
+        // two constituents: both within the inner budget of 2.
+        let mut corrupted = word.clone();
+        corrupted[8] ^= 0xff;
+        corrupted[9] ^= 0xff;
+        match code.decode(&corrupted, &[8, 9]).unwrap() {
+            DecodeOutcome::Corrected { data: got, .. } => assert_eq!(got, data),
+            other => panic!("erased pair not recovered: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        let code = code();
+        let data = data_for(&code);
+        assert!(code.encode(&data[..10]).is_err());
+        assert!(code.decode(&[0; 71], &[]).is_err());
+        assert!(code.decode(&[0; 72], &[72]).is_err());
+        assert!(code.decode(&[0; 72], &[3, 3]).is_err());
+    }
+
+    #[test]
+    fn invalid_depth_rejected() {
+        assert!(InterleavedRs::new(18, 16, 8, 0).is_err());
+        assert!(InterleavedRs::new(18, 16, 8, 1).is_err());
+        assert!(InterleavedRs::new(18, 16, 8, 65).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Code-family framework: one [`MemoryCode`] trait over every code the
+//! memory analyses compare.
+//!
+//! The paper's pipeline — CTMC models, MC simulation, the duplex
+//! arbiter — was originally hard-wired to `rsmem_code::RsCode`. This
+//! crate is the seam that makes every layer generic: a [`MemoryCode`]
+//! trait capturing what the analyses actually need (encode, decode with
+//! erasures, batch decode, symbol geometry, a correction-capability
+//! predicate and a complexity-model hook), plus three implementations:
+//!
+//! * [`RsAdapter`] — the paper's Reed–Solomon code, wrapping the
+//!   existing `RsCode` including its batched decode plane. The adapter
+//!   is bit-identical to calling `RsCode` directly.
+//! * [`ReedMuller`] — first-order RM(1,r) over GF(2) with Reed's
+//!   majority-logic decoder and the stuck-at masking trick of
+//!   Djurdjevic et al. (the all-ones codeword freedom absorbs one
+//!   known-stuck cell at write time).
+//! * [`InterleavedRs`] — a depth-d interleaved-RS burst-error variant
+//!   built on `rsmem_code::Interleaver` round-robin dispersal.
+//!
+//! [`build`] maps a `rsmem_models::CodeParams` (which now carries a
+//! [`CodeFamily`]) to the right implementation, so models, simulator,
+//! stress harness and service all construct codes the same way.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod irs;
+mod rm;
+mod rs;
+
+pub use irs::InterleavedRs;
+pub use rm::ReedMuller;
+pub use rs::RsAdapter;
+
+use rsmem_code::complexity::ComplexityRow;
+use rsmem_code::{BatchOutcome, CodeError, DecodeOutcome, Symbol};
+use rsmem_models::{CodeFamily, CodeParams, CorrectionCapability};
+use std::borrow::Cow;
+
+/// A block code protecting one memory word, as the reliability
+/// analyses see it.
+///
+/// Implementations are cheap to share behind `Box<dyn MemoryCode>` or
+/// `Arc`: all methods take `&self` and the trait is `Send + Sync` so
+/// the threaded MC runner can fan a single instance across shards.
+pub trait MemoryCode: std::fmt::Debug + Send + Sync {
+    /// The counting parameters (geometry, family, capability).
+    fn params(&self) -> CodeParams;
+
+    /// Systematically encodes `k` data symbols into an `n`-symbol word.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError`] for a wrong-length dataword or out-of-range
+    /// symbols.
+    fn encode(&self, data: &[Symbol]) -> Result<Vec<Symbol>, CodeError>;
+
+    /// Decodes a stored word given declared erasure positions.
+    ///
+    /// The outcome contract matches `RsCode::decode`: `Clean` when the
+    /// word is already a codeword, `Corrected` with the repaired
+    /// codeword and per-position corrections, `Failure` when the
+    /// corruption is detected as uncorrectable. Claims beyond
+    /// [`MemoryCode::capability`] must come back as `Failure`, never as
+    /// a `Corrected` outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError`] for malformed input (wrong length, out-of-range
+    /// symbols or erasure indices, duplicate erasures) — as opposed to
+    /// a well-formed but uncorrectable word, which is `Ok(Failure)`.
+    fn decode(&self, word: &[Symbol], erasures: &[usize]) -> Result<DecodeOutcome, CodeError>;
+
+    /// Extracts the data symbols of a valid codeword.
+    ///
+    /// Borrowed for systematic layouts (RS), owned where the data is
+    /// not stored verbatim (Reed–Muller) or not contiguous
+    /// (interleaved RS).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError`] for a wrong-length word.
+    fn data_of<'w>(&self, word: &'w [Symbol]) -> Result<Cow<'w, [Symbol]>, CodeError>;
+
+    /// Decodes a batch of words in place, appending one
+    /// [`BatchOutcome`] per word.
+    ///
+    /// The default loops the scalar [`MemoryCode::decode`]; the RS
+    /// adapter overrides it with the SWAR batch plane. Corrected words
+    /// are repaired in place, exactly like
+    /// `rsmem_code::BatchDecoder::decode_batch`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError`] for malformed input or a batch-shape mismatch.
+    fn decode_batch(
+        &self,
+        words: &mut [Vec<Symbol>],
+        erasures: &[Vec<usize>],
+        out: &mut Vec<BatchOutcome>,
+    ) -> Result<(), CodeError> {
+        if words.len() != erasures.len() {
+            return Err(CodeError::CodewordLength {
+                got: erasures.len(),
+                expected: words.len(),
+            });
+        }
+        out.reserve(words.len());
+        for (word, era) in words.iter_mut().zip(erasures) {
+            match self.decode(word, era)? {
+                DecodeOutcome::Clean { .. } => out.push(BatchOutcome::Clean),
+                DecodeOutcome::Corrected {
+                    codeword,
+                    corrections,
+                    ..
+                } => {
+                    let erased = corrections.iter().filter(|c| c.was_erasure).count() as u32;
+                    word.copy_from_slice(&codeword);
+                    out.push(BatchOutcome::Corrected {
+                        errors: corrections.len() as u32 - erased,
+                        erasures: erased,
+                    });
+                }
+                DecodeOutcome::Failure(f) => out.push(BatchOutcome::Failure(f)),
+            }
+        }
+        Ok(())
+    }
+
+    /// The hardware complexity model for one decoder of this code, in
+    /// the Section-6 schema (latency cycles, relative area units,
+    /// redundant symbols).
+    fn complexity_model(&self) -> ComplexityRow;
+
+    /// Codeword length in symbols.
+    fn n(&self) -> usize {
+        self.params().n()
+    }
+
+    /// Dataword length in symbols.
+    fn k(&self) -> usize {
+        self.params().k()
+    }
+
+    /// Symbol width in bits.
+    fn symbol_bits(&self) -> u32 {
+        self.params().m()
+    }
+
+    /// The family's worst-case correction guarantee.
+    fn capability(&self) -> CorrectionCapability {
+        self.params().capability()
+    }
+
+    /// The generalized paper boundary `er + 2·re ≤ budget` (after
+    /// write-time masking).
+    fn within_capability(&self, erasures: usize, random_errors: usize) -> bool {
+        self.capability().admits(erasures, random_errors)
+    }
+}
+
+/// Builds the [`MemoryCode`] implementation selected by `params`'s
+/// family.
+///
+/// # Errors
+///
+/// [`CodeError::InvalidParameters`] when the parameters do not name a
+/// constructible code (e.g. no primitive polynomial of width `m`).
+///
+/// # Examples
+///
+/// ```
+/// use rsmem_codes::{build, MemoryCode};
+/// use rsmem_models::CodeParams;
+///
+/// # fn main() -> Result<(), rsmem_code::CodeError> {
+/// let code = build(CodeParams::rs18_16())?;
+/// let data: Vec<u16> = (0..16).collect();
+/// let word = code.encode(&data)?;
+/// assert!(code.decode(&word, &[])?.is_flagged() == false);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build(params: CodeParams) -> Result<Box<dyn MemoryCode>, CodeError> {
+    Ok(match params.family() {
+        CodeFamily::Rs => Box::new(RsAdapter::new(params.n(), params.k(), params.m())?),
+        CodeFamily::Rm => Box::new(ReedMuller::new(params.n().trailing_zeros())?),
+        CodeFamily::Irs => Box::new(InterleavedRs::new(
+            params.inner_n(),
+            params.inner_k(),
+            params.m(),
+            params.depth(),
+        )?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_family() {
+        for params in [
+            CodeParams::rs18_16(),
+            CodeParams::rm1(4).unwrap(),
+            CodeParams::interleaved(18, 16, 8, 2).unwrap(),
+        ] {
+            let code = build(params).unwrap();
+            assert_eq!(code.params(), params);
+            assert_eq!(code.n(), params.n());
+            assert_eq!(code.k(), params.k());
+            assert_eq!(code.capability(), params.capability());
+        }
+    }
+
+    #[test]
+    fn trait_default_batch_matches_scalar() {
+        let code = build(CodeParams::rm1(3).unwrap()).unwrap();
+        let data = vec![1, 0, 1, 1];
+        let clean = code.encode(&data).unwrap();
+        let mut corrupted = clean.clone();
+        corrupted[2] ^= 1;
+        let mut words = vec![clean.clone(), corrupted];
+        let erasures = vec![vec![], vec![]];
+        let mut out = Vec::new();
+        code.decode_batch(&mut words, &erasures, &mut out).unwrap();
+        assert_eq!(out[0], BatchOutcome::Clean);
+        assert_eq!(
+            out[1],
+            BatchOutcome::Corrected {
+                errors: 1,
+                erasures: 0
+            }
+        );
+        assert_eq!(words[1], clean, "corrected in place");
+    }
+}

@@ -68,16 +68,24 @@ pub use system::{Arrangement, MemorySystem};
 
 // Curated re-exports so downstream users need only this crate.
 pub use rsmem_code::{complexity, DecodeOutcome, DecoderBackend, RsCode};
+pub use rsmem_codes::MemoryCode;
 pub use rsmem_models::ber::{BerCurve, MemoryModel};
 pub use rsmem_models::{
-    CodeParams, DuplexFailCriterion, DuplexModel, DuplexOptions, FaultRates, ModelError, Scrubbing,
-    SimplexModel,
+    CodeFamily, CodeParams, CorrectionCapability, DuplexFailCriterion, DuplexModel, DuplexOptions,
+    FaultRates, ModelError, Scrubbing, SimplexModel,
 };
 pub use rsmem_sim::{MonteCarloReport, ScrubTiming, SimConfig, TrialOutcome};
 
 /// Unit-safe time and rate types (re-export of `rsmem_models::units`).
 pub mod units {
     pub use rsmem_models::units::*;
+}
+
+/// The code-family framework: the [`MemoryCode`] trait, its RS /
+/// Reed–Muller / interleaved-RS implementations and the
+/// [`codes::build`] factory (re-export of `rsmem_codes`).
+pub mod codes {
+    pub use rsmem_codes::*;
 }
 
 /// Whole-memory Monte-Carlo simulation with multi-bit upsets and

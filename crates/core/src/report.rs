@@ -69,14 +69,18 @@ pub fn figure_to_csv(fig: &Figure) -> String {
     out
 }
 
-/// Renders the Section-6 complexity comparison as CSV, RFC-4180 quoted.
+/// Renders a decoder complexity comparison as CSV, RFC-4180 quoted.
+/// One schema for every code family (`family` is the short name:
+/// `rs`, `rm`, `irs`).
 pub fn complexity_to_csv(rows: &[ComplexityRow]) -> String {
-    let mut out = String::from("arrangement,n,k,decode_cycles,area_units,redundant_symbols\n");
+    let mut out =
+        String::from("arrangement,family,n,k,decode_cycles,area_units,redundant_symbols\n");
     for r in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{}",
             csv_field(&r.label),
+            csv_field(&r.family),
             r.n,
             r.k,
             r.decode_cycles,
@@ -87,19 +91,19 @@ pub fn complexity_to_csv(rows: &[ComplexityRow]) -> String {
     out
 }
 
-/// Renders the Section-6 complexity comparison.
+/// Renders a decoder complexity comparison as aligned text.
 pub fn render_complexity(rows: &[ComplexityRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<22} {:>6} {:>6} {:>14} {:>12} {:>18}",
-        "arrangement", "n", "k", "decode cycles", "area units", "redundant symbols"
+        "{:<22} {:>6} {:>6} {:>6} {:>14} {:>12} {:>18}",
+        "arrangement", "family", "n", "k", "decode cycles", "area units", "redundant symbols"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<22} {:>6} {:>6} {:>14} {:>12} {:>18}",
-            r.label, r.n, r.k, r.decode_cycles, r.area_units, r.redundant_symbols
+            "{:<22} {:>6} {:>6} {:>6} {:>14} {:>12} {:>18}",
+            r.label, r.family, r.n, r.k, r.decode_cycles, r.area_units, r.redundant_symbols
         );
     }
     out
@@ -167,9 +171,10 @@ mod tests {
         let csv = complexity_to_csv(&rows);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 1 + rows.len());
-        assert!(lines[0].starts_with("arrangement,n,k"));
+        assert!(lines[0].starts_with("arrangement,family,n,k"));
         // Labels like "simplex RS(18,16)" contain commas → quoted.
         assert!(lines[1].starts_with('"'), "{}", lines[1]);
+        assert!(lines[1].contains(",rs,"), "{}", lines[1]);
     }
 
     #[test]

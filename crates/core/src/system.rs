@@ -244,6 +244,8 @@ impl MemorySystem {
             n: self.code.n(),
             k: self.code.k(),
             m: self.code.m(),
+            family: self.code.family(),
+            depth: u8::try_from(self.code.depth()).expect("validated depth fits in u8"),
             seu_per_bit_day: self.rates.seu.as_per_bit_day(),
             erasure_per_symbol_day: self.rates.erasure.as_per_symbol_day(),
             scrub,

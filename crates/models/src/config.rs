@@ -5,16 +5,110 @@ use crate::units::{ErasureRate, SeuRate, Time};
 use crate::ModelError;
 use std::fmt;
 
-/// The RS(n,k) code parameters a memory model is built around.
+/// The code family a [`CodeParams`] describes.
 ///
-/// This mirrors `rsmem_code::RsCode` but carries no field tables — the
-/// Markov models only need the counting parameters.
+/// The Markov models and the simulator only ever consult the family
+/// through [`CodeParams::capability`], so adding a family here is all
+/// the analysis layers need; the actual encoder/decoder lives in
+/// `rsmem-codes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CodeFamily {
+    /// Reed–Solomon over GF(2^m) — the paper's code.
+    #[default]
+    Rs,
+    /// First-order Reed–Muller RM(1,r) over GF(2), majority-logic
+    /// decoded with the stuck-at masking trick (Djurdjevic et al.).
+    Rm,
+    /// Depth-d interleaved Reed–Solomon — the burst-error variant.
+    Irs,
+}
+
+impl CodeFamily {
+    /// The short lowercase name used by the CLI and the service JSON
+    /// (`rs`, `rm`, `irs`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CodeFamily::Rs => "rs",
+            CodeFamily::Rm => "rm",
+            CodeFamily::Irs => "irs",
+        }
+    }
+}
+
+impl fmt::Display for CodeFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for CodeFamily {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "rs" => Ok(CodeFamily::Rs),
+            "rm" => Ok(CodeFamily::Rm),
+            "irs" => Ok(CodeFamily::Irs),
+            _ => Err(ModelError::InvalidCode {
+                n: 0,
+                k: 0,
+                m: 0,
+                reason: "unknown code family (expected rs, rm or irs)",
+            }),
+        }
+    }
+}
+
+/// What a decoder guarantees to correct, as pure data.
+///
+/// Every family's guarantee fits one shape: after up to
+/// `masked_erasures` erasures are absorbed for free (stuck-at masking),
+/// the remaining erasures cost 1 and random symbol errors cost 2
+/// against `budget`. For RS this is exactly the paper's
+/// `er + 2·re ≤ n − k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CorrectionCapability {
+    /// The weighted error/erasure budget (`n − k` for RS).
+    pub budget: usize,
+    /// Erasures absorbed before counting against the budget (stuck-at
+    /// masking: RM(1,r) absorbs one known-stuck cell at write time).
+    pub masked_erasures: usize,
+}
+
+impl CorrectionCapability {
+    /// Does the guarantee cover `erasures` known-position faults plus
+    /// `random_errors` unknown-position symbol errors?
+    pub fn admits(&self, erasures: usize, random_errors: usize) -> bool {
+        erasures.saturating_sub(self.masked_erasures) + 2 * random_errors <= self.budget
+    }
+
+    /// Maximum random symbol errors correctable with no erasures
+    /// present (`t` in classical notation).
+    pub fn max_random_errors(&self) -> usize {
+        self.budget / 2
+    }
+
+    /// Maximum erasures correctable with no random errors present.
+    pub fn max_erasures(&self) -> usize {
+        self.budget + self.masked_erasures
+    }
+}
+
+/// The code parameters a memory model is built around.
+///
+/// This mirrors the `rsmem-codes` constructions but carries no field
+/// tables — the Markov models only need the counting parameters and
+/// the [`CorrectionCapability`] they imply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CodeParams {
     n: usize,
     k: usize,
     m: u32,
+    family: CodeFamily,
+    depth: u8,
 }
 
 impl CodeParams {
@@ -60,17 +154,92 @@ impl CodeParams {
                 reason: "codeword length exceeds 2^m - 1",
             });
         }
-        Ok(CodeParams { n, k, m })
+        Ok(CodeParams {
+            n,
+            k,
+            m,
+            family: CodeFamily::Rs,
+            depth: 1,
+        })
+    }
+
+    /// First-order Reed–Muller RM(1,r): `n = 2^r` bit symbols,
+    /// `k = r + 1`, minimum distance `2^(r−1)`, majority-logic decoded.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidCode`] for `r ∉ 3..=12` (below r = 3 the
+    /// bounded-distance budget is too small to correct even one error).
+    pub fn rm1(r: u32) -> Result<Self, ModelError> {
+        if !(3..=12).contains(&r) {
+            return Err(ModelError::InvalidCode {
+                n: 1usize << r.min(32),
+                k: r as usize + 1,
+                m: 1,
+                reason: "RM(1,r) order must be 3..=12",
+            });
+        }
+        Ok(CodeParams {
+            n: 1 << r,
+            k: r as usize + 1,
+            m: 1,
+            family: CodeFamily::Rm,
+            depth: 1,
+        })
+    }
+
+    /// Depth-`depth` interleaved RS built from `depth` copies of an
+    /// inner RS(`inner_n`,`inner_k`) code over GF(2^m), round-robin
+    /// dispersed: `n = depth·inner_n`, `k = depth·inner_k`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidCode`] for an invalid inner code or
+    /// `depth ∉ 2..=64`.
+    pub fn interleaved(
+        inner_n: usize,
+        inner_k: usize,
+        m: u32,
+        depth: u8,
+    ) -> Result<Self, ModelError> {
+        let inner = CodeParams::new(inner_n, inner_k, m)?;
+        if !(2..=64).contains(&depth) {
+            return Err(ModelError::InvalidCode {
+                n: inner_n,
+                k: inner_k,
+                m,
+                reason: "interleave depth must be 2..=64",
+            });
+        }
+        Ok(CodeParams {
+            n: inner.n * depth as usize,
+            k: inner.k * depth as usize,
+            m,
+            family: CodeFamily::Irs,
+            depth,
+        })
     }
 
     /// The paper's narrow code, RS(18,16) with byte symbols.
     pub fn rs18_16() -> Self {
-        CodeParams { n: 18, k: 16, m: 8 }
+        CodeParams {
+            n: 18,
+            k: 16,
+            m: 8,
+            family: CodeFamily::Rs,
+            depth: 1,
+        }
     }
 
     /// The paper's wide code, RS(36,16) with byte symbols.
     pub fn rs36_16() -> Self {
-        CodeParams { n: 36, k: 16, m: 8 }
+        CodeParams {
+            n: 36,
+            k: 16,
+            m: 8,
+            family: CodeFamily::Rs,
+            depth: 1,
+        }
     }
 
     /// Codeword length in symbols.
@@ -88,14 +257,71 @@ impl CodeParams {
         self.m
     }
 
-    /// Redundancy `n − k` (the erasure-correction budget).
+    /// Redundancy `n − k`.
     pub fn redundancy(&self) -> usize {
         self.n - self.k
     }
 
-    /// The boundary condition of the paper: `er + 2·re ≤ n − k`.
+    /// The code family.
+    pub fn family(&self) -> CodeFamily {
+        self.family
+    }
+
+    /// Interleave depth (1 for non-interleaved families).
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// Constituent codeword length: `n/depth` for interleaved RS,
+    /// otherwise `n`.
+    pub fn inner_n(&self) -> usize {
+        self.n / self.depth as usize
+    }
+
+    /// Constituent dataword length: `k/depth` for interleaved RS,
+    /// otherwise `k`.
+    pub fn inner_k(&self) -> usize {
+        self.k / self.depth as usize
+    }
+
+    /// The family's worst-case correction guarantee.
+    ///
+    /// - RS: the paper's budget `n − k` (erasure 1, error 2).
+    /// - RM(1,r): bounded-distance budget `d − 1 = n/2 − 1`, plus one
+    ///   masked erasure from the stuck-at write trick.
+    /// - Interleaved RS: the inner budget `n/depth − k/depth` — the
+    ///   worst case puts every random fault in one constituent word
+    ///   (bursts do much better; see [`CodeParams::max_burst`]).
+    pub fn capability(&self) -> CorrectionCapability {
+        match self.family {
+            CodeFamily::Rs => CorrectionCapability {
+                budget: self.redundancy(),
+                masked_erasures: 0,
+            },
+            CodeFamily::Rm => CorrectionCapability {
+                budget: self.n / 2 - 1,
+                masked_erasures: 1,
+            },
+            CodeFamily::Irs => CorrectionCapability {
+                budget: self.inner_n() - self.inner_k(),
+                masked_erasures: 0,
+            },
+        }
+    }
+
+    /// Longest contiguous symbol burst guaranteed correctable with no
+    /// other faults present. Interleaving spreads a length-b burst over
+    /// the constituents, `≤ ⌈b/depth⌉` errors each, so the guarantee is
+    /// `depth · t_inner`; for the other families it is plain `t`.
+    pub fn max_burst(&self) -> usize {
+        self.depth as usize * self.capability().max_random_errors()
+    }
+
+    /// The boundary condition generalizing the paper's
+    /// `er + 2·re ≤ n − k` to every family (see
+    /// [`CodeParams::capability`]).
     pub fn within_capability(&self, erasures: usize, random_errors: usize) -> bool {
-        erasures + 2 * random_errors <= self.redundancy()
+        self.capability().admits(erasures, random_errors)
     }
 
     /// Paper Eq. (1) prefactor, `m·(n−k)/k`.
@@ -106,32 +332,61 @@ impl CodeParams {
 
 impl fmt::Display for CodeParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "RS({},{}) over GF(2^{})", self.n, self.k, self.m)
+        match self.family {
+            CodeFamily::Rs => write!(f, "RS({},{}) over GF(2^{})", self.n, self.k, self.m),
+            CodeFamily::Rm => write!(f, "RM(1,{}) over GF(2)", self.n.trailing_zeros()),
+            CodeFamily::Irs => write!(
+                f,
+                "IRS({},{})x{} over GF(2^{})",
+                self.inner_n(),
+                self.inner_k(),
+                self.depth,
+                self.m
+            ),
+        }
     }
 }
 
 impl std::str::FromStr for CodeParams {
     type Err = ModelError;
 
-    /// Parses the `N,K,M` triple used by the CLI `--code` flag and the
-    /// service JSON string form (e.g. `"18,16,8"`). Whitespace around
-    /// each component is ignored; the result is validated by
-    /// [`CodeParams::new`].
+    /// Parses the forms used by the CLI `--code` flag and the service
+    /// JSON string form. A plain `N,K,M` triple (e.g. `"18,16,8"`)
+    /// stays Reed–Solomon for backward compatibility; prefixed forms
+    /// select the other families:
+    ///
+    /// - `rs:N,K,M` — explicit RS
+    /// - `rm:R` — Reed–Muller RM(1,R)
+    /// - `irs:N,K,M,D` — depth-D interleaved RS over inner RS(N,K)
+    ///
+    /// Whitespace around each component is ignored; results are
+    /// validated by the corresponding constructor.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let invalid = || ModelError::InvalidCode {
+        let invalid = |reason: &'static str| ModelError::InvalidCode {
             n: 0,
             k: 0,
             m: 0,
-            reason: "expected an N,K,M triple",
+            reason,
         };
-        let parts: Vec<&str> = s.split(',').collect();
-        if parts.len() != 3 {
-            return Err(invalid());
+        let (family, rest) = match s.split_once(':') {
+            Some((prefix, rest)) => (prefix.trim().parse::<CodeFamily>()?, rest),
+            None => (CodeFamily::Rs, s),
+        };
+        let parts: Vec<usize> = rest
+            .split(',')
+            .map(|p| p.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| invalid("expected comma-separated integers"))?;
+        match (family, parts.as_slice()) {
+            (CodeFamily::Rs, &[n, k, m]) => CodeParams::new(n, k, m as u32),
+            (CodeFamily::Rs, _) => Err(invalid("expected an N,K,M triple")),
+            (CodeFamily::Rm, &[r]) => CodeParams::rm1(r as u32),
+            (CodeFamily::Rm, _) => Err(invalid("expected rm:R")),
+            (CodeFamily::Irs, &[n, k, m, d]) if d <= u8::MAX as usize => {
+                CodeParams::interleaved(n, k, m as u32, d as u8)
+            }
+            (CodeFamily::Irs, _) => Err(invalid("expected irs:N,K,M,D")),
         }
-        let n = parts[0].trim().parse().map_err(|_| invalid())?;
-        let k = parts[1].trim().parse().map_err(|_| invalid())?;
-        let m = parts[2].trim().parse().map_err(|_| invalid())?;
-        CodeParams::new(n, k, m)
     }
 }
 
@@ -305,6 +560,83 @@ mod tests {
         assert!(c.within_capability(0, 1));
         assert!(!c.within_capability(1, 1));
         assert!(!c.within_capability(3, 0));
+    }
+
+    #[test]
+    fn rm_geometry_and_capability() {
+        // RM(1,4): n = 16 bits, k = 5, d = 8 → budget 7, one masked
+        // erasure from the stuck-at write trick.
+        let c = CodeParams::rm1(4).unwrap();
+        assert_eq!((c.n(), c.k(), c.m()), (16, 5, 1));
+        assert_eq!(c.family(), CodeFamily::Rm);
+        let cap = c.capability();
+        assert_eq!(cap.budget, 7);
+        assert_eq!(cap.masked_erasures, 1);
+        assert_eq!(cap.max_random_errors(), 3);
+        assert_eq!(cap.max_erasures(), 8);
+        assert!(c.within_capability(8, 0)); // one erasure is free
+        assert!(!c.within_capability(9, 0));
+        assert!(c.within_capability(1, 3)); // masked erasure + t errors
+        assert!(c.within_capability(2, 3)); // (2−1) + 2·3 = 7 ≤ 7
+        assert!(!c.within_capability(3, 3));
+        assert!(CodeParams::rm1(2).is_err());
+        assert!(CodeParams::rm1(13).is_err());
+    }
+
+    #[test]
+    fn irs_geometry_and_capability() {
+        let c = CodeParams::interleaved(18, 16, 8, 4).unwrap();
+        assert_eq!((c.n(), c.k(), c.m()), (72, 64, 8));
+        assert_eq!(c.family(), CodeFamily::Irs);
+        assert_eq!((c.inner_n(), c.inner_k(), c.depth()), (18, 16, 4));
+        // Worst case: every fault in one constituent → inner budget.
+        assert_eq!(c.capability().budget, 2);
+        assert!(c.within_capability(0, 1));
+        assert!(!c.within_capability(0, 2));
+        // Bursts spread across the constituents: depth · t_inner.
+        assert_eq!(c.max_burst(), 4);
+        assert!(CodeParams::interleaved(18, 16, 8, 1).is_err());
+        assert!(CodeParams::interleaved(18, 18, 8, 4).is_err());
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in [CodeFamily::Rs, CodeFamily::Rm, CodeFamily::Irs] {
+            assert_eq!(family.name().parse::<CodeFamily>().unwrap(), family);
+        }
+        assert!("bch".parse::<CodeFamily>().is_err());
+    }
+
+    #[test]
+    fn family_display_forms() {
+        assert_eq!(CodeParams::rs18_16().to_string(), "RS(18,16) over GF(2^8)");
+        assert_eq!(
+            CodeParams::rm1(3).unwrap().to_string(),
+            "RM(1,3) over GF(2)"
+        );
+        assert_eq!(
+            CodeParams::interleaved(18, 16, 8, 2).unwrap().to_string(),
+            "IRS(18,16)x2 over GF(2^8)"
+        );
+    }
+
+    #[test]
+    fn prefixed_code_forms_parse() {
+        assert_eq!(
+            "rs:18,16,8".parse::<CodeParams>().unwrap(),
+            CodeParams::rs18_16()
+        );
+        assert_eq!(
+            "rm:4".parse::<CodeParams>().unwrap(),
+            CodeParams::rm1(4).unwrap()
+        );
+        assert_eq!(
+            "irs: 18, 16, 8, 2".parse::<CodeParams>().unwrap(),
+            CodeParams::interleaved(18, 16, 8, 2).unwrap()
+        );
+        assert!("bch:18,16,8".parse::<CodeParams>().is_err());
+        assert!("rm:4,5".parse::<CodeParams>().is_err());
+        assert!("irs:18,16,8".parse::<CodeParams>().is_err());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod mission;
 mod simplex;
 pub mod units;
 
-pub use config::{CodeParams, FaultRates, Scrubbing};
+pub use config::{CodeFamily, CodeParams, CorrectionCapability, FaultRates, Scrubbing};
 pub use duplex::{DuplexFailCriterion, DuplexModel, DuplexOptions, DuplexState};
 pub use error::ModelError;
 pub use simplex::{SimplexModel, SimplexState};

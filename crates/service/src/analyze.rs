@@ -12,7 +12,7 @@
 
 use crate::json::Value;
 use rsmem::units::{ErasureRate, SeuRate, Time, TimeGrid};
-use rsmem::{CodeParams, FaultRates, MemorySystem, Scrubbing};
+use rsmem::{CodeFamily, CodeParams, FaultRates, MemorySystem, Scrubbing};
 
 /// Maximum number of grid points a single request may ask for.
 pub const MAX_POINTS: usize = 10_001;
@@ -43,9 +43,10 @@ pub struct AnalyzeRequest {
 /// The fields `from_json` accepts; anything else is a hard 400 so a
 /// typo'd field name cannot silently fall back to a default (which would
 /// also split the cache).
-const KNOWN_FIELDS: [&str; 8] = [
+const KNOWN_FIELDS: [&str; 9] = [
     "system",
     "code",
+    "family",
     "seu_per_bit_day",
     "erasure_per_symbol_day",
     "scrub_period_s",
@@ -64,6 +65,7 @@ impl AnalyzeRequest {
     /// {
     ///   "system": "simplex" | "duplex",
     ///   "code": "18,16,8" | [18, 16, 8] | {"n": 18, "k": 16, "m": 8},
+    ///   "family": "rs" | "rm" | "irs",   // optional; defaults to "rs"
     ///   "seu_per_bit_day": 1.7e-5,
     ///   "erasure_per_symbol_day": 0,
     ///   "scrub_period_s": 900,
@@ -101,6 +103,25 @@ impl AnalyzeRequest {
         };
 
         let code = parse_code(body.get("code"))?;
+        // The `family` field is a validated cross-check: the code spec
+        // itself selects the family (prefixed string forms like "rm:5"
+        // or "irs:18,16,8,2"; plain forms stay RS), and a `family`
+        // member that disagrees is a hard 400 rather than a silent
+        // reinterpretation of the geometry.
+        if let Some(v) = body.get("family") {
+            let family: CodeFamily = v
+                .as_str()
+                .ok_or("field \"family\": expected a string")?
+                .parse()
+                .map_err(|e| format!("field \"family\": {e}"))?;
+            if family != code.family() {
+                return Err(format!(
+                    "field \"family\": \"{family}\" does not match the code spec ({code}); \
+                     select a family with a prefixed code string such as \"rm:5\" or \
+                     \"irs:18,16,8,2\""
+                ));
+            }
+        }
 
         let seu = number_field(body, "seu_per_bit_day")?.unwrap_or(0.0);
         let erasure = number_field(body, "erasure_per_symbol_day")?.unwrap_or(0.0);
@@ -164,19 +185,23 @@ impl AnalyzeRequest {
     /// The canonical config object — defaults filled, keys sorted by the
     /// JSON encoder. Its [`Value::encode`] string is the cache key.
     pub fn canonical_config(&self) -> Value {
-        Value::object(vec![
+        // `family` (and the interleave `depth` inside `code`) are
+        // emitted only for non-RS families, so every pre-existing RS
+        // cache key stays byte-identical.
+        let mut code_members = vec![
+            ("n", Value::Number(self.code.n() as f64)),
+            ("k", Value::Number(self.code.k() as f64)),
+            ("m", Value::Number(f64::from(self.code.m()))),
+        ];
+        if self.code.family() == CodeFamily::Irs {
+            code_members.push(("depth", Value::Number(self.code.depth() as f64)));
+        }
+        let mut fields = vec![
             (
                 "system",
                 Value::String(if self.duplex { "duplex" } else { "simplex" }.into()),
             ),
-            (
-                "code",
-                Value::object(vec![
-                    ("n", Value::Number(self.code.n() as f64)),
-                    ("k", Value::Number(self.code.k() as f64)),
-                    ("m", Value::Number(f64::from(self.code.m()))),
-                ]),
-            ),
+            ("code", Value::object(code_members)),
             (
                 "seu_per_bit_day",
                 Value::Number(self.rates.seu.as_per_bit_day()),
@@ -194,7 +219,11 @@ impl AnalyzeRequest {
             ),
             ("horizon_hours", Value::Number(self.horizon_hours)),
             ("points", Value::Number(self.points as f64)),
-        ])
+        ];
+        if self.code.family() != CodeFamily::Rs {
+            fields.push(("family", Value::String(self.code.family().to_string())));
+        }
+        Value::object(fields)
     }
 
     /// The cache key: the canonical config, encoded.
@@ -377,6 +406,50 @@ mod tests {
         let code_pos = encoded.find("\"code\"").unwrap();
         let system_pos = encoded.find("\"system\"").unwrap();
         assert!(code_pos < system_pos);
+    }
+
+    #[test]
+    fn family_field_defaults_to_rs_and_leaves_cache_keys_unchanged() {
+        // The golden property for cache compatibility: an explicit
+        // "family": "rs" and an absent family must produce byte-identical
+        // keys, and neither mentions the field at all.
+        let bare = request(r#"{"code": "18,16,8"}"#).unwrap();
+        let explicit = request(r#"{"family": "rs", "code": [18, 16, 8]}"#).unwrap();
+        assert_eq!(bare.cache_key(), explicit.cache_key());
+        assert!(!bare.cache_key().contains("family"));
+        assert!(!bare.cache_key().contains("depth"));
+
+        // Non-RS families key on the family (and depth for interleaves).
+        let rm = request(r#"{"family": "rm", "code": "rm:5"}"#).unwrap();
+        assert_eq!(rm.code, CodeParams::rm1(5).unwrap());
+        assert!(rm.cache_key().contains("\"family\":\"rm\""));
+        let irs = request(r#"{"code": "irs:18,16,8,2"}"#).unwrap();
+        assert!(irs.cache_key().contains("\"family\":\"irs\""));
+        assert!(irs.cache_key().contains("\"depth\":2"));
+        assert_ne!(rm.cache_key(), irs.cache_key());
+
+        // A family that contradicts the code spec is a hard 400.
+        assert!(request(r#"{"family": "rm", "code": "18,16,8"}"#)
+            .unwrap_err()
+            .contains("does not match"));
+        assert!(request(r#"{"family": "triplex"}"#).is_err());
+        assert!(request(r#"{"family": 3}"#).is_err());
+    }
+
+    #[test]
+    fn non_rs_families_solve() {
+        for code in ["rm:4", "irs:15,9,4,2"] {
+            let r = request(&format!(
+                r#"{{"code": "{code}", "seu_per_bit_day": 1e-4, "points": 3}}"#
+            ))
+            .unwrap();
+            let response = r.solve().unwrap_or_else(|e| panic!("{code}: {e}"));
+            assert_eq!(
+                response.get("ber").unwrap().as_array().unwrap().len(),
+                3,
+                "{code}"
+            );
+        }
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //!    one module, the homologous symbol from the other module is
 //!    substituted (masking). Positions erased in *both* modules remain
 //!    erasures for both decoders.
-//! 2. **Independent decoding** — each (masked) word is RS-decoded; a
-//!    per-word *flag* is set iff the decoder performed a correction.
+//! 2. **Independent decoding** — each (masked) word is decoded by the
+//!    word's [`MemoryCode`] (the paper's RS decoder, or any other
+//!    family); a per-word *flag* is set iff a correction was performed.
 //! 3. **Comparison** —
 //!    * no flag set → output either word;
 //!    * words equal, ≥1 flag → output (the correction was right);
@@ -20,7 +21,9 @@
 //! no usable output for that word: if the other word decodes, it is
 //! output; if both fail, there is no output.
 
-use rsmem_code::{BatchOutcome, CodeError, DecodeOutcome, RsCode, Symbol};
+use rsmem_code::{BatchOutcome, CodeError, DecodeOutcome, Symbol};
+use rsmem_codes::MemoryCode;
+use std::borrow::Cow;
 
 /// The arbiter's verdict for one read access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +68,11 @@ pub enum ArbiterBranch {
 /// the word must have exactly `n` symbols and every erasure position must
 /// be in range and unique. (Symbol-range checks are left to the decoder,
 /// which sees every masked symbol anyway.)
-fn validate_module(code: &RsCode, word: &[Symbol], erasures: &[usize]) -> Result<(), CodeError> {
+fn validate_module<C: MemoryCode + ?Sized>(
+    code: &C,
+    word: &[Symbol],
+    erasures: &[usize],
+) -> Result<(), CodeError> {
     if word.len() != code.n() {
         return Err(CodeError::CodewordLength {
             got: word.len(),
@@ -99,8 +106,8 @@ pub(crate) type MaskedPair = (Vec<Symbol>, Vec<Symbol>, Vec<usize>);
 /// # Errors
 ///
 /// [`CodeError`] for malformed inputs, exactly like [`arbitrate`].
-pub(crate) fn mask(
-    code: &RsCode,
+pub(crate) fn mask<C: MemoryCode + ?Sized>(
+    code: &C,
     word1: &[Symbol],
     erasures1: &[usize],
     word2: &[Symbol],
@@ -134,14 +141,15 @@ pub(crate) fn mask(
 
 /// One decoded word as the comparison step sees it: either a detected
 /// failure, or data with the per-word correction flag.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) enum WordVerdict<'a> {
     /// The decoder detected an uncorrectable word.
     Failed,
     /// The decoder produced data; `flagged` iff it corrected anything.
     Decoded {
-        /// The `k` decoded data symbols.
-        data: &'a [Symbol],
+        /// The `k` decoded data symbols — borrowed from the word for
+        /// systematic layouts, owned where extraction rebuilds them.
+        data: Cow<'a, [Symbol]>,
         /// The Section-3 flag (a correction was performed).
         flagged: bool,
     },
@@ -152,7 +160,7 @@ pub(crate) fn verdict_of(outcome: &DecodeOutcome) -> WordVerdict<'_> {
     match outcome {
         DecodeOutcome::Failure(_) => WordVerdict::Failed,
         _ => WordVerdict::Decoded {
-            data: outcome.data().expect("non-failure produces data"),
+            data: Cow::Borrowed(outcome.data().expect("non-failure produces data")),
             flagged: outcome.is_flagged(),
         },
     }
@@ -160,8 +168,8 @@ pub(crate) fn verdict_of(outcome: &DecodeOutcome) -> WordVerdict<'_> {
 
 /// The comparison view of a compact [`BatchOutcome`] whose word was
 /// corrected in place by the batch decoder.
-pub(crate) fn verdict_of_batch<'a>(
-    code: &RsCode,
+pub(crate) fn verdict_of_batch<'a, C: MemoryCode + ?Sized>(
+    code: &C,
     word: &'a [Symbol],
     outcome: &BatchOutcome,
 ) -> WordVerdict<'a> {
@@ -187,7 +195,7 @@ pub(crate) fn combine(v1: WordVerdict<'_>, v2: WordVerdict<'_>) -> ArbiterOutput
         (WordVerdict::Failed, WordVerdict::Failed) => ArbiterOutput::NoOutput,
         (WordVerdict::Failed, WordVerdict::Decoded { data, .. })
         | (WordVerdict::Decoded { data, .. }, WordVerdict::Failed) => ArbiterOutput::Data {
-            data: data.to_vec(),
+            data: data.into_owned(),
             branch: ArbiterBranch::SingleSurvivor,
         },
         (
@@ -202,19 +210,19 @@ pub(crate) fn combine(v1: WordVerdict<'_>, v2: WordVerdict<'_>) -> ArbiterOutput
         ) => {
             if !f1 && !f2 {
                 ArbiterOutput::Data {
-                    data: d1.to_vec(),
+                    data: d1.into_owned(),
                     branch: ArbiterBranch::NoFlags,
                 }
             } else if d1 == d2 {
                 ArbiterOutput::Data {
-                    data: d1.to_vec(),
+                    data: d1.into_owned(),
                     branch: ArbiterBranch::EqualFlagged,
                 }
             } else if f1 != f2 {
                 // Exactly one flag: the unflagged word is correct.
                 let winner = if f1 { d2 } else { d1 };
                 ArbiterOutput::Data {
-                    data: winner.to_vec(),
+                    data: winner.into_owned(),
                     branch: ArbiterBranch::UnflaggedWins,
                 }
             } else {
@@ -257,8 +265,8 @@ pub(crate) fn combine(v1: WordVerdict<'_>, v2: WordVerdict<'_>) -> ArbiterOutput
 /// Only [`CodeError`] for malformed inputs (wrong word length,
 /// out-of-range or duplicate erasure positions) — uncorrectable
 /// corruption is a [`ArbiterOutput::NoOutput`], not an error.
-pub fn arbitrate(
-    code: &RsCode,
+pub fn arbitrate<C: MemoryCode + ?Sized>(
+    code: &C,
     word1: &[Symbol],
     erasures1: &[usize],
     word2: &[Symbol],
@@ -278,6 +286,7 @@ pub fn arbitrate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rsmem_code::RsCode;
 
     fn code() -> RsCode {
         RsCode::new(18, 16, 8).unwrap()

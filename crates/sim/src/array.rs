@@ -511,13 +511,8 @@ mod tests {
 
     fn base(seu: f64) -> SimConfig {
         SimConfig {
-            n: 18,
-            k: 16,
-            m: 8,
             seu_per_bit_day: seu,
-            erasure_per_symbol_day: 0.0,
-            scrub: None,
-            store_days: 2.0,
+            ..SimConfig::rs18_16_baseline()
         }
     }
 

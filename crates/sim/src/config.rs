@@ -1,6 +1,8 @@
 //! Simulation configuration.
 
 use crate::SimError;
+use rsmem_code::CodeError;
+use rsmem_models::{CodeFamily, CodeParams};
 
 /// How scrub instants are placed in time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -27,6 +29,12 @@ pub struct SimConfig {
     pub k: usize,
     /// Symbol width in bits.
     pub m: u32,
+    /// Code family protecting the word (RS, Reed–Muller or
+    /// interleaved RS).
+    pub family: CodeFamily,
+    /// Interleave depth — meaningful only for [`CodeFamily::Irs`];
+    /// use `1` for the other families.
+    pub depth: u8,
     /// SEU rate per bit per day (the paper's `λ`).
     pub seu_per_bit_day: f64,
     /// Permanent-fault rate per symbol per day (the paper's `λe`).
@@ -62,6 +70,46 @@ impl SimConfig {
         Ok(())
     }
 
+    /// Reconstructs the model-layer [`CodeParams`] this configuration
+    /// describes, validating that `n`/`k`/`m` are consistent with the
+    /// selected family (e.g. `n = 2^r`, `k = r + 1`, `m = 1` for
+    /// RM(1,r); `depth | n` and `depth | k` for interleaved RS).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Code`] when the geometry does not name a
+    /// constructible code of the selected family.
+    pub fn code_params(&self) -> Result<CodeParams, SimError> {
+        let invalid = |reason: &'static str| {
+            SimError::Code(CodeError::InvalidParameters {
+                n: self.n,
+                k: self.k,
+                m: self.m,
+                reason,
+            })
+        };
+        let params = match self.family {
+            CodeFamily::Rs => CodeParams::new(self.n, self.k, self.m)
+                .map_err(|_| invalid("invalid RS geometry"))?,
+            CodeFamily::Rm => CodeParams::rm1(self.n.trailing_zeros())
+                .map_err(|_| invalid("invalid RM(1,r) geometry (n must be 2^r, r in 3..=12)"))?,
+            CodeFamily::Irs => {
+                let depth = usize::from(self.depth);
+                if depth < 2 || !self.n.is_multiple_of(depth) || !self.k.is_multiple_of(depth) {
+                    return Err(invalid(
+                        "interleaved n and k must be multiples of depth 2..=64",
+                    ));
+                }
+                CodeParams::interleaved(self.n / depth, self.k / depth, self.m, self.depth)
+                    .map_err(|_| invalid("invalid interleaved-RS geometry"))?
+            }
+        };
+        if (params.n(), params.k(), params.m()) != (self.n, self.k, self.m) {
+            return Err(invalid("n/k/m do not match the selected code family"));
+        }
+        Ok(params)
+    }
+
     /// The paper's RS(18,16) byte-symbol configuration with no faults —
     /// a baseline to customize.
     pub fn rs18_16_baseline() -> Self {
@@ -69,6 +117,8 @@ impl SimConfig {
             n: 18,
             k: 16,
             m: 8,
+            family: CodeFamily::Rs,
+            depth: 1,
             seu_per_bit_day: 0.0,
             erasure_per_symbol_day: 0.0,
             scrub: None,
@@ -111,5 +161,37 @@ mod tests {
         let mut c = SimConfig::rs18_16_baseline();
         c.store_days = f64::NAN;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn code_params_round_trips_every_family() {
+        let rs = SimConfig::rs18_16_baseline();
+        assert_eq!(rs.code_params().unwrap(), CodeParams::rs18_16());
+
+        let mut rm = SimConfig::rs18_16_baseline();
+        (rm.n, rm.k, rm.m, rm.family) = (32, 6, 1, CodeFamily::Rm);
+        assert_eq!(rm.code_params().unwrap(), CodeParams::rm1(5).unwrap());
+
+        let mut irs = SimConfig::rs18_16_baseline();
+        (irs.n, irs.k, irs.family, irs.depth) = (36, 32, CodeFamily::Irs, 2);
+        assert_eq!(
+            irs.code_params().unwrap(),
+            CodeParams::interleaved(18, 16, 8, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn inconsistent_family_geometry_rejected() {
+        // k does not match r + 1 for n = 2^r.
+        let mut rm = SimConfig::rs18_16_baseline();
+        (rm.n, rm.k, rm.m, rm.family) = (32, 7, 1, CodeFamily::Rm);
+        assert!(rm.code_params().is_err());
+        // depth does not divide n.
+        let mut irs = SimConfig::rs18_16_baseline();
+        (irs.n, irs.k, irs.family, irs.depth) = (36, 32, CodeFamily::Irs, 5);
+        assert!(irs.code_params().is_err());
+        // depth 1 is not an interleave.
+        irs.depth = 1;
+        assert!(irs.code_params().is_err());
     }
 }

@@ -24,13 +24,15 @@
 //! # Examples
 //!
 //! ```
-//! use rsmem_sim::{runner, SimConfig, ScrubTiming};
+//! use rsmem_sim::{runner, CodeFamily, SimConfig, ScrubTiming};
 //!
 //! # fn main() -> Result<(), rsmem_sim::SimError> {
 //! let config = SimConfig {
 //!     n: 18,
 //!     k: 16,
 //!     m: 8,
+//!     family: CodeFamily::Rs,
+//!     depth: 1,
 //!     seu_per_bit_day: 1e-2, // accelerated test conditions
 //!     erasure_per_symbol_day: 0.0,
 //!     scrub: None,
@@ -60,5 +62,6 @@ pub use array::{ArrayConfig, ArrayReport};
 pub use config::{ScrubTiming, SimConfig};
 pub use error::SimError;
 pub use memory::MemoryModule;
+pub use rsmem_models::CodeFamily;
 pub use runner::{MonteCarloReport, TrialOutcome};
 pub use system::{DuplexSim, SimplexSim};

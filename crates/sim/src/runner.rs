@@ -15,7 +15,8 @@ use crate::system::{DuplexSim, SimplexSim};
 use crate::{SimConfig, SimError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsmem_code::{BatchDecoder, BatchOutcome, DecodeOpts, RsCode, Symbol};
+use rsmem_code::{BatchOutcome, Symbol};
+use rsmem_codes::MemoryCode;
 use rsmem_obs::log::{current_trace_id, trace_scope};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -232,8 +233,8 @@ where
 /// Classifies one simplex trial from its compact batch outcome: the
 /// exact classification [`SimplexSim::run_trial`] applies to the scalar
 /// [`rsmem_code::DecodeOutcome`].
-fn classify_simplex(
-    code: &RsCode,
+fn classify_simplex<C: MemoryCode + ?Sized>(
+    code: &C,
     outcome: &BatchOutcome,
     word: &[Symbol],
     data: &[Symbol],
@@ -243,7 +244,7 @@ fn classify_simplex(
         // Clean or Corrected: the word was fixed up in place, so its
         // data section is the decoder's output.
         _ => {
-            if code.data_of(word).expect("word has length n") == data {
+            if code.data_of(word).expect("word has length n").as_ref() == data {
                 TrialOutcome::Correct
             } else {
                 TrialOutcome::SilentCorruption
@@ -265,14 +266,8 @@ fn simplex_shard(sim: &SimplexSim, rng: &mut StdRng, in_shard: usize) -> Outcome
         erasures.push(trial.erasures);
     }
     let mut outcomes = Vec::with_capacity(in_shard);
-    BatchDecoder::new()
-        .decode_batch(
-            sim.code(),
-            &mut words,
-            &erasures,
-            &DecodeOpts::default(),
-            &mut outcomes,
-        )
+    sim.code()
+        .decode_batch(&mut words, &erasures, &mut outcomes)
         .expect("well-formed stored words");
     let mut counts = OutcomeCounts::default();
     for ((outcome, word), data) in outcomes.iter().zip(&words).zip(&datas) {
@@ -297,14 +292,8 @@ fn duplex_shard(sim: &DuplexSim, rng: &mut StdRng, in_shard: usize) -> OutcomeCo
         erasures.push(trial.common);
     }
     let mut outcomes = Vec::with_capacity(2 * in_shard);
-    BatchDecoder::new()
-        .decode_batch(
-            sim.code(),
-            &mut words,
-            &erasures,
-            &DecodeOpts::default(),
-            &mut outcomes,
-        )
+    sim.code()
+        .decode_batch(&mut words, &erasures, &mut outcomes)
         .expect("well-formed stored words");
     let mut counts = OutcomeCounts::default();
     for (i, data) in datas.iter().enumerate() {

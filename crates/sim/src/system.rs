@@ -7,7 +7,9 @@ use crate::memory::MemoryModule;
 use crate::runner::TrialOutcome;
 use crate::SimError;
 use rand::Rng;
-use rsmem_code::{DecodeOutcome, RsCode, Symbol};
+use rsmem_code::{DecodeOutcome, Symbol};
+use rsmem_codes::{build, MemoryCode};
+use std::sync::Arc;
 
 /// Shared per-trial machinery.
 #[derive(Debug)]
@@ -20,9 +22,9 @@ struct FaultClock {
     next_scrub: f64,
 }
 
-fn random_data<R: Rng + ?Sized>(rng: &mut R, code: &RsCode) -> Vec<Symbol> {
-    (0..code.k())
-        .map(|_| rng.gen_range(0..code.field().size()) as Symbol)
+fn random_data<R: Rng + ?Sized>(rng: &mut R, k: usize, symbol_values: usize) -> Vec<Symbol> {
+    (0..k)
+        .map(|_| rng.gen_range(0..symbol_values) as Symbol)
         .collect()
 }
 
@@ -85,15 +87,20 @@ fn next_step(clock: &FaultClock, horizon: f64) -> Step {
     best
 }
 
-fn inject_seu<R: Rng + ?Sized>(rng: &mut R, module: &mut MemoryModule, code: &RsCode) {
-    let pos = rng.gen_range(0..code.n());
-    let bit = rng.gen_range(0..code.symbol_bits());
+fn inject_seu<R: Rng + ?Sized>(rng: &mut R, module: &mut MemoryModule, n: usize, bits: u32) {
+    let pos = rng.gen_range(0..n);
+    let bit = rng.gen_range(0..bits);
     module.flip_bit(pos, bit);
 }
 
-fn inject_permanent<R: Rng + ?Sized>(rng: &mut R, module: &mut MemoryModule, code: &RsCode) {
-    let pos = rng.gen_range(0..code.n());
-    let value = rng.gen_range(0..code.field().size()) as Symbol;
+fn inject_permanent<R: Rng + ?Sized>(
+    rng: &mut R,
+    module: &mut MemoryModule,
+    n: usize,
+    symbol_values: usize,
+) {
+    let pos = rng.gen_range(0..n);
+    let value = rng.gen_range(0..symbol_values) as Symbol;
     module.stick(pos, value);
 }
 
@@ -133,7 +140,7 @@ pub(crate) struct PendingDuplexTrial {
 /// read back at the stopping time and classify the outcome.
 #[derive(Debug, Clone)]
 pub struct SimplexSim {
-    code: RsCode,
+    code: Arc<dyn MemoryCode>,
     config: SimConfig,
 }
 
@@ -145,13 +152,13 @@ impl SimplexSim {
     /// [`SimError`] on invalid configuration or code parameters.
     pub fn new(config: SimConfig) -> Result<Self, SimError> {
         config.validate()?;
-        let code = RsCode::new(config.n, config.k, config.m)?;
+        let code: Arc<dyn MemoryCode> = Arc::from(build(config.code_params()?)?);
         Ok(SimplexSim { code, config })
     }
 
     /// The underlying code.
-    pub fn code(&self) -> &RsCode {
-        &self.code
+    pub fn code(&self) -> &dyn MemoryCode {
+        self.code.as_ref()
     }
 
     /// Runs one independent trial.
@@ -178,7 +185,11 @@ impl SimplexSim {
     /// that decode across many trials. Consumes exactly the same RNG
     /// stream as [`SimplexSim::run_trial`] — the decode draws nothing.
     pub(crate) fn prepare_trial<R: Rng + ?Sized>(&self, rng: &mut R) -> PendingTrial {
-        let data = random_data(rng, &self.code);
+        // `1 << m` is the symbol-value count of every family (GF(2^m)
+        // size for RS, binary for RM), so the RNG stream is identical to
+        // the pre-trait RS-only simulator.
+        let symbol_values = 1usize << self.config.m;
+        let data = random_data(rng, self.config.k, symbol_values);
         let codeword = self.code.encode(&data).expect("validated parameters");
         let mut module = MemoryModule::new(codeword, self.config.m);
         let mut clock = FaultClock::new(rng, &self.config, 1);
@@ -188,13 +199,13 @@ impl SimplexSim {
             match next_step(&clock, horizon) {
                 Step::Done => break,
                 Step::Seu { module: _, time } => {
-                    inject_seu(rng, &mut module, &self.code);
+                    inject_seu(rng, &mut module, self.config.n, self.config.m);
                     let rate =
                         self.config.seu_per_bit_day * self.config.m as f64 * self.config.n as f64;
                     clock.next_seu[0] = time + sample_exponential(rng, rate);
                 }
                 Step::Permanent { module: _, time } => {
-                    inject_permanent(rng, &mut module, &self.code);
+                    inject_permanent(rng, &mut module, self.config.n, symbol_values);
                     let rate = self.config.erasure_per_symbol_day * self.config.n as f64;
                     clock.next_perm[0] = time + sample_exponential(rng, rate);
                 }
@@ -232,7 +243,7 @@ impl SimplexSim {
 /// A single simulated duplex memory word-pair with the Section-3 arbiter.
 #[derive(Debug, Clone)]
 pub struct DuplexSim {
-    code: RsCode,
+    code: Arc<dyn MemoryCode>,
     config: SimConfig,
 }
 
@@ -244,13 +255,13 @@ impl DuplexSim {
     /// [`SimError`] on invalid configuration or code parameters.
     pub fn new(config: SimConfig) -> Result<Self, SimError> {
         config.validate()?;
-        let code = RsCode::new(config.n, config.k, config.m)?;
+        let code: Arc<dyn MemoryCode> = Arc::from(build(config.code_params()?)?);
         Ok(DuplexSim { code, config })
     }
 
     /// The underlying code.
-    pub fn code(&self) -> &RsCode {
-        &self.code
+    pub fn code(&self) -> &dyn MemoryCode {
+        self.code.as_ref()
     }
 
     /// Runs one independent trial.
@@ -281,7 +292,8 @@ impl DuplexSim {
     /// them. Consumes exactly the same RNG stream as
     /// [`DuplexSim::run_trial`] — masking and decoding draw nothing.
     pub(crate) fn prepare_trial<R: Rng + ?Sized>(&self, rng: &mut R) -> PendingDuplexTrial {
-        let data = random_data(rng, &self.code);
+        let symbol_values = 1usize << self.config.m;
+        let data = random_data(rng, self.config.k, symbol_values);
         let codeword = self.code.encode(&data).expect("validated parameters");
         let mut modules = [
             MemoryModule::new(codeword.clone(), self.config.m),
@@ -296,11 +308,11 @@ impl DuplexSim {
             match next_step(&clock, horizon) {
                 Step::Done => break,
                 Step::Seu { module, time } => {
-                    inject_seu(rng, &mut modules[module], &self.code);
+                    inject_seu(rng, &mut modules[module], self.config.n, self.config.m);
                     clock.next_seu[module] = time + sample_exponential(rng, seu_rate);
                 }
                 Step::Permanent { module, time } => {
-                    inject_permanent(rng, &mut modules[module], &self.code);
+                    inject_permanent(rng, &mut modules[module], self.config.n, symbol_values);
                     clock.next_perm[module] = time + sample_exponential(rng, perm_rate);
                 }
                 Step::Scrub { time } => {
@@ -312,7 +324,7 @@ impl DuplexSim {
 
         let [m1, m2] = &modules;
         let (w1, w2, common) = mask(
-            &self.code,
+            self.code.as_ref(),
             m1.read(),
             &m1.erasures(),
             m2.read(),

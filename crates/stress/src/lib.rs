@@ -3,7 +3,7 @@
 //!
 //! The analytic models, the decoder and the simulator of this workspace
 //! all claim the same physics; this crate is the adversary that tries to
-//! pull them apart. Three suites run from a single seed:
+//! pull them apart. Four suites run from a single seed:
 //!
 //! 1. **decode** ([`decode`]) — erasure+error patterns swept across the
 //!    capability lattice (inside / on / beyond `er + 2·re = n − k`)
@@ -12,11 +12,16 @@
 //!    enforcing re-encode, syndrome and bounded-distance-uniqueness
 //!    invariants; exhaustive on a small code, seeded-random on the rest
 //!    of the zoo (including the paper's RS(18,16) and RS(36,16));
-//! 2. **arbiter** ([`arbiter_suite`]) — correlated two-module patterns
+//! 2. **families** ([`families`]) — the same lattice sweep driven
+//!    through the [`rsmem_codes::MemoryCode`] trait across the RS,
+//!    Reed–Muller and interleaved-RS implementations, checking the
+//!    trait contracts (plus RS trait-vs-concrete bit-identity and a
+//!    `decode_batch`-vs-scalar differential);
+//! 3. **arbiter** ([`arbiter_suite`]) — correlated two-module patterns
 //!    mirroring the paper's duplex state variables (X/Y/b/e1/e2/ec)
 //!    against a brute-force guaranteed-recovery oracle, plus
 //!    malformed-input robustness probes;
-//! 3. **xval** ([`xval`]) — randomized system configurations comparing
+//! 4. **xval** ([`xval`]) — randomized system configurations comparing
 //!    the CTMC transient against the Monte-Carlo simulator inside a
 //!    statistical tolerance band.
 //!
@@ -33,12 +38,15 @@
 
 pub mod arbiter_suite;
 pub mod decode;
+pub mod families;
 pub mod report;
 pub mod rng;
 pub mod shrink;
 pub mod xval;
 
-pub use report::{ArbiterReport, DecodeReport, Divergence, StressReport, XvalReport};
+pub use report::{
+    ArbiterReport, DecodeReport, Divergence, FamiliesReport, StressReport, XvalReport,
+};
 
 /// Budgets and seed for one stress run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +59,8 @@ pub struct StressConfig {
     pub exhaustive_budget: usize,
     /// Correlated duplex-arbiter cases (includes malformed probes).
     pub arbiter_budget: usize,
+    /// Code-family trait differential cases (RS/RM/IRS zoo).
+    pub families_budget: usize,
     /// Randomized analytic-vs-simulation configurations.
     pub xval_configs: usize,
     /// Monte-Carlo trials per cross-validation configuration.
@@ -72,6 +82,7 @@ impl StressConfig {
             decode_budget: budget,
             exhaustive_budget: if full { 60_000 } else { 0 },
             arbiter_budget: (budget / 10).max(200),
+            families_budget: (budget / 10).max(200),
             xval_configs: if full { 8 } else { 2 },
             xval_trials: if full { 2_500 } else { 400 },
             max_divergences: 16,
@@ -85,6 +96,7 @@ impl StressConfig {
             decode_budget: 3_000,
             exhaustive_budget: 10_000,
             arbiter_budget: 600,
+            families_budget: 800,
             xval_configs: 2,
             xval_trials: 500,
             max_divergences: 8,
@@ -92,7 +104,7 @@ impl StressConfig {
     }
 }
 
-/// Runs all three suites and collects the report.
+/// Runs all four suites and collects the report.
 pub fn run(config: &StressConfig) -> StressReport {
     let mut run_span = rsmem_obs::span("stress", "run");
     run_span.record("seed", config.seed);
@@ -100,6 +112,9 @@ pub fn run(config: &StressConfig) -> StressReport {
     let decode_seed = master.next_u64();
     let arbiter_seed = master.next_u64();
     let xval_seed = master.next_u64();
+    // Drawn *after* the original three so adding the families suite did
+    // not perturb their pinned streams.
+    let families_seed = master.next_u64();
     // Each suite gets its own timed span; the Drop at the end of the
     // block stamps the elapsed time even if the suite panics.
     let decode = {
@@ -108,6 +123,17 @@ pub fn run(config: &StressConfig) -> StressReport {
             decode_seed,
             config.decode_budget,
             config.exhaustive_budget,
+            config.max_divergences,
+        );
+        span.record("cases", report.cases);
+        span.record("divergences", report.divergences.len() as u64);
+        report
+    };
+    let families = {
+        let mut span = rsmem_obs::span("stress.families", "suite");
+        let report = families::run(
+            families_seed,
+            config.families_budget,
             config.max_divergences,
         );
         span.record("cases", report.cases);
@@ -137,6 +163,7 @@ pub fn run(config: &StressConfig) -> StressReport {
     let report = StressReport {
         seed: config.seed,
         decode,
+        families,
         arbiter,
         xval,
     };
@@ -155,6 +182,7 @@ mod tests {
             decode_budget: 300,
             exhaustive_budget: 500,
             arbiter_budget: 100,
+            families_budget: 160,
             xval_configs: 1,
             xval_trials: 200,
             max_divergences: 4,
@@ -172,6 +200,7 @@ mod tests {
             decode_budget: 100,
             exhaustive_budget: 0,
             arbiter_budget: 50,
+            families_budget: 40,
             xval_configs: 0,
             xval_trials: 0,
             max_divergences: 4,
@@ -180,6 +209,7 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("stress run, seed 0x3"));
         assert!(text.contains("decode suite:"));
+        assert!(text.contains("family suite:"));
         assert!(text.contains("divergences:   none"), "{text}");
     }
 }

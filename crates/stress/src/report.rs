@@ -49,6 +49,30 @@ pub struct DecodeReport {
     pub divergences: Vec<Divergence>,
 }
 
+/// Outcome counters for the code-family trait differential suite.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FamiliesReport {
+    /// Injection cases executed across the RS/RM/IRS zoo.
+    pub cases: u64,
+    /// Cases strictly inside the family's capability budget.
+    pub inside: u64,
+    /// Cases exactly on the budget.
+    pub on_bound: u64,
+    /// Cases beyond the budget.
+    pub beyond: u64,
+    /// Outcomes: word accepted unchanged.
+    pub clean: u64,
+    /// Outcomes: corrected back to the stored data.
+    pub corrected: u64,
+    /// Outcomes: detected-uncorrectable.
+    pub detected: u64,
+    /// Outcomes: silently decoded to *wrong* data (only legal beyond
+    /// the budget).
+    pub miscorrected: u64,
+    /// Confirmed invariant violations (shrunk).
+    pub divergences: Vec<Divergence>,
+}
+
 /// Outcome counters for the duplex-arbiter suite.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ArbiterReport {
@@ -88,6 +112,8 @@ pub struct StressReport {
     pub seed: u64,
     /// Decode-chain differential suite results.
     pub decode: DecodeReport,
+    /// Code-family trait differential suite results.
+    pub families: FamiliesReport,
     /// Duplex-arbiter suite results.
     pub arbiter: ArbiterReport,
     /// Analytic-vs-simulation cross-validation results.
@@ -97,7 +123,10 @@ pub struct StressReport {
 impl StressReport {
     /// Total confirmed divergences across all suites.
     pub fn divergence_count(&self) -> usize {
-        self.decode.divergences.len() + self.arbiter.divergences.len() + self.xval.divergences.len()
+        self.decode.divergences.len()
+            + self.families.divergences.len()
+            + self.arbiter.divergences.len()
+            + self.xval.divergences.len()
     }
 
     /// True when no suite found any invariant violation.
@@ -110,6 +139,7 @@ impl StressReport {
         self.decode
             .divergences
             .iter()
+            .chain(&self.families.divergences)
             .chain(&self.arbiter.divergences)
             .chain(&self.xval.divergences)
     }
@@ -128,6 +158,17 @@ impl fmt::Display for StressReport {
             f,
             "               outcomes: {} clean, {} corrected, {} detected, {} miscorrected",
             d.clean, d.corrected, d.detected, d.miscorrected
+        )?;
+        let fam = &self.families;
+        writeln!(
+            f,
+            "family suite:  {} cases (lattice: {} inside / {} on / {} beyond the budget)",
+            fam.cases, fam.inside, fam.on_bound, fam.beyond
+        )?;
+        writeln!(
+            f,
+            "               outcomes: {} clean, {} corrected, {} detected, {} miscorrected",
+            fam.clean, fam.corrected, fam.detected, fam.miscorrected
         )?;
         let a = &self.arbiter;
         writeln!(

@@ -35,6 +35,11 @@ fn decode_and_arbiter_corpus_replays_clean() {
         assert!(report.decode.inside > 0);
         assert!(report.decode.on_bound > 0);
         assert!(report.decode.beyond > 0);
+        // ... including through the code-family trait seam.
+        assert_eq!(report.families.cases as usize, config.families_budget);
+        assert!(report.families.inside > 0);
+        assert!(report.families.on_bound > 0);
+        assert!(report.families.beyond > 0);
         assert!(report.arbiter.guaranteed > 0);
         assert!(report.arbiter.malformed_probes > 0);
     }
@@ -62,6 +67,7 @@ fn ci_smoke_configuration_is_what_the_workflow_runs() {
     let config = StressConfig::with_budget(0xDA7E, 100_000);
     assert!(config.decode_budget >= 100_000);
     assert!(config.arbiter_budget >= 10_000);
+    assert!(config.families_budget >= 10_000);
     assert!(config.exhaustive_budget > 0);
     assert!(config.xval_configs >= 4);
 }

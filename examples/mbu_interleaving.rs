@@ -14,13 +14,11 @@ use rsmem_sim::array::{run_simplex_array, ArrayConfig};
 fn config(seu: f64, mbu_bits: u32, depth: usize) -> ArrayConfig {
     ArrayConfig {
         base: SimConfig {
-            n: 18,
-            k: 16,
-            m: 8,
             seu_per_bit_day: seu,
             erasure_per_symbol_day: 0.0,
             scrub: None,
             store_days: 2.0,
+            ..SimConfig::rs18_16_baseline()
         },
         words: 32,
         mbu_width_bits: mbu_bits,

@@ -23,6 +23,9 @@ cargo run -q --release -p rsmem-service --example service_client
 echo "==> stress smoke (pinned seed; fails on any divergence)"
 target/release/rsmem-cli stress --seed 0xDA7E --budget 100000
 
+echo "==> code-family comparison smoke (RS vs RM vs interleaved RS)"
+target/release/rsmem-cli compare --quick >/dev/null
+
 echo "==> JSON-lines tracing smoke (RSMEM_LOG=json output must be strict canonical JSON with trace IDs)"
 RSMEM_LOG=json target/release/rsmem-cli sweep fig7 --threads 2 >/dev/null 2>/tmp/rsmem_sweep_events.jsonl
 target/release/rsmem-cli check-jsonl < /tmp/rsmem_sweep_events.jsonl

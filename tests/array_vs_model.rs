@@ -11,13 +11,11 @@ use rsmem::{CodeParams, FaultRates, Scrubbing, SimConfig, SimplexModel};
 fn sim_config(seu: f64, mbu: u32, depth: usize, words: usize) -> ArrayConfig {
     ArrayConfig {
         base: SimConfig {
-            n: 18,
-            k: 16,
-            m: 8,
             seu_per_bit_day: seu,
             erasure_per_symbol_day: 0.0,
             scrub: None,
             store_days: 2.0,
+            ..SimConfig::rs18_16_baseline()
         },
         words,
         mbu_width_bits: mbu,
