@@ -554,6 +554,28 @@ pub fn run_suite(quick: bool) -> Result<BenchReport, String> {
             figure_fingerprint(id)
         })?);
     }
+    // Recorder-overhead probe: fig7 again with the flight recorder
+    // scoped on. The fingerprint must match the plain fig7 run
+    // (recording must never change results), and gating its timing
+    // against the baseline bounds the always-on recording overhead.
+    let fig7_fp = benches
+        .iter()
+        .find(|b| b.name == "fig7")
+        .map(|b| b.fingerprint);
+    let recorded = run_bench("fig7_recorder", iterations, || {
+        let _recording = rsmem_obs::recorder::enable_scoped();
+        figure_fingerprint(ExperimentId::Fig7)
+    })?;
+    if let Some(expected) = fig7_fp {
+        if recorded.fingerprint != expected {
+            return Err(format!(
+                "fig7_recorder: fingerprint {:016x} diverges from fig7's {expected:016x} \
+                 (recording changed results)",
+                recorded.fingerprint
+            ));
+        }
+    }
+    benches.push(recorded);
     benches.push(run_bench("decode_lattice", iterations, decode_lattice)?);
     decode_throughput_benches(quick, iterations, &mut benches)?;
     family_codec_benches(quick, iterations, &mut benches)?;
@@ -1009,6 +1031,19 @@ mod tests {
         let a = decode_lattice().unwrap();
         let b = decode_lattice().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recording_does_not_change_decode_results() {
+        // The suite's fig7_recorder probe relies on this invariant: the
+        // flight recorder observes the decode pipeline but never feeds
+        // back into it, so result fingerprints are recording-blind.
+        // (run_suite additionally enforces fig7_recorder == fig7; this
+        // checks the cheap lattice so the test binary stays light.)
+        let plain = decode_lattice().unwrap();
+        let _recording = rsmem_obs::recorder::enable_scoped();
+        let recorded = decode_lattice().unwrap();
+        assert_eq!(plain, recorded);
     }
 
     #[test]

@@ -12,16 +12,21 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 6] = [
+const BOOLEAN_FLAGS: [&str; 7] = [
     "--csv",
     "--duplex",
     "--plot",
     "--profile-json",
     "--quick",
+    "--trace-json",
     "--warn-timing",
 ];
 
 /// Parses `argv` into positionals and flags.
+///
+/// A bare `--` ends flag parsing: everything after it is positional
+/// (so wrapper commands like `rsmem trace -- stress --budget small`
+/// keep the wrapped command's flags intact).
 ///
 /// # Errors
 ///
@@ -30,6 +35,10 @@ pub fn parse(argv: &[String]) -> Result<Parsed, String> {
     let mut parsed = Parsed::default();
     let mut iter = argv.iter().peekable();
     while let Some(arg) = iter.next() {
+        if arg == "--" {
+            parsed.positional.extend(iter.cloned());
+            break;
+        }
         if let Some(stripped) = arg.strip_prefix("--") {
             let name = format!("--{stripped}");
             if BOOLEAN_FLAGS.contains(&name.as_str()) {
@@ -154,6 +163,25 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(parse(&argv(&["ber", "--seu"])).is_err());
+    }
+
+    #[test]
+    fn double_dash_ends_flag_parsing() {
+        let p = parse(&argv(&[
+            "trace",
+            "--trace-json",
+            "--",
+            "stress",
+            "--budget",
+            "small",
+        ]))
+        .unwrap();
+        assert!(p.has("--trace-json"));
+        assert!(!p.has("--budget"));
+        assert_eq!(p.positional, vec!["trace", "stress", "--budget", "small"]);
+        // A trailing separator is harmless.
+        let p = parse(&argv(&["trace", "--"])).unwrap();
+        assert_eq!(p.positional, vec!["trace"]);
     }
 
     #[test]

@@ -20,6 +20,8 @@ USAGE:
   rsmem experiment <id> [--csv|--plot] regenerate a paper artifact
   rsmem sweep <id> [--csv|--plot]     like experiment, with progress + tracing
   rsmem profile <cmd ...>             run any command under the self-profiler
+  rsmem trace [--] <cmd ...>          run any command under the flight
+                                      recorder; print the event timeline
   rsmem bench [flags]                 benchmark suite → BENCH_<date>.json
   rsmem bench --compare OLD NEW       gate a new report against a baseline
   rsmem ber [flags]                   analytic BER(t) curve
@@ -75,12 +77,17 @@ COMPARE FLAGS:
 
 STRESS FLAGS:
   --seed S                corpus seed, decimal or 0x-hex (default: 0xDA7E)
-  --budget N              random decode cases; arbiter/exhaustive/x-val
-                          budgets scale from it (default: 100000)
+  --budget N|small|full   random decode cases; arbiter/exhaustive/x-val
+                          budgets scale from it (default: full = 100000;
+                          small = 2000 for CI smoke)
 
 PROFILE FLAGS:
   --profile-json          emit the call tree as canonical JSON (suppresses
                           the wrapped command's own output)
+
+TRACE FLAGS:
+  --trace-json            emit the `rsmem-trace/1` canonical-JSON document
+                          (suppresses the wrapped command's own output)
 
 BENCH FLAGS:
   --quick                 CI smoke mode: fewer iterations, fig5+fig7 only
@@ -126,6 +133,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         Some("stress") => cmd_stress(&parsed),
         Some("serve") => cmd_serve(&parsed),
         Some("profile") => cmd_profile(argv, &parsed),
+        Some("trace") => cmd_trace(argv, &parsed),
         Some("bench") => cmd_bench(&parsed),
         Some(other) => Err(format!("unknown command {other:?}")),
     }
@@ -371,6 +379,10 @@ fn cmd_simulate(parsed: &Parsed) -> Result<String, String> {
     let trials = parsed.usize_flag("--trials", 1000)?;
     let seed = parsed.u64_flag("--seed", 42)?;
     let par = parallelism_from(parsed)?;
+    // Under `rsmem trace` the MC shards freeze silent-corruption and
+    // arbiter-reject exemplars; the wrapping timeline renders them, so
+    // the summary itself stays byte-identical for equal (seed, trials)
+    // regardless of recorder state or thread count.
     let report = system
         .monte_carlo_with(
             Time::from_days(days),
@@ -383,23 +395,54 @@ fn cmd_simulate(parsed: &Parsed) -> Result<String, String> {
     Ok(format!("{report}\n"))
 }
 
+/// Parses `--budget N|small|full`: named tiers for scripts and CI
+/// (`small` = 2 000 for smoke runs, `full` = the 100 000 default) or an
+/// explicit case count.
+fn stress_budget(parsed: &Parsed) -> Result<usize, String> {
+    match parsed.value("--budget") {
+        None | Some("full") => Ok(100_000),
+        Some("small") => Ok(2_000),
+        Some(_) => parsed.usize_flag("--budget", 100_000),
+    }
+}
+
+/// Renders every exemplar the flight recorder froze during a run, as a
+/// ready-to-paste block appended to a failing command's output.
+fn render_captured_exemplars() -> String {
+    let snapshot = rsmem_obs::recorder::snapshot();
+    if snapshot.exemplars.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("\ncaptured failure exemplars:\n");
+    for exemplar in &snapshot.exemplars {
+        out.push_str(&rsmem_obs::recorder::render_exemplar_text(exemplar));
+    }
+    out
+}
+
 fn cmd_stress(parsed: &Parsed) -> Result<String, String> {
     let seed = parsed.u64_flag("--seed", 0xDA7E)?;
-    let budget = parsed.usize_flag("--budget", 100_000)?;
+    let budget = stress_budget(parsed)?;
     let config = rsmem_stress::StressConfig::with_budget(seed, budget);
     // One trace ID for the whole run ties the per-suite spans and the
     // solver spans of the x-val stage together.
     let _trace = trace_scope(next_trace_id());
+    // Capture failure exemplars even outside `rsmem trace`, so a
+    // divergence always comes with its forensics attached. Snapshots
+    // here never reset — a wrapping `rsmem trace` sees the same events.
+    let recording = rsmem_obs::recorder::enable_scoped();
     let report = rsmem_stress::run(&config);
+    drop(recording);
     let text = report.to_string();
     if report.is_clean() {
         Ok(text)
     } else {
         // Divergences are a hard failure: print the full report (with
-        // the minimized repros) through the error channel so scripts
-        // and CI fail loudly.
+        // the minimized repros and the recorder's frozen exemplars)
+        // through the error channel so scripts and CI fail loudly.
         Err(format!(
-            "{text}\nstress: {} divergence(s) found",
+            "{text}{}\nstress: {} divergence(s) found",
+            render_captured_exemplars(),
             report.divergence_count()
         ))
     }
@@ -485,6 +528,69 @@ fn cmd_profile(argv: &[String], parsed: &Parsed) -> Result<String, String> {
         );
         out.push_str(&snapshot.render_text());
         Ok(out)
+    }
+}
+
+/// `rsmem trace [--] <cmd ...>` — re-dispatches the wrapped command with
+/// the flight recorder enabled, then replays the ring as a
+/// trace-id-grouped timeline with the frozen failure exemplars attached.
+/// `--trace-json` swaps the text tree (appended after the wrapped
+/// command's output) for the canonical-JSON `rsmem-trace/1` document
+/// alone. When the wrapped command fails, the timeline is appended to
+/// its error so the forensics still surface.
+fn cmd_trace(argv: &[String], parsed: &Parsed) -> Result<String, String> {
+    // The inner argv is everything except the leading `trace` token, the
+    // recorder's own flags and the conventional `--` separator.
+    let mut inner: Vec<String> = Vec::with_capacity(argv.len());
+    let mut stripped_command = false;
+    for arg in argv {
+        if !stripped_command && arg == "trace" {
+            stripped_command = true;
+            continue;
+        }
+        if arg == "--trace-json" {
+            continue;
+        }
+        if inner.is_empty() && arg == "--" {
+            continue;
+        }
+        inner.push(arg.clone());
+    }
+    match inner.first().map(String::as_str) {
+        None => {
+            return Err(
+                "trace requires a command to wrap (e.g. `rsmem trace -- stress --budget small`)"
+                    .to_owned(),
+            )
+        }
+        Some("trace") => return Err("trace cannot wrap itself".to_owned()),
+        Some(_) => {}
+    }
+    let recording = rsmem_obs::recorder::enable_scoped();
+    // Start from a fresh epoch so the timeline covers this run alone.
+    let _ = rsmem_obs::recorder::snapshot_and_reset();
+    let result = dispatch(&inner);
+    let snapshot = rsmem_obs::recorder::snapshot_and_reset();
+    drop(recording);
+    let rendered = if parsed.has("--trace-json") {
+        format!("{}\n", rsmem_obs::recorder::to_json(&snapshot).encode())
+    } else {
+        rsmem_obs::recorder::render_text(&snapshot)
+    };
+    match result {
+        Ok(inner_output) => {
+            if parsed.has("--trace-json") {
+                Ok(rendered)
+            } else {
+                let mut out = inner_output;
+                if !out.is_empty() && !out.ends_with('\n') {
+                    out.push('\n');
+                }
+                out.push_str(&rendered);
+                Ok(out)
+            }
+        }
+        Err(e) => Err(format!("{e}\n{rendered}")),
     }
 }
 
@@ -948,6 +1054,53 @@ mod tests {
     fn serve_rejects_unbindable_addresses() {
         assert!(run_cli(&["serve", "--addr", "not-an-address"]).is_err());
         assert!(run_cli(&["serve", "--cache-cap", "lots"]).is_err());
+    }
+
+    #[test]
+    fn trace_requires_a_wrappable_command() {
+        assert!(run_cli(&["trace"]).is_err());
+        assert!(run_cli(&["trace", "--"]).is_err());
+        assert!(run_cli(&["trace", "trace", "list"]).is_err());
+        // Errors of the wrapped command surface, with the timeline
+        // appended for forensics.
+        let err = run_cli(&["trace", "frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+        assert!(err.contains("flight recorder:"), "{err}");
+    }
+
+    #[test]
+    fn trace_stress_captures_miscorrection_exemplars() {
+        // The stress lattice legally miscorrects beyond-bound cases;
+        // forensics mode must freeze them with their repro attached.
+        let out = run_cli(&["trace", "--", "stress", "--budget", "small"]).unwrap();
+        assert!(out.contains("stress run"), "{out}");
+        assert!(out.contains("flight recorder: epoch"), "{out}");
+        assert!(out.contains("miscorrection"), "{out}");
+        assert!(
+            out.contains("#[test]"),
+            "ready-to-paste repro missing:\n{out}"
+        );
+
+        // The JSON form is the canonical `rsmem-trace/1` document and
+        // carries the same exemplar forensics.
+        let json_out =
+            run_cli(&["trace", "--trace-json", "--", "stress", "--budget", "500"]).unwrap();
+        let doc = rsmem_obs::json::parse(json_out.trim()).expect("canonical JSON");
+        assert_eq!(
+            doc.get("schema").and_then(rsmem_obs::json::Value::as_str),
+            Some("rsmem-trace/1")
+        );
+        let exemplars = match doc.get("exemplars") {
+            Some(rsmem_obs::json::Value::Array(list)) => list,
+            other => panic!("exemplars array missing: {other:?}"),
+        };
+        assert!(
+            exemplars.iter().any(|e| {
+                e.get("kind").and_then(rsmem_obs::json::Value::as_str) == Some("miscorrection")
+            }),
+            "{json_out}"
+        );
+        assert!(json_out.contains("\"events\":"), "{json_out}");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::syndrome::syndromes;
 use crate::{CodeError, RsCode};
 use rsmem_gf::{Poly, Symbol};
 use rsmem_obs::metrics::{global, Counter};
+use rsmem_obs::recorder;
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -260,8 +261,83 @@ pub(crate) fn decode_word(
             }
             DecodeOutcome::Failure(_) => metrics.failure.inc(),
         }
+        if recorder::enabled() {
+            record_decode_outcome(code, word, erasures, backend, outcome);
+        }
     }
     result
+}
+
+/// A compact spec for the code, matching the stress repro convention
+/// (`first_root` appended when it differs from the default 1).
+pub(crate) fn code_spec(code: &RsCode) -> String {
+    let base = format!("rs:{},{},{}", code.n(), code.k(), code.symbol_bits());
+    if code.first_root() == 1 {
+        base
+    } else {
+        format!("{base} b0={}", code.first_root())
+    }
+}
+
+/// Outcome code carried in the flight-record `a` word.
+fn outcome_code(outcome: &DecodeOutcome) -> u64 {
+    match outcome {
+        DecodeOutcome::Clean { .. } => 0,
+        DecodeOutcome::Corrected { .. } => 1,
+        DecodeOutcome::Failure(f) => {
+            2 + match f {
+                DecodeFailure::TooManyErasures { .. } => 0,
+                DecodeFailure::KeyEquation => 1,
+                DecodeFailure::CapabilityExceeded { .. } => 2,
+                DecodeFailure::RootCountMismatch => 3,
+                DecodeFailure::Unverified => 4,
+            }
+        }
+    }
+}
+
+/// Flight-recorder tap on the per-word decode path (both back-ends and
+/// the batch plane's escalations all funnel through [`decode_word`]).
+/// Every outcome leaves a ring record (`a` = [`outcome_code`], `b` =
+/// corrections applied); a detected failure additionally offers a
+/// `decode-failure` exemplar carrying the exact word, erasure pattern
+/// and recomputed syndromes — cheap because failures are the rare path.
+fn record_decode_outcome(
+    code: &RsCode,
+    word: &[Symbol],
+    erasures: &[usize],
+    backend: DecoderBackend,
+    outcome: &DecodeOutcome,
+) {
+    let name = match backend {
+        DecoderBackend::Sugiyama => "sugiyama",
+        DecoderBackend::BerlekampMassey => "berlekamp-massey",
+    };
+    let corrections = match outcome {
+        DecodeOutcome::Corrected { corrections, .. } => corrections.len() as u64,
+        _ => 0,
+    };
+    recorder::record_event(
+        recorder::RecordKind::Decode,
+        "code.decode",
+        name,
+        outcome_code(outcome),
+        corrections,
+    );
+    if let DecodeOutcome::Failure(failure) = outcome {
+        recorder::record_exemplar_with("decode-failure", || recorder::Exemplar {
+            code: code_spec(code),
+            word: word.iter().map(|&s| u32::from(s)).collect(),
+            erasures: erasures.iter().map(|&p| p as u32).collect(),
+            syndromes: syndromes(code, word)
+                .iter()
+                .map(|&s| u32::from(s))
+                .collect(),
+            verdicts: vec![format!("{backend}: Failure({failure})")],
+            detail: failure.to_string(),
+            ..recorder::Exemplar::default()
+        });
+    }
 }
 
 fn decode_word_inner(

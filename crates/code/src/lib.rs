@@ -60,6 +60,7 @@ pub use decode::{register_metrics, Correction, DecodeFailure, DecodeOutcome, Dec
 pub use error::CodeError;
 pub use interleave::Interleaver;
 pub use lfsr::LfsrEncoder;
+pub use syndrome::syndromes;
 
 /// Re-export of the symbol type used for codeword entries.
 pub use rsmem_gf::Symbol;

@@ -9,7 +9,7 @@ use rsmem_gf::Symbol;
 /// of the received word `r`.
 ///
 /// All syndromes are zero iff `r` is a codeword.
-pub(crate) fn syndromes(code: &RsCode, word: &[Symbol]) -> Vec<Symbol> {
+pub fn syndromes(code: &RsCode, word: &[Symbol]) -> Vec<Symbol> {
     let mut out = Vec::with_capacity(code.parity_symbols());
     for table in code.syndrome_tables() {
         // Horner evaluation of the received polynomial at α^{b+j},

@@ -81,29 +81,15 @@ impl InterleavedRs {
         }
         split
     }
-}
 
-impl MemoryCode for InterleavedRs {
-    fn params(&self) -> CodeParams {
-        self.params
-    }
-
-    fn encode(&self, data: &[Symbol]) -> Result<Vec<Symbol>, CodeError> {
-        if data.len() != self.params.k() {
-            return Err(CodeError::DatawordLength {
-                got: data.len(),
-                expected: self.params.k(),
-            });
-        }
-        let words = self
-            .split_data(data)
-            .iter()
-            .map(|d| self.inner.encode(d))
-            .collect::<Result<Vec<_>, _>>()?;
-        self.interleaver.interleave(&words)
-    }
-
-    fn decode(&self, word: &[Symbol], erasures: &[usize]) -> Result<DecodeOutcome, CodeError> {
+    /// Deinterleave → per-constituent decode → recombine; the
+    /// [`MemoryCode::decode`] wrapper adds the `code.irs` span and
+    /// outcome bookkeeping.
+    fn decode_constituents(
+        &self,
+        word: &[Symbol],
+        erasures: &[usize],
+    ) -> Result<DecodeOutcome, CodeError> {
         let (n, depth) = (self.params.n(), self.depth());
         self.check_len(word.len(), n)?;
         for &p in erasures {
@@ -161,6 +147,38 @@ impl MemoryCode for InterleavedRs {
                 corrections,
             })
         }
+    }
+}
+
+impl MemoryCode for InterleavedRs {
+    fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    fn encode(&self, data: &[Symbol]) -> Result<Vec<Symbol>, CodeError> {
+        if data.len() != self.params.k() {
+            return Err(CodeError::DatawordLength {
+                got: data.len(),
+                expected: self.params.k(),
+            });
+        }
+        let words = self
+            .split_data(data)
+            .iter()
+            .map(|d| self.inner.encode(d))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.interleaver.interleave(&words)
+    }
+
+    fn decode(&self, word: &[Symbol], erasures: &[usize]) -> Result<DecodeOutcome, CodeError> {
+        let mut span = rsmem_obs::span("code.irs", "decode");
+        span.record("erasures", erasures.len() as u64);
+        let result = self.decode_constituents(word, erasures);
+        if let Ok(outcome) = &result {
+            crate::metrics::record_outcome("irs", outcome);
+            crate::metrics::record_decode_event("code.irs", "interleaved", outcome);
+        }
+        result
     }
 
     fn data_of<'w>(&self, word: &'w [Symbol]) -> Result<Cow<'w, [Symbol]>, CodeError> {

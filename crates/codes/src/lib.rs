@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod irs;
+mod metrics;
 mod rm;
 mod rs;
 

@@ -133,48 +133,14 @@ impl ReedMuller {
             data[0] ^= 1;
         }
     }
-}
 
-impl MemoryCode for ReedMuller {
-    fn params(&self) -> CodeParams {
-        self.params
-    }
-
-    fn encode(&self, data: &[Symbol]) -> Result<Vec<Symbol>, CodeError> {
-        let (n, k) = (self.params.n(), self.params.k());
-        if data.len() != k {
-            return Err(CodeError::DatawordLength {
-                got: data.len(),
-                expected: k,
-            });
-        }
-        if let Some(idx) = data.iter().position(|&s| s > 1) {
-            return Err(CodeError::SymbolOutOfRange {
-                index: idx,
-                value: data[idx] as u32,
-            });
-        }
-        let word = (0..n)
-            .map(|p| {
-                let mut bit = data[0];
-                for i in 0..self.r as usize {
-                    bit ^= data[i + 1] & ((p >> i) & 1) as Symbol;
-                }
-                bit
-            })
-            .collect();
-        Ok(word)
-    }
-
-    /// Reed's majority-logic decoder with erasure exclusion.
-    ///
-    /// Each linear coefficient `a_i` is the majority over the
-    /// `2^(r−1)` disjoint vote pairs `w[p] ⊕ w[p ⊕ 2^(i−1)]`; votes
-    /// touching an erased position are excluded, which keeps the
-    /// majority correct whenever `e + 2t ≤ d − 1`. The constant `a0` is
-    /// the majority of the word with the linear part stripped. Ties and
-    /// claims beyond the bounded-distance budget are detected failures.
-    fn decode(&self, word: &[Symbol], erasures: &[usize]) -> Result<DecodeOutcome, CodeError> {
+    /// Reed's majority-logic core; the [`MemoryCode::decode`] wrapper
+    /// adds the `code.rm` span and outcome bookkeeping.
+    fn majority_decode(
+        &self,
+        word: &[Symbol],
+        erasures: &[usize],
+    ) -> Result<DecodeOutcome, CodeError> {
         self.check_word(word)?;
         self.check_erasures(erasures)?;
         let n = self.params.n();
@@ -248,6 +214,57 @@ impl MemoryCode for ReedMuller {
                 corrections,
             })
         }
+    }
+}
+
+impl MemoryCode for ReedMuller {
+    fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    fn encode(&self, data: &[Symbol]) -> Result<Vec<Symbol>, CodeError> {
+        let (n, k) = (self.params.n(), self.params.k());
+        if data.len() != k {
+            return Err(CodeError::DatawordLength {
+                got: data.len(),
+                expected: k,
+            });
+        }
+        if let Some(idx) = data.iter().position(|&s| s > 1) {
+            return Err(CodeError::SymbolOutOfRange {
+                index: idx,
+                value: data[idx] as u32,
+            });
+        }
+        let word = (0..n)
+            .map(|p| {
+                let mut bit = data[0];
+                for i in 0..self.r as usize {
+                    bit ^= data[i + 1] & ((p >> i) & 1) as Symbol;
+                }
+                bit
+            })
+            .collect();
+        Ok(word)
+    }
+
+    /// Reed's majority-logic decoder with erasure exclusion.
+    ///
+    /// Each linear coefficient `a_i` is the majority over the
+    /// `2^(r−1)` disjoint vote pairs `w[p] ⊕ w[p ⊕ 2^(i−1)]`; votes
+    /// touching an erased position are excluded, which keeps the
+    /// majority correct whenever `e + 2t ≤ d − 1`. The constant `a0` is
+    /// the majority of the word with the linear part stripped. Ties and
+    /// claims beyond the bounded-distance budget are detected failures.
+    fn decode(&self, word: &[Symbol], erasures: &[usize]) -> Result<DecodeOutcome, CodeError> {
+        let mut span = rsmem_obs::span("code.rm", "decode");
+        span.record("erasures", erasures.len() as u64);
+        let result = self.majority_decode(word, erasures);
+        if let Ok(outcome) = &result {
+            crate::metrics::record_outcome("rm", outcome);
+            crate::metrics::record_decode_event("code.rm", "majority-logic", outcome);
+        }
+        result
     }
 
     fn data_of<'w>(&self, word: &'w [Symbol]) -> Result<Cow<'w, [Symbol]>, CodeError> {

@@ -60,7 +60,13 @@ impl MemoryCode for RsAdapter {
     }
 
     fn decode(&self, word: &[Symbol], erasures: &[usize]) -> Result<DecodeOutcome, CodeError> {
-        self.inner.decode(word, erasures)
+        // Recorder events and solver metrics come from `decode_word`
+        // inside `RsCode`; the trait layer only adds the family label.
+        let result = self.inner.decode(word, erasures);
+        if let Ok(outcome) = &result {
+            crate::metrics::record_outcome("rs", outcome);
+        }
+        result
     }
 
     fn data_of<'w>(&self, word: &'w [Symbol]) -> Result<Cow<'w, [Symbol]>, CodeError> {
@@ -73,7 +79,15 @@ impl MemoryCode for RsAdapter {
         erasures: &[Vec<usize>],
         out: &mut Vec<BatchOutcome>,
     ) -> Result<(), CodeError> {
-        BatchDecoder::new().decode_batch(&self.inner, words, erasures, &DecodeOpts::default(), out)
+        BatchDecoder::new().decode_batch(
+            &self.inner,
+            words,
+            erasures,
+            &DecodeOpts::default(),
+            out,
+        )?;
+        crate::metrics::record_batch("rs", out);
+        Ok(())
     }
 
     fn complexity_model(&self) -> ComplexityRow {
@@ -105,7 +119,11 @@ impl MemoryCode for RsCode {
     }
 
     fn decode(&self, word: &[Symbol], erasures: &[usize]) -> Result<DecodeOutcome, CodeError> {
-        RsCode::decode(self, word, erasures)
+        let result = RsCode::decode(self, word, erasures);
+        if let Ok(outcome) = &result {
+            crate::metrics::record_outcome("rs", outcome);
+        }
+        result
     }
 
     fn data_of<'w>(&self, word: &'w [Symbol]) -> Result<Cow<'w, [Symbol]>, CodeError> {
@@ -118,7 +136,9 @@ impl MemoryCode for RsCode {
         erasures: &[Vec<usize>],
         out: &mut Vec<BatchOutcome>,
     ) -> Result<(), CodeError> {
-        BatchDecoder::new().decode_batch(self, words, erasures, &DecodeOpts::default(), out)
+        BatchDecoder::new().decode_batch(self, words, erasures, &DecodeOpts::default(), out)?;
+        crate::metrics::record_batch("rs", out);
+        Ok(())
     }
 
     fn complexity_model(&self) -> ComplexityRow {

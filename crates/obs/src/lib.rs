@@ -27,6 +27,13 @@
 //!   with the same zero-allocation disabled path as the event pipeline.
 //!   Surfaced as `rsmem profile …` reports and the service's
 //!   `GET /debug/profile` endpoint.
+//! * [`recorder`] — an always-on flight recorder: lock-free per-thread
+//!   ring buffers of compact binary event records (span open/close,
+//!   decode outcomes, arbiter decisions) plus a reservoir-sampled
+//!   failure-exemplar channel, for post-hoc forensics on the rare
+//!   events the aggregates only count. Surfaced as `rsmem trace …`
+//!   timelines and the service's `GET /debug/flightrecorder` endpoint,
+//!   with the same zero-allocation disabled path as the other systems.
 //!
 //! Trace IDs flow through a thread-local: [`log::trace_scope`]
 //! establishes the current ID, worker pools capture and re-establish it
@@ -41,6 +48,7 @@ pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
+pub mod recorder;
 
 pub use log::{event, span, span_at, Level, LogConfig, LogFormat, Sink, Span};
 pub use metrics::{build_info, global, register_build_info, Counter, Gauge, Histogram, Registry};

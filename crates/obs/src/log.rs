@@ -329,6 +329,9 @@ struct SpanData {
     log: bool,
     /// Open profiler frame, when profiling is enabled.
     prof: Option<crate::profile::Frame>,
+    /// True when the flight recorder captured the open and must see the
+    /// close.
+    rec: bool,
 }
 
 /// Starts a [`Level::Debug`] span (the level solver instrumentation
@@ -338,13 +341,18 @@ pub fn span(target: &'static str, name: &'static str) -> Span {
 }
 
 /// Starts a span at an explicit level. Every span doubles as a
-/// [`crate::profile`] probe: if profiling is enabled the span is timed
-/// and aggregated even when logging would drop it. With both systems
-/// off the cost is two relaxed atomic loads and zero allocations.
+/// [`crate::profile`] probe and a [`crate::recorder`] event pair: if
+/// profiling or recording is enabled the span is timed even when
+/// logging would drop it. With all three systems off the cost is three
+/// relaxed atomic loads and zero allocations.
 pub fn span_at(level: Level, target: &'static str, name: &'static str) -> Span {
     let log = enabled(level, target);
     let prof = crate::profile::enter(target, name);
-    if log || prof.is_some() {
+    let rec = crate::recorder::enabled();
+    if log || prof.is_some() || rec {
+        if rec {
+            crate::recorder::record_span_open(target, name);
+        }
         Span(Some(SpanData {
             record: Record {
                 level,
@@ -355,6 +363,7 @@ pub fn span_at(level: Level, target: &'static str, name: &'static str) -> Span {
             start: Instant::now(),
             log,
             prof,
+            rec,
         }))
     } else {
         Span(None)
@@ -394,6 +403,9 @@ impl Drop for Span {
             let elapsed = u64::try_from(data.start.elapsed().as_micros()).unwrap_or(u64::MAX);
             if let Some(frame) = data.prof {
                 crate::profile::exit(frame, elapsed);
+            }
+            if data.rec {
+                crate::recorder::record_span_close(data.record.target, data.record.name, elapsed);
             }
             if data.log {
                 write_record(&data.record, Some(elapsed));
@@ -474,6 +486,12 @@ pub fn parse_trace_id(s: &str) -> Option<u64> {
 fn process_start() -> Instant {
     static START: OnceLock<Instant> = OnceLock::new();
     *START.get_or_init(Instant::now)
+}
+
+/// Microseconds since process start — the timestamp base shared by log
+/// records and flight-recorder records, so the two streams line up.
+pub(crate) fn ts_now_us() -> u64 {
+    u64::try_from(process_start().elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 fn write_record(record: &Record, elapsed_us: Option<u64>) {

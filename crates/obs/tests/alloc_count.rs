@@ -38,11 +38,13 @@ fn disabled_events_and_spans_allocate_nothing() {
     // a trace scope.
     let _trace = trace_scope(0x1234_5678);
 
-    // Spans also double as profiler probes (PR 5). Profiling is never
-    // enabled in this binary, so its gate — one more relaxed atomic
-    // load inside `span_at` — must not allocate either; the span loop
-    // below covers the combined disabled path.
+    // Spans also double as profiler probes (PR 5) and flight-recorder
+    // event pairs (PR 8). Neither is ever enabled in this binary, so
+    // their gates — two more relaxed atomic loads inside `span_at` —
+    // must not allocate either; the span loop below covers the combined
+    // disabled path.
     assert!(!rsmem_obs::profile::is_enabled());
+    assert!(!rsmem_obs::recorder::enabled());
 
     // Warm up thread-locals and lazy statics outside the measured region.
     event(Level::Error, "warmup", "warmup")
@@ -72,6 +74,21 @@ fn disabled_events_and_spans_allocate_nothing() {
 
         // Profiler-side scope reads are thread-local Cell ops.
         let _ = rsmem_obs::profile::current_node();
+
+        // Disabled recorder hooks must bail on the gate before touching
+        // rings, interning or reservoirs — including the exemplar path,
+        // whose builder closure must never run.
+        rsmem_obs::recorder::record_event(
+            rsmem_obs::recorder::RecordKind::Decode,
+            "hot.path",
+            "solve",
+            i,
+            0,
+        );
+        let kept = rsmem_obs::recorder::record_exemplar_with("decode-failure", || {
+            panic!("exemplar builder must not run while disabled")
+        });
+        assert!(!kept);
     }
 
     let after = ALLOCATIONS.load(Ordering::Relaxed);

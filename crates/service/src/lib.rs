@@ -14,6 +14,7 @@
 //! | `GET /v1/experiments/{id}` | a regenerated paper figure/table, JSON or CSV (`?format=` / `Accept`) |
 //! | `GET /healthz` | liveness |
 //! | `GET /metrics` | Prometheus-style counters, gauges, histograms |
+//! | `GET /debug/flightrecorder` | flight-recorder timeline + failure exemplars (`?reset=1` starts a new epoch) |
 //!
 //! ## Thread model
 //!
@@ -124,6 +125,11 @@ impl Server {
         // it powers `GET /debug/profile` + the summary series in
         // `/metrics` without any restart-with-a-flag dance.
         rsmem_obs::profile::set_enabled(true);
+        // Likewise the flight recorder: fixed-capacity per-thread rings
+        // and an O(1) reservoir, so a service incident can always be
+        // reconstructed from `GET /debug/flightrecorder`.
+        rsmem_obs::recorder::set_enabled(true);
+        install_panic_forensics();
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let worker_count = if config.workers == 0 {
@@ -322,7 +328,9 @@ fn route(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
         ),
         ("GET", "/metrics") => ("metrics", Response::text(200, render_metrics(ctx))),
         ("GET", "/debug/profile") => ("profile", handle_profile(request)),
-        ("GET", "/v1/analyze") | ("POST", "/healthz" | "/metrics" | "/debug/profile") => (
+        ("GET", "/debug/flightrecorder") => ("flightrecorder", handle_flightrecorder(request)),
+        ("GET", "/v1/analyze")
+        | ("POST", "/healthz" | "/metrics" | "/debug/profile" | "/debug/flightrecorder") => (
             "other",
             Response::json(405, error_body("method not allowed for this route")),
         ),
@@ -355,6 +363,48 @@ fn handle_profile(request: &Request) -> Response {
         rsmem_obs::profile::snapshot()
     };
     Response::json(200, snapshot.to_json().encode())
+}
+
+/// `GET /debug/flightrecorder` — the recorder's event rings and frozen
+/// failure exemplars as the canonical `rsmem-trace/1` document.
+/// `?reset=1` (or `true`) snapshots **and** starts a new epoch, the
+/// same disjoint-scrape semantics as `/debug/profile`.
+fn handle_flightrecorder(request: &Request) -> Response {
+    let reset = matches!(request.query_param("reset"), Some("1" | "true"));
+    let snapshot = if reset {
+        rsmem_obs::recorder::snapshot_and_reset()
+    } else {
+        rsmem_obs::recorder::snapshot()
+    };
+    Response::json(200, rsmem_obs::recorder::to_json(&snapshot).encode())
+}
+
+/// Installs a process-wide panic hook (once) that freezes a `panic`
+/// exemplar and dumps the recorder's recent history to stderr before
+/// the default hook runs — a crashing worker leaves its forensics
+/// behind even if the process dies.
+fn install_panic_forensics() {
+    static INSTALLED: std::sync::Once = std::sync::Once::new();
+    INSTALLED.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if rsmem_obs::recorder::enabled() {
+                let detail = info.to_string();
+                rsmem_obs::recorder::record_exemplar_with("panic", || {
+                    rsmem_obs::recorder::Exemplar {
+                        detail: detail.clone(),
+                        ..Default::default()
+                    }
+                });
+                eprintln!("rsmem-service: panic captured by flight recorder: {detail}");
+                eprint!(
+                    "{}",
+                    rsmem_obs::recorder::render_text(&rsmem_obs::recorder::snapshot())
+                );
+            }
+            previous(info);
+        }));
+    });
 }
 
 fn handle_analyze(request: &Request, ctx: &Ctx) -> Response {

@@ -523,3 +523,68 @@ fn debug_profile_exposes_call_tree_and_reset_epochs() {
     assert_eq!(status, 405);
     server.shutdown();
 }
+
+#[test]
+fn debug_flightrecorder_replays_request_timeline() {
+    let server = boot(ServiceConfig::default());
+    let addr = server.local_addr();
+
+    // Any handled request writes span records into the recorder rings
+    // (Server::bind enables the flight recorder for the process).
+    let (status, _, _) = post_analyze(addr, r#"{"points": 4}"#);
+    assert_eq!(status, 200);
+
+    let (status, _, body) = get(addr, "/debug/flightrecorder");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"schema\":\"rsmem-trace/1\""), "{body}");
+    assert!(body.contains("\"events\":"), "{body}");
+    assert!(
+        body.contains("\"target\":\"service.http\"") && body.contains("\"name\":\"request\""),
+        "request span events missing in:\n{body}"
+    );
+    // Request events carry their trace id so the timeline groups per
+    // request, matching the `trace_id` echoed in logs and headers.
+    assert!(body.contains("\"trace_id\":\""), "{body}");
+
+    // ?reset=1 mirrors /debug/profile: the response still holds the
+    // pre-reset data and a later scrape starts a fresh epoch. Recorder
+    // state is process-wide and other tests run concurrently, so only
+    // assert monotone-safe facts.
+    let (status, _, body) = get(addr, "/debug/flightrecorder?reset=1");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"schema\":\"rsmem-trace/1\""), "{body}");
+    let (status, _, body) = get(addr, "/debug/flightrecorder");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"epoch\":"), "{body}");
+
+    // Wrong method is a 405, like the other fixed routes.
+    let (status, _, _) = request(addr, "POST", "/debug/flightrecorder", "", "");
+    assert_eq!(status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn debug_flightrecorder_serves_failure_exemplars() {
+    let server = boot(ServiceConfig::default());
+    let addr = server.local_addr();
+
+    // An in-process stress run stands in for decode incidents inside
+    // the service host: beyond-bound lattice cases legally miscorrect,
+    // so the (process-wide, bind-enabled) recorder freezes exemplars.
+    let report = rsmem_stress::run(&rsmem_stress::StressConfig::with_budget(0xDA7E, 500));
+    assert!(report.is_clean(), "stress run diverged: {report:?}");
+
+    let (status, _, body) = get(addr, "/debug/flightrecorder");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"exemplars\":"), "{body}");
+    assert!(
+        body.contains("\"kind\":\"miscorrection\""),
+        "miscorrection exemplar missing in:\n{body}"
+    );
+    // The exemplar is a full repro: code params, the injected word,
+    // its syndromes, both back-ends' verdicts and a pastable test.
+    for field in ["\"code\":", "\"word\":", "\"syndromes\":", "\"repro\":"] {
+        assert!(body.contains(field), "{field} missing in:\n{body}");
+    }
+    server.shutdown();
+}

@@ -23,6 +23,7 @@
 
 use rsmem_code::{BatchOutcome, CodeError, DecodeOutcome, Symbol};
 use rsmem_codes::MemoryCode;
+use rsmem_obs::recorder;
 use std::borrow::Cow;
 
 /// The arbiter's verdict for one read access.
@@ -69,6 +70,34 @@ pub enum ArbiterBranch {
 /// be in range and unique. (Symbol-range checks are left to the decoder,
 /// which sees every masked symbol anyway.)
 fn validate_module<C: MemoryCode + ?Sized>(
+    code: &C,
+    word: &[Symbol],
+    erasures: &[usize],
+) -> Result<(), CodeError> {
+    let result = validate_module_inner(code, word, erasures);
+    if let Err(error) = &result {
+        // A malformed module is a service incident, not a decode event:
+        // freeze exactly what the caller handed us.
+        if recorder::enabled() {
+            recorder::record_exemplar_with("arbiter-reject", || recorder::Exemplar {
+                code: format!(
+                    "{}:{},{},{}",
+                    code.params().family().name(),
+                    code.n(),
+                    code.k(),
+                    code.symbol_bits()
+                ),
+                word: word.iter().map(|&s| u32::from(s)).collect(),
+                erasures: erasures.iter().map(|&p| p as u32).collect(),
+                detail: error.to_string(),
+                ..recorder::Exemplar::default()
+            });
+        }
+    }
+    result
+}
+
+fn validate_module_inner<C: MemoryCode + ?Sized>(
     code: &C,
     word: &[Symbol],
     erasures: &[usize],
@@ -240,6 +269,26 @@ pub(crate) fn combine(v1: WordVerdict<'_>, v2: WordVerdict<'_>) -> ArbiterOutput
             ArbiterBranch::UnflaggedWins => metrics.unflagged_wins.inc(),
             ArbiterBranch::SingleSurvivor => metrics.single_survivor.inc(),
         },
+    }
+    if recorder::enabled() {
+        // `a` encodes the branch (0 = no output), `b` whether data came
+        // out — the decisions a post-incident timeline replays.
+        let (name, a) = match &verdict {
+            ArbiterOutput::NoOutput => ("no_output", 0),
+            ArbiterOutput::Data { branch, .. } => match branch {
+                ArbiterBranch::NoFlags => ("no_flags", 1),
+                ArbiterBranch::EqualFlagged => ("equal_flagged", 2),
+                ArbiterBranch::UnflaggedWins => ("unflagged_wins", 3),
+                ArbiterBranch::SingleSurvivor => ("single_survivor", 4),
+            },
+        };
+        recorder::record_event(
+            recorder::RecordKind::Arbiter,
+            "sim.arbiter",
+            name,
+            a,
+            u64::from(verdict.data().is_some()),
+        );
     }
     verdict
 }

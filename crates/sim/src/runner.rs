@@ -18,6 +18,7 @@ use rand::SeedableRng;
 use rsmem_code::{BatchOutcome, Symbol};
 use rsmem_codes::MemoryCode;
 use rsmem_obs::log::{current_trace_id, trace_scope};
+use rsmem_obs::recorder;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -253,6 +254,36 @@ fn classify_simplex<C: MemoryCode + ?Sized>(
     }
 }
 
+/// The exemplar code spec of a campaign's code.
+fn code_spec<C: MemoryCode + ?Sized>(code: &C) -> String {
+    format!(
+        "{}:{},{},{}",
+        code.params().family().name(),
+        code.n(),
+        code.k(),
+        code.symbol_bits()
+    )
+}
+
+/// Freezes one MC silent-corruption exemplar: the *stored* (pre-decode)
+/// word is the exact pattern that slipped through, which is what the
+/// batch decoder's in-place repair would otherwise destroy.
+fn record_silent_exemplar<C: MemoryCode + ?Sized>(
+    code: &C,
+    stored: &[Symbol],
+    erasures: &[usize],
+    verdicts: Vec<String>,
+) {
+    recorder::record_exemplar_with("mc-silent-corruption", || recorder::Exemplar {
+        code: code_spec(code),
+        word: stored.iter().map(|&s| u32::from(s)).collect(),
+        erasures: erasures.iter().map(|&p| p as u32).collect(),
+        verdicts,
+        detail: "read returned wrong data with no indication".to_owned(),
+        ..recorder::Exemplar::default()
+    });
+}
+
 /// One simplex shard: play out every trial's fault history, then decode
 /// all the final read-backs in a single batch pass.
 fn simplex_shard(sim: &SimplexSim, rng: &mut StdRng, in_shard: usize) -> OutcomeCounts {
@@ -265,13 +296,27 @@ fn simplex_shard(sim: &SimplexSim, rng: &mut StdRng, in_shard: usize) -> Outcome
         words.push(trial.word);
         erasures.push(trial.erasures);
     }
+    // Forensics mode: the batch decode repairs words in place, so keep
+    // the stored words only while the flight recorder wants exemplars.
+    let stored = recorder::enabled().then(|| words.clone());
     let mut outcomes = Vec::with_capacity(in_shard);
     sim.code()
         .decode_batch(&mut words, &erasures, &mut outcomes)
         .expect("well-formed stored words");
     let mut counts = OutcomeCounts::default();
-    for ((outcome, word), data) in outcomes.iter().zip(&words).zip(&datas) {
-        counts.record(classify_simplex(sim.code(), outcome, word, data));
+    for (i, ((outcome, word), data)) in outcomes.iter().zip(&words).zip(&datas).enumerate() {
+        let class = classify_simplex(sim.code(), outcome, word, data);
+        if class == TrialOutcome::SilentCorruption {
+            if let Some(stored) = &stored {
+                record_silent_exemplar(
+                    sim.code(),
+                    &stored[i],
+                    &erasures[i],
+                    vec![format!("simplex: {outcome:?}")],
+                );
+            }
+        }
+        counts.record(class);
     }
     counts
 }
@@ -291,6 +336,7 @@ fn duplex_shard(sim: &DuplexSim, rng: &mut StdRng, in_shard: usize) -> OutcomeCo
         erasures.push(trial.common.clone());
         erasures.push(trial.common);
     }
+    let stored = recorder::enabled().then(|| words.clone());
     let mut outcomes = Vec::with_capacity(2 * in_shard);
     sim.code()
         .decode_batch(&mut words, &erasures, &mut outcomes)
@@ -299,7 +345,7 @@ fn duplex_shard(sim: &DuplexSim, rng: &mut StdRng, in_shard: usize) -> OutcomeCo
     for (i, data) in datas.iter().enumerate() {
         let v1 = verdict_of_batch(sim.code(), &words[2 * i], &outcomes[2 * i]);
         let v2 = verdict_of_batch(sim.code(), &words[2 * i + 1], &outcomes[2 * i + 1]);
-        counts.record(match combine(v1, v2) {
+        let class = match combine(v1, v2) {
             ArbiterOutput::NoOutput => TrialOutcome::Detected,
             ArbiterOutput::Data { data: d, .. } => {
                 if d == *data {
@@ -308,7 +354,29 @@ fn duplex_shard(sim: &DuplexSim, rng: &mut StdRng, in_shard: usize) -> OutcomeCo
                     TrialOutcome::SilentCorruption
                 }
             }
-        });
+        };
+        if class == TrialOutcome::SilentCorruption {
+            if let Some(stored) = &stored {
+                // Both masked module words, module 2 appended after
+                // module 1 (each n symbols), plus both decode verdicts:
+                // everything the arbiter saw when it let this through.
+                let pair: Vec<Symbol> = stored[2 * i]
+                    .iter()
+                    .chain(&stored[2 * i + 1])
+                    .copied()
+                    .collect();
+                record_silent_exemplar(
+                    sim.code(),
+                    &pair,
+                    &erasures[2 * i],
+                    vec![
+                        format!("module1: {:?}", outcomes[2 * i]),
+                        format!("module2: {:?}", outcomes[2 * i + 1]),
+                    ],
+                );
+            }
+        }
+        counts.record(class);
     }
     counts
 }

@@ -20,7 +20,8 @@
 use crate::report::{DecodeReport, Divergence};
 use crate::rng::SplitMix64;
 use crate::shrink;
-use rsmem_code::{DecodeOpts, DecodeOutcome, DecoderBackend, RsCode, Symbol};
+use rsmem_code::{syndromes, DecodeOpts, DecodeOutcome, DecoderBackend, RsCode, Symbol};
+use rsmem_obs::recorder;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Cases accumulated per code before a batched differential flush. Large
@@ -254,10 +255,62 @@ fn classify(code: &RsCode, case: &DecodeCase, report: &mut DecodeReport) {
                 report.corrected += 1;
             } else {
                 report.miscorrected += 1;
+                record_miscorrection_exemplar(code, case);
             }
         }
         DecodeOutcome::Failure(_) => report.detected += 1,
     }
+}
+
+/// Freezes a beyond-bound miscorrection for the flight recorder: the
+/// exact error/erasure pattern, the received word's syndromes, both
+/// back-ends' verdicts and a ready-to-paste repro. These are *legal*
+/// outcomes (the pattern exceeded the code's capability), not
+/// divergences — which is exactly why they only survive here.
+fn record_miscorrection_exemplar(code: &RsCode, case: &DecodeCase) {
+    if !recorder::enabled() {
+        return;
+    }
+    recorder::record_exemplar_with("miscorrection", || {
+        let verdicts = [DecoderBackend::Sugiyama, DecoderBackend::BerlekampMassey]
+            .iter()
+            .map(|&backend| {
+                let verdict = match code.decode_with(&case.word, &case.erasures, backend) {
+                    Ok(DecodeOutcome::Clean { .. }) => "Clean".to_owned(),
+                    Ok(DecodeOutcome::Corrected { data, .. }) => {
+                        if data == case.data {
+                            "Corrected(original)".to_owned()
+                        } else {
+                            "Corrected(wrong data)".to_owned()
+                        }
+                    }
+                    Ok(DecodeOutcome::Failure(f)) => format!("Failure({f})"),
+                    Err(e) => format!("Err({e})"),
+                };
+                format!("{backend}: {verdict}")
+            })
+            .collect();
+        let clean = code.encode(&case.data).expect("valid dataword");
+        let detail = format!(
+            "er={} re={} beyond n−k={}",
+            case.erasures.len(),
+            case.true_errors(&clean),
+            code.parity_symbols()
+        );
+        recorder::Exemplar {
+            code: format!("rs:{},{},{} b0={}", case.n, case.k, case.m, case.b),
+            word: case.word.iter().map(|&s| u32::from(s)).collect(),
+            erasures: case.erasures.iter().map(|&p| p as u32).collect(),
+            syndromes: syndromes(code, &case.word)
+                .iter()
+                .map(|&s| u32::from(s))
+                .collect(),
+            verdicts,
+            detail,
+            repro: shrink::render_decode_repro(case, "miscorrection", "beyond-bound miscorrection"),
+            ..recorder::Exemplar::default()
+        }
+    });
 }
 
 fn record(code: &RsCode, case: &DecodeCase, report: &mut DecodeReport, max_divergences: usize) {
@@ -283,6 +336,22 @@ fn record(code: &RsCode, case: &DecodeCase, report: &mut DecodeReport, max_diver
                     case.n, case.k, case.m, case.b
                 ),
                 repro: shrink::render_decode_repro(&minimized, kind, &detail),
+            });
+        }
+        // A broken oracle invariant is the rarest event the recorder
+        // exists for; freeze the un-shrunk case with full forensics.
+        if recorder::enabled() {
+            recorder::record_exemplar_with("oracle-divergence", || recorder::Exemplar {
+                code: format!("rs:{},{},{} b0={}", case.n, case.k, case.m, case.b),
+                word: case.word.iter().map(|&s| u32::from(s)).collect(),
+                erasures: case.erasures.iter().map(|&p| p as u32).collect(),
+                syndromes: syndromes(code, &case.word)
+                    .iter()
+                    .map(|&s| u32::from(s))
+                    .collect(),
+                detail: format!("{kind}: {detail}"),
+                repro: shrink::render_decode_repro(case, kind, &detail),
+                ..recorder::Exemplar::default()
             });
         }
         return;

@@ -26,6 +26,14 @@ target/release/rsmem-cli stress --seed 0xDA7E --budget 100000
 echo "==> code-family comparison smoke (RS vs RM vs interleaved RS)"
 target/release/rsmem-cli compare --quick >/dev/null
 
+echo "==> flight-recorder smoke (trace a stress run; exemplars must be captured)"
+target/release/rsmem-cli trace --trace-json -- stress --budget small > /tmp/rsmem_trace.json
+target/release/rsmem-cli check-jsonl < /tmp/rsmem_trace.json
+grep -q '"kind":"miscorrection"' /tmp/rsmem_trace.json || {
+  echo "no miscorrection exemplar in trace document"; exit 1;
+}
+rm -f /tmp/rsmem_trace.json
+
 echo "==> JSON-lines tracing smoke (RSMEM_LOG=json output must be strict canonical JSON with trace IDs)"
 RSMEM_LOG=json target/release/rsmem-cli sweep fig7 --threads 2 >/dev/null 2>/tmp/rsmem_sweep_events.jsonl
 target/release/rsmem-cli check-jsonl < /tmp/rsmem_sweep_events.jsonl
