@@ -12,12 +12,13 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 7] = [
+const BOOLEAN_FLAGS: [&str; 8] = [
     "--csv",
     "--duplex",
     "--plot",
     "--profile-json",
     "--quick",
+    "--raw",
     "--trace-json",
     "--warn-timing",
 ];

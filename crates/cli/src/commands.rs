@@ -34,6 +34,9 @@ USAGE:
                                       code families (RS / RM / interleaved RS)
   rsmem stress [flags]                differential stress/fault-injection run
   rsmem serve [flags]                 run the analysis daemon (rsmem-service)
+  rsmem top [flags]                   live metrics dashboard: follow a running
+                                      server's `/v1/stream/metrics`, or wrap a
+                                      command and watch its counters move
   rsmem check-jsonl                   validate stdin as canonical JSON-lines
   rsmem list                          list experiment ids
   rsmem help                          this message
@@ -100,6 +103,16 @@ SERVE FLAGS:
   --threads N             worker threads (default: all cores)
   --cache-cap N           result-cache capacity in entries (default: 128)
   --backlog N             queued connections before shedding 503 (default: 64)
+  --sample-interval-ms MS time-series sampling interval (default: 1000)
+
+TOP FLAGS:
+  --url HOST:PORT         follow `GET /v1/stream/metrics` on a running
+                          rsmem-service (http:// prefix optional)
+  --interval MS           sampling/refresh interval (default: 1000)
+  --frames N              stop after N frames (default: 0 = run until the
+                          stream ends or the wrapped command exits)
+  --raw                   emit raw `rsmem-metrics/1` JSON frames instead of
+                          the rendered dashboard
 ";
 
 /// Dispatches a raw argv to a command, returning printable output.
@@ -132,6 +145,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         Some("compare") => cmd_compare(&parsed),
         Some("stress") => cmd_stress(&parsed),
         Some("serve") => cmd_serve(&parsed),
+        Some("top") => crate::top::cmd_top(argv, &parsed),
         Some("profile") => cmd_profile(argv, &parsed),
         Some("trace") => cmd_trace(argv, &parsed),
         Some("bench") => cmd_bench(&parsed),
@@ -457,6 +471,7 @@ fn cmd_serve(parsed: &Parsed) -> Result<String, String> {
         workers: parsed.usize_flag("--threads", 0)?,
         cache_capacity: parsed.usize_flag("--cache-cap", 128)?,
         backlog: parsed.usize_flag("--backlog", 64)?,
+        sample_interval_ms: parsed.u64_flag("--sample-interval-ms", 1_000)?,
     };
     let server = rsmem_service::Server::bind(config).map_err(|e| e.to_string())?;
     // Announce on stderr before blocking so scripts can scrape the port.

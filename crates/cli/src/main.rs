@@ -17,6 +17,7 @@
 
 mod args;
 mod commands;
+mod top;
 
 use std::process::ExitCode;
 

@@ -137,6 +137,10 @@ impl MemorySystem {
     /// Configuration errors, or solver errors wrapped in
     /// [`Error::Model`].
     pub fn ber_curve(&self, times: &[Time]) -> Result<BerCurve, Error> {
+        // A sampling point on the solver hot path: when the global
+        // time-series sampler is enabled, long sweeps frame here at its
+        // configured interval; disabled it is one relaxed atomic load.
+        rsmem_obs::timeseries::tick();
         let mut ber_span = rsmem_obs::span("core.system", "ber_curve");
         ber_span.record("points", times.len());
         self.validate()?;

@@ -1,0 +1,76 @@
+//! Injectable monotonic clocks — the shared test seam for every
+//! rate-limited component.
+//!
+//! [`Progress`](crate::Progress) (PR 5) and the time-series
+//! [`Sampler`](crate::timeseries::Sampler) both throttle on wall time;
+//! testing throttling by sleeping is slow and flaky, so both take a
+//! [`Clock`] instead of calling [`Instant::now`] directly. Production
+//! code uses [`system_clock`]; tests build a [`ManualClock`] and advance
+//! it explicitly, making every rate-limit decision deterministic.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time. `FnMut` (not `Fn`) so stateful test
+/// clocks are possible; `Send` so the component owning it can move
+/// across threads.
+pub type Clock = Box<dyn FnMut() -> Instant + Send>;
+
+/// The production clock: a thin wrapper over [`Instant::now`].
+pub fn system_clock() -> Clock {
+    Box::new(Instant::now)
+}
+
+/// A manually advanced clock for deterministic tests.
+///
+/// [`ManualClock::new`] returns the controller and a [`Clock`] reading
+/// from it; hand the clock to the component under test and drive time
+/// forward with [`ManualClock::advance`].
+#[derive(Clone)]
+pub struct ManualClock {
+    now: Arc<Mutex<Instant>>,
+}
+
+impl ManualClock {
+    /// A fresh manual clock frozen at the current instant, plus a
+    /// [`Clock`] handle that always reads the controller's time.
+    pub fn new() -> (ManualClock, Clock) {
+        let controller = ManualClock {
+            now: Arc::new(Mutex::new(Instant::now())),
+        };
+        let handle = controller.clone();
+        (controller, Box::new(move || handle.now()))
+    }
+
+    /// Moves time forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        *self.now.lock().expect("manual clock lock") += by;
+    }
+
+    /// The clock's current reading.
+    pub fn now(&self) -> Instant {
+        *self.now.lock().expect("manual clock lock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let (control, mut clock) = ManualClock::new();
+        let start = clock();
+        assert_eq!(clock(), start, "reads do not advance time");
+        control.advance(Duration::from_secs(3));
+        assert_eq!(clock().duration_since(start), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let mut clock = system_clock();
+        let a = clock();
+        let b = clock();
+        assert!(b >= a);
+    }
+}

@@ -34,6 +34,21 @@
 //!   events the aggregates only count. Surfaced as `rsmem trace …`
 //!   timelines and the service's `GET /debug/flightrecorder` endpoint,
 //!   with the same zero-allocation disabled path as the other systems.
+//! * [`timeseries`] — a lock-free-on-the-disabled-path metrics sampler:
+//!   a fixed-capacity ring of registry snapshots taken on a configurable
+//!   interval, with windowed per-second rates and histogram quantiles
+//!   (p50/p90/p99 by bucket interpolation) and a canonical-JSON frame
+//!   schema (`rsmem-metrics/1`). Feeds the service's
+//!   `GET /debug/metrics/history`, the `GET /v1/stream/metrics`
+//!   streaming endpoint and the `rsmem top` dashboard.
+//! * [`watchdog`] — declarative SLO rules (p99 latency, error rate,
+//!   cache hit ratio, decode-failure rate, MC silent-corruption rate)
+//!   evaluated over the sampler's sliding window; edge-triggered breach
+//!   events, `rsmem_slo_breaches_total{rule}` counters and automatic
+//!   flight-recorder exemplars on breach.
+//! * [`clock`] — the injectable monotonic clock shared by every
+//!   rate-limited component ([`Progress`], the sampler), so throttling
+//!   is tested deterministically instead of by sleeping.
 //!
 //! Trace IDs flow through a thread-local: [`log::trace_scope`]
 //! establishes the current ID, worker pools capture and re-establish it
@@ -43,12 +58,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
 pub mod recorder;
+pub mod timeseries;
+pub mod watchdog;
 
 pub use log::{event, span, span_at, Level, LogConfig, LogFormat, Sink, Span};
 pub use metrics::{build_info, global, register_build_info, Counter, Gauge, Histogram, Registry};

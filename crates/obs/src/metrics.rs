@@ -25,6 +25,14 @@ use std::sync::{Arc, Mutex, OnceLock};
 pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
+    /// A counter owned by no registry. The time-series sampler tracks
+    /// aggregate series (e.g. "all requests" across endpoints) that
+    /// deliberately stay out of the `/metrics` exposition; standalone
+    /// handles keep those updates identical to registry handles.
+    pub fn standalone() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
     /// Adds one.
     pub fn inc(&self) {
         self.0.fetch_add(1, Ordering::Relaxed);
@@ -54,6 +62,11 @@ impl Counter {
 pub struct Gauge(Arc<AtomicI64>);
 
 impl Gauge {
+    /// A gauge owned by no registry; see [`Counter::standalone`].
+    pub fn standalone() -> Gauge {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
     /// Adds one.
     pub fn inc(&self) {
         self.0.fetch_add(1, Ordering::Relaxed);
@@ -88,9 +101,126 @@ struct HistogramCore {
     count: AtomicU64,
     /// Sum as `f64` bits, updated by compare-exchange.
     sum_bits: AtomicU64,
+    /// OpenMetrics-style exemplar of the most recent observation that
+    /// landed in the highest bucket seen so far: bucket index **plus
+    /// one** (0 = none yet), the trace ID active when it was observed,
+    /// and the observed value's bits. The three stores are independent
+    /// relaxed atomics — a concurrent reader can see a torn triple. The
+    /// exemplar is a forensic hint linking a slow request to its trace,
+    /// not an invariant, so that race is accepted.
+    exemplar_bucket: AtomicU64,
+    exemplar_trace: AtomicU64,
+    exemplar_value_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new(bounds: &[u64]) -> HistogramCore {
+        HistogramCore {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            exemplar_bucket: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
+            exemplar_value_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+/// The trace-linked exemplar a [`Histogram`] carries: its most recent
+/// observation in the highest bucket seen so far.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketExemplar {
+    /// Non-cumulative bucket index (`bounds.len()` = the `+Inf` bucket).
+    pub bucket: usize,
+    /// The trace ID active when the observation was recorded.
+    pub trace_id: u64,
+    /// The observed value.
+    pub value: f64,
+}
+
+/// A point-in-time copy of a histogram's state, cheap to diff and to
+/// estimate quantiles from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite upper bounds (the overflow bucket is implicit).
+    pub bounds: Vec<u64>,
+    /// Non-cumulative counts, one per bound plus the overflow slot.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation inside the bucket holding the target rank — the
+    /// same estimate `histogram_quantile` would produce from the
+    /// rendered exposition.
+    ///
+    /// The open-ended `+Inf` bucket has no upper edge to interpolate
+    /// toward, so a rank landing there clamps to the largest finite
+    /// bound instead of extrapolating. Returns `None` for an empty
+    /// histogram (or one with no finite buckets).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &bucket_count) in self.buckets.iter().enumerate() {
+            let before = cumulative;
+            cumulative += bucket_count;
+            if cumulative as f64 >= rank && bucket_count > 0 {
+                if i >= self.bounds.len() {
+                    return Some(*self.bounds.last()? as f64);
+                }
+                let upper = self.bounds[i] as f64;
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    self.bounds[i - 1] as f64
+                };
+                let fraction = ((rank - before as f64) / bucket_count as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * fraction);
+            }
+        }
+        // Torn concurrent snapshot (count ahead of bucket stores): fall
+        // back to the largest finite bound.
+        self.bounds.last().map(|&b| b as f64)
+    }
+
+    /// The distribution observed *since* `earlier` — per-bucket
+    /// saturating differences. Both snapshots must come from the same
+    /// histogram (identical bounds).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        debug_assert_eq!(
+            self.bounds, earlier.bounds,
+            "snapshots of the same histogram"
+        );
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum - earlier.sum,
+        }
+    }
 }
 
 impl Histogram {
+    /// A histogram owned by no registry; see [`Counter::standalone`].
+    /// `bounds` must be strictly increasing.
+    pub fn with_bounds(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram(Arc::new(HistogramCore::new(bounds)))
+    }
+
     /// Records one observation.
     pub fn observe(&self, value: f64) {
         let core = &*self.0;
@@ -114,6 +244,18 @@ impl Histogram {
                 Err(actual) => current = actual,
             }
         }
+        // Keep the exemplar pointing at the most recent observation in
+        // the highest bucket seen so far, but only when a trace is
+        // active — an exemplar exists to link back to trace output.
+        if let Some(trace) = crate::log::current_trace_id() {
+            let tag = idx as u64 + 1;
+            if tag >= core.exemplar_bucket.load(Ordering::Relaxed) {
+                core.exemplar_trace.store(trace, Ordering::Relaxed);
+                core.exemplar_value_bits
+                    .store(value.to_bits(), Ordering::Relaxed);
+                core.exemplar_bucket.store(tag, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Total number of observations.
@@ -124,6 +266,45 @@ impl Histogram {
     /// Sum of all observed values.
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// A point-in-time copy of bounds, bucket counts, count and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Like [`Histogram::snapshot`] but reusing `out`'s allocations —
+    /// after the first call with a given histogram, refreshing the same
+    /// snapshot performs no heap allocation (the sampler's steady-state
+    /// contract).
+    pub fn snapshot_into(&self, out: &mut HistogramSnapshot) {
+        let core = &*self.0;
+        if out.bounds != core.bounds {
+            out.bounds.clear();
+            out.bounds.extend_from_slice(&core.bounds);
+        }
+        out.buckets.clear();
+        out.buckets
+            .extend(core.buckets.iter().map(|b| b.load(Ordering::Relaxed)));
+        out.count = core.count.load(Ordering::Relaxed);
+        out.sum = f64::from_bits(core.sum_bits.load(Ordering::Relaxed));
+    }
+
+    /// The current exemplar, if any observation was made under an
+    /// active trace. See [`BucketExemplar`] for the (accepted) torn-read
+    /// caveat.
+    pub fn exemplar(&self) -> Option<BucketExemplar> {
+        let tag = self.0.exemplar_bucket.load(Ordering::Relaxed);
+        if tag == 0 {
+            return None;
+        }
+        Some(BucketExemplar {
+            bucket: (tag - 1) as usize,
+            trace_id: self.0.exemplar_trace.load(Ordering::Relaxed),
+            value: f64::from_bits(self.0.exemplar_value_bits.load(Ordering::Relaxed)),
+        })
     }
 }
 
@@ -234,12 +415,7 @@ impl Registry {
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
         debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
         match self.get_or_insert(name, Kind::Histogram, labels, || {
-            Metric::Histogram(Histogram(Arc::new(HistogramCore {
-                bounds: bounds.to_vec(),
-                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
-                count: AtomicU64::new(0),
-                sum_bits: AtomicU64::new(0f64.to_bits()),
-            })))
+            Metric::Histogram(Histogram(Arc::new(HistogramCore::new(bounds))))
         }) {
             Metric::Histogram(h) => h,
             _ => unreachable!("kind checked in get_or_insert"),
@@ -259,6 +435,22 @@ impl Registry {
             .ok()?;
         match &family.metrics[i].1 {
             Metric::Counter(c) => Some(c.clone()),
+            _ => None,
+        }
+    }
+
+    /// Returns the histogram for `name` + `labels` only if it already
+    /// exists; the histogram sibling of [`Registry::find_counter`].
+    pub fn find_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        let encoded = encode_labels(labels);
+        let families = self.families.lock().expect("metrics registry lock");
+        let family = families.iter().find(|f| f.name == name)?;
+        let i = family
+            .metrics
+            .binary_search_by(|(k, _)| k.cmp(&encoded))
+            .ok()?;
+        match &family.metrics[i].1 {
+            Metric::Histogram(h) => Some(h.clone()),
             _ => None,
         }
     }
@@ -302,6 +494,19 @@ impl Registry {
     /// families in declaration order, metrics within a family sorted by
     /// label string, histograms with cumulative `le` buckets.
     pub fn render(&self) -> String {
+        self.render_opts(false)
+    }
+
+    /// Like [`Registry::render`] but additionally annotating histogram
+    /// bucket lines with their [`BucketExemplar`] in OpenMetrics style
+    /// (`… # {trace_id="…"} value`). Off by default — appending the
+    /// annotation changes bucket lines, and the plain exposition is
+    /// byte-stable for existing scrapers.
+    pub fn render_with_exemplars(&self) -> String {
+        self.render_opts(true)
+    }
+
+    fn render_opts(&self, exemplars: bool) -> String {
         let mut out = String::new();
         let families = self.families.lock().expect("metrics registry lock");
         for family in families.iter() {
@@ -315,7 +520,7 @@ impl Registry {
                         let _ = writeln!(out, "{}{} {}", family.name, labels, g.get());
                     }
                     Metric::Histogram(h) => {
-                        render_histogram(&mut out, &family.name, labels, h);
+                        render_histogram(&mut out, &family.name, labels, h, exemplars);
                     }
                 }
             }
@@ -332,23 +537,40 @@ fn clone_metric(metric: &Metric) -> Metric {
     }
 }
 
-fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram, exemplars: bool) {
     let core = &*h.0;
+    let exemplar = if exemplars { h.exemplar() } else { None };
+    let annotate = |out: &mut String, bucket: usize| {
+        if let Some(e) = &exemplar {
+            if e.bucket == bucket {
+                let _ = write!(
+                    out,
+                    " # {{trace_id=\"{}\"}} {}",
+                    crate::log::format_trace_id(e.trace_id),
+                    format_float(e.value)
+                );
+            }
+        }
+    };
     let mut cumulative = 0u64;
     for (i, bound) in core.bounds.iter().enumerate() {
         cumulative += core.buckets[i].load(Ordering::Relaxed);
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{name}_bucket{} {cumulative}",
             with_label(labels, "le", &bound.to_string())
         );
+        annotate(out, i);
+        out.push('\n');
     }
     cumulative += core.buckets[core.bounds.len()].load(Ordering::Relaxed);
-    let _ = writeln!(
+    let _ = write!(
         out,
         "{name}_bucket{} {cumulative}",
         with_label(labels, "le", "+Inf")
     );
+    annotate(out, core.bounds.len());
+    out.push('\n');
     let _ = writeln!(out, "{name}_sum{labels} {}", format_float(h.sum()));
     let _ = writeln!(out, "{name}_count{labels} {}", h.count());
 }
@@ -610,5 +832,181 @@ mod tests {
         let b = global().counter("obs_selftest_total", &[]);
         a.inc();
         assert_eq!(b.get(), a.get());
+    }
+
+    #[test]
+    fn find_histogram_is_read_only_and_kind_checked() {
+        let r = Registry::new();
+        assert!(r.find_histogram("lat_us", &[]).is_none());
+        let h = r.histogram("lat_us", &[("op", "x")], &[10, 100]);
+        h.observe(5.0);
+        let found = r.find_histogram("lat_us", &[("op", "x")]).unwrap();
+        assert_eq!(found.count(), 1);
+        assert!(r.find_histogram("lat_us", &[("op", "y")]).is_none());
+        r.counter("a_counter", &[]);
+        assert!(r.find_histogram("a_counter", &[]).is_none());
+    }
+
+    /// Quantile estimates never decrease as `q` increases — for an
+    /// assortment of mass placements including the overflow bucket.
+    #[test]
+    fn quantile_is_monotonic_in_q() {
+        let bounds = [10u64, 100, 1_000, 10_000];
+        let distributions: &[&[f64]] = &[
+            &[1.0, 5.0, 50.0, 500.0, 5_000.0, 50_000.0],
+            &[7.0; 10],
+            &[50_000.0, 60_000.0, 1.0],
+            &[9.0, 11.0, 99.0, 101.0, 999.0, 1_001.0, 9_999.0, 10_001.0],
+        ];
+        for observations in distributions {
+            let h = Histogram::with_bounds(&bounds);
+            for &v in *observations {
+                h.observe(v);
+            }
+            let snap = h.snapshot();
+            let mut previous = f64::NEG_INFINITY;
+            for i in 0..=100 {
+                let q = i as f64 / 100.0;
+                let estimate = snap.quantile(q).unwrap();
+                assert!(
+                    estimate >= previous,
+                    "quantile({q}) = {estimate} < quantile at previous q = {previous} \
+                     for {observations:?}"
+                );
+                previous = estimate;
+            }
+        }
+    }
+
+    /// With every observation in one bucket, each quantile stays inside
+    /// that bucket's edges, and the extremes hit them exactly.
+    #[test]
+    fn quantile_is_exact_on_single_bucket_mass() {
+        let bounds = [10u64, 100, 1_000];
+        let h = Histogram::with_bounds(&bounds);
+        for _ in 0..25 {
+            h.observe(40.0); // all mass in (10, 100]
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), Some(10.0), "q=0 is the lower edge");
+        assert_eq!(snap.quantile(1.0), Some(100.0), "q=1 is the upper edge");
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let estimate = snap.quantile(q).unwrap();
+            assert!(
+                (10.0..=100.0).contains(&estimate),
+                "quantile({q}) = {estimate}"
+            );
+        }
+        // Interpolation is linear in rank within the bucket.
+        assert_eq!(snap.quantile(0.5), Some(55.0));
+    }
+
+    /// Every estimate is bounded by the histogram's finite bucket edges
+    /// regardless of where the mass sits.
+    #[test]
+    fn quantile_is_bounded_by_bucket_edges() {
+        let bounds = [5u64, 50, 500];
+        let h = Histogram::with_bounds(&bounds);
+        for v in [1.0, 2.0, 30.0, 400.0, 1_000.0, 100_000.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let estimate = snap.quantile(q).unwrap();
+            assert!(
+                (0.0..=500.0).contains(&estimate),
+                "quantile({q}) = {estimate} escaped the bucket edges"
+            );
+        }
+    }
+
+    /// The open-ended `+Inf` bucket clamps to the largest finite bound
+    /// instead of extrapolating past it (the interpolation fix).
+    #[test]
+    fn quantile_in_overflow_bucket_clamps_to_last_finite_bound() {
+        let bounds = [10u64, 100];
+        let h = Histogram::with_bounds(&bounds);
+        h.observe(1e9);
+        h.observe(2e9); // all mass in +Inf
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), Some(100.0), "q={q}");
+        }
+        // Empty histogram: no estimate at all.
+        assert_eq!(
+            Histogram::with_bounds(&bounds).snapshot().quantile(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_per_bucket() {
+        let h = Histogram::with_bounds(&[10, 100]);
+        h.observe(5.0);
+        let earlier = h.snapshot();
+        h.observe(50.0);
+        h.observe(500.0);
+        let delta = h.snapshot().delta(&earlier);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.buckets, vec![0, 1, 1]);
+        assert_eq!(delta.sum, 550.0);
+        // Refreshing into an existing snapshot reuses its buffers.
+        let mut reused = earlier;
+        h.snapshot_into(&mut reused);
+        assert_eq!(reused, h.snapshot());
+    }
+
+    #[test]
+    fn exemplar_tracks_most_recent_max_bucket_observation_under_trace() {
+        let h = Histogram::with_bounds(&[10, 100]);
+        h.observe(5.0);
+        assert!(h.exemplar().is_none(), "no trace active: no exemplar");
+        {
+            let _t = crate::log::trace_scope(0xABCD);
+            h.observe(50.0);
+        }
+        let e = h.exemplar().unwrap();
+        assert_eq!((e.bucket, e.trace_id, e.value), (1, 0xABCD, 50.0));
+        {
+            let _t = crate::log::trace_scope(0xBEEF);
+            h.observe(60.0); // same bucket, more recent: replaces
+        }
+        let e = h.exemplar().unwrap();
+        assert_eq!((e.bucket, e.trace_id, e.value), (1, 0xBEEF, 60.0));
+        {
+            let _t = crate::log::trace_scope(0xF00D);
+            h.observe(7.0); // lower bucket: kept out
+        }
+        assert_eq!(h.exemplar().unwrap().trace_id, 0xBEEF);
+    }
+
+    #[test]
+    fn render_with_exemplars_annotates_only_the_exemplar_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", &[], &[10, 100]);
+        h.observe(5.0);
+        {
+            let _t = crate::log::trace_scope(1);
+            h.observe(40.0);
+        }
+        let plain = r.render();
+        assert!(
+            !plain.contains('#') || !plain.contains("trace_id"),
+            "{plain}"
+        );
+        let annotated = r.render_with_exemplars();
+        assert!(
+            annotated.contains(&format!(
+                "lat_us_bucket{{le=\"100\"}} 2 # {{trace_id=\"{}\"}} 40",
+                crate::log::format_trace_id(1)
+            )),
+            "{annotated}"
+        );
+        assert!(
+            annotated.contains("lat_us_bucket{le=\"10\"} 1\n"),
+            "{annotated}"
+        );
     }
 }

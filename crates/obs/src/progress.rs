@@ -7,6 +7,7 @@
 //! a plain human-readable stderr line. Short runs that finish inside
 //! the first interval stay completely silent.
 
+use crate::clock::{system_clock, Clock};
 use crate::log::{self, FieldValue, Level};
 use std::time::{Duration, Instant};
 
@@ -17,7 +18,7 @@ const INTERVAL: Duration = Duration::from_millis(200);
 pub struct Progress {
     target: &'static str,
     label: &'static str,
-    clock: Box<dyn FnMut() -> Instant + Send>,
+    clock: Clock,
     started: Instant,
     last: Instant,
     emitted: bool,
@@ -27,17 +28,13 @@ impl Progress {
     /// Starts tracking. Nothing is emitted until the first interval
     /// elapses, so fast runs produce no output at all.
     pub fn new(target: &'static str, label: &'static str) -> Progress {
-        Progress::with_clock(target, label, Box::new(Instant::now))
+        Progress::with_clock(target, label, system_clock())
     }
 
-    /// Like [`Progress::new`] with an injected clock — the test seam
-    /// that makes the rate-limit behaviour assertable deterministically
-    /// instead of by sleeping.
-    pub fn with_clock(
-        target: &'static str,
-        label: &'static str,
-        mut clock: Box<dyn FnMut() -> Instant + Send>,
-    ) -> Progress {
+    /// Like [`Progress::new`] with an injected [`Clock`] (see
+    /// [`crate::clock`]) — the test seam that makes the rate-limit
+    /// behaviour assertable deterministically instead of by sleeping.
+    pub fn with_clock(target: &'static str, label: &'static str, mut clock: Clock) -> Progress {
         let now = clock();
         Progress {
             target,
@@ -111,20 +108,9 @@ impl Progress {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
     use crate::log::{init, set_sink, LogConfig, Sink};
     use std::sync::{Arc, Mutex};
-
-    /// A manually-advanced clock shared between the test and the
-    /// `Progress` under test.
-    fn test_clock() -> (Arc<Mutex<Instant>>, Box<dyn FnMut() -> Instant + Send>) {
-        let now = Arc::new(Mutex::new(Instant::now()));
-        let handle = Arc::clone(&now);
-        (now, Box::new(move || *handle.lock().unwrap()))
-    }
-
-    fn advance(clock: &Arc<Mutex<Instant>>, by: Duration) {
-        *clock.lock().unwrap() += by;
-    }
 
     /// Captures emitted progress events; returns the `done` field of
     /// each, in order — the deterministic observable for throttling.
@@ -145,16 +131,16 @@ mod tests {
         let buffer = Arc::new(Mutex::new(Vec::new()));
         set_sink(Sink::Buffer(Arc::clone(&buffer)));
 
-        let (clock, boxed) = test_clock();
+        let (clock, boxed) = ManualClock::new();
         let mut p = Progress::with_clock("test.progress", "clocked", boxed);
 
         p.tick(0, 10, &[]); // inside the first interval: silent
-        advance(&clock, INTERVAL);
+        clock.advance(INTERVAL);
         p.tick(1, 10, &[]); // first event past the interval: emitted
         p.tick(2, 10, &[]); // same instant: throttled
-        advance(&clock, INTERVAL / 2);
+        clock.advance(INTERVAL / 2);
         p.tick(3, 10, &[]); // half an interval later: still throttled
-        advance(&clock, INTERVAL / 2);
+        clock.advance(INTERVAL / 2);
         p.tick(4, 10, &[]); // a full interval since the last emit
         p.finish(10, 10, &[]); // final state always lands once emitting began
 
@@ -170,7 +156,7 @@ mod tests {
         let buffer = Arc::new(Mutex::new(Vec::new()));
         set_sink(Sink::Buffer(Arc::clone(&buffer)));
 
-        let (_clock, boxed) = test_clock();
+        let (_clock, boxed) = ManualClock::new();
         let mut p = Progress::with_clock("test.progress", "instant", boxed);
         p.tick(3, 10, &[]);
         p.tick(7, 10, &[]);
@@ -188,9 +174,9 @@ mod tests {
         let buffer = Arc::new(Mutex::new(Vec::new()));
         set_sink(Sink::Buffer(Arc::clone(&buffer)));
 
-        let (clock, boxed) = test_clock();
+        let (clock, boxed) = ManualClock::new();
         let mut p = Progress::with_clock("test.progress", "no_ticks", boxed);
-        advance(&clock, INTERVAL * 2);
+        clock.advance(INTERVAL * 2);
         p.finish(5, 5, &[]);
 
         init(None);

@@ -46,7 +46,8 @@ fn disabled_events_and_spans_allocate_nothing() {
     assert!(!rsmem_obs::profile::is_enabled());
     assert!(!rsmem_obs::recorder::enabled());
 
-    // Warm up thread-locals and lazy statics outside the measured region.
+    // Warm up thread-locals and lazy statics outside the measured region
+    // (including the global time-series sampler's lazy cell).
     event(Level::Error, "warmup", "warmup")
         .field("k", 1u64)
         .emit();
@@ -54,6 +55,8 @@ fn disabled_events_and_spans_allocate_nothing() {
         let mut s = span("warmup", "warmup");
         s.record("k", 1u64);
     }
+    rsmem_obs::timeseries::tick();
+    assert!(!rsmem_obs::timeseries::global().enabled());
 
     let owned = String::from("pre-built so the &str path is the test");
     let before = ALLOCATIONS.load(Ordering::Relaxed);
@@ -89,6 +92,11 @@ fn disabled_events_and_spans_allocate_nothing() {
             panic!("exemplar builder must not run while disabled")
         });
         assert!(!kept);
+
+        // The solver hot paths also carry time-series sampling points
+        // (PR 10); with the global sampler disabled each is one relaxed
+        // atomic load.
+        rsmem_obs::timeseries::tick();
     }
 
     let after = ALLOCATIONS.load(Ordering::Relaxed);

@@ -290,6 +290,66 @@ impl Response {
     }
 }
 
+/// Writes the head of a `Transfer-Encoding: chunked` streaming response
+/// — the escape hatch from the one-shot [`Response`] shape used by
+/// `GET /v1/stream/metrics`, where the body length is unknown up front.
+/// Follow with [`write_chunk`] per payload and [`finish_chunked`] to
+/// terminate.
+///
+/// # Errors
+///
+/// Propagates I/O errors (a hung-up client, typically).
+pub fn write_chunked_head(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+        status,
+        reason(status),
+        content_type,
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.flush()
+}
+
+/// Writes one chunk (`<hex length>\r\n<data>\r\n`) and flushes, so each
+/// frame reaches the client immediately. Empty payloads are skipped —
+/// a zero-length chunk would terminate the stream (that is
+/// [`finish_chunked`]'s job).
+///
+/// # Errors
+///
+/// Propagates I/O errors (a hung-up client, typically).
+pub fn write_chunk(writer: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(writer, "{:x}\r\n", data.len())?;
+    writer.write_all(data)?;
+    writer.write_all(b"\r\n")?;
+    writer.flush()
+}
+
+/// Terminates a chunked response with the zero-length final chunk.
+///
+/// # Errors
+///
+/// Propagates I/O errors (a hung-up client, typically).
+pub fn finish_chunked(writer: &mut impl Write) -> io::Result<()> {
+    writer.write_all(b"0\r\n\r\n")?;
+    writer.flush()
+}
+
 /// Standard reason phrases for the statuses the service emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -388,6 +448,29 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("X-Cache: hit\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn chunked_stream_round_trips() {
+        let mut out = Vec::new();
+        write_chunked_head(
+            &mut out,
+            200,
+            "application/x-ndjson",
+            &[("X-Rsmem-Trace-Id".into(), "00ab".into())],
+        )
+        .unwrap();
+        write_chunk(&mut out, b"{\"seq\":1}\n").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut out, b"{\"seq\":2}\n").unwrap();
+        finish_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("X-Rsmem-Trace-Id: 00ab\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.contains("\r\n\r\na\r\n{\"seq\":1}\n\r\n"));
+        assert!(text.ends_with("a\r\n{\"seq\":2}\n\r\n0\r\n\r\n"));
     }
 
     #[test]

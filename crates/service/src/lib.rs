@@ -13,8 +13,17 @@
 //! | `POST /v1/analyze` | JSON config → BER/unreliability curves (cached, deduplicated) |
 //! | `GET /v1/experiments/{id}` | a regenerated paper figure/table, JSON or CSV (`?format=` / `Accept`) |
 //! | `GET /healthz` | liveness |
-//! | `GET /metrics` | Prometheus-style counters, gauges, histograms |
+//! | `GET /metrics` | Prometheus-style counters, gauges, histograms (`?exemplars=1` annotates histogram buckets with trace IDs) |
+//! | `GET /v1/stream/metrics` | newline-delimited `rsmem-metrics/1` frames, chunked transfer encoding (`?interval_ms=`, `?frames=`) |
+//! | `GET /debug/metrics/history` | the time-series sampler's ring as one `rsmem-metrics/1` document |
 //! | `GET /debug/flightrecorder` | flight-recorder timeline + failure exemplars (`?reset=1` starts a new epoch) |
+//!
+//! A background sampler thread snapshots the service's aggregate
+//! series once per `sample_interval_ms` into a fixed ring
+//! ([`rsmem_obs::timeseries`]) and evaluates the default SLO rules
+//! ([`rsmem_obs::watchdog`]) after each frame; breaches increment
+//! `rsmem_slo_breaches_total{rule}` and freeze flight-recorder
+//! exemplars.
 //!
 //! ## Thread model
 //!
@@ -54,6 +63,8 @@ use metrics::Metrics;
 use rsmem::experiments::{run_with, ExperimentId, ExperimentOutput, Figure};
 use rsmem::{report, Parallelism};
 use rsmem_obs::log::{format_trace_id, next_trace_id, parse_trace_id, trace_scope};
+use rsmem_obs::timeseries::{track_solver_defaults, Sampler, DEFAULT_CAPACITY};
+use rsmem_obs::watchdog::{RuleKind, SloRule, Watchdog};
 use rsmem_obs::Level;
 use std::io::{BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -78,6 +89,9 @@ pub struct ServiceConfig {
     /// Accepted connections that may wait for a worker before the
     /// acceptor starts shedding with `503`.
     pub backlog: usize,
+    /// Interval of the background time-series sampler, in milliseconds
+    /// (clamped to ≥ 10).
+    pub sample_interval_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -87,14 +101,20 @@ impl Default for ServiceConfig {
             workers: 0,
             cache_capacity: 128,
             backlog: 64,
+            sample_interval_ms: 1_000,
         }
     }
 }
 
 /// Shared state every worker sees.
 struct Ctx {
-    cache: SingleFlightCache<Arc<Vec<u8>>>,
+    cache: Arc<SingleFlightCache<Arc<Vec<u8>>>>,
     metrics: Metrics,
+    sampler: Sampler,
+    watchdog: Watchdog,
+    /// Shared with the acceptor so long-lived streaming responses can
+    /// notice shutdown and terminate their stream cleanly.
+    shutting_down: Arc<AtomicBool>,
 }
 
 /// A running service; dropping it does **not** stop the threads — call
@@ -105,6 +125,7 @@ pub struct Server {
     shutting_down: Arc<AtomicBool>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    sampler_thread: JoinHandle<()>,
     ctx: Arc<Ctx>,
 }
 
@@ -138,11 +159,17 @@ impl Server {
             config.workers
         };
 
-        let ctx = Arc::new(Ctx {
-            cache: SingleFlightCache::new(config.cache_capacity),
-            metrics: Metrics::new(),
-        });
         let shutting_down = Arc::new(AtomicBool::new(false));
+        let cache = Arc::new(SingleFlightCache::new(config.cache_capacity));
+        let metrics = Metrics::new();
+        let sampler = build_sampler(&config, &metrics, &cache);
+        let ctx = Arc::new(Ctx {
+            cache,
+            metrics,
+            sampler,
+            watchdog: Watchdog::new(default_slo_rules()),
+            shutting_down: Arc::clone(&shutting_down),
+        });
 
         // Backlog of 0 means rendezvous: a connection is only accepted
         // into the pool if a worker is free right now.
@@ -169,11 +196,20 @@ impl Server {
                 .expect("spawn acceptor")
         };
 
+        let sampler_thread = {
+            let ctx = Arc::clone(&ctx);
+            thread::Builder::new()
+                .name("rsmem-sampler".into())
+                .spawn(move || sampler_loop(&ctx))
+                .expect("spawn sampler")
+        };
+
         Ok(Server {
             local_addr,
             shutting_down,
             acceptor,
             workers,
+            sampler_thread,
             ctx,
         })
     }
@@ -202,6 +238,8 @@ impl Server {
         for worker in self.workers {
             let _ = worker.join();
         }
+        // The sampler thread polls the shutdown flag between samples.
+        let _ = self.sampler_thread.join();
     }
 
     /// Blocks until the acceptor stops (i.e. forever, for a daemon that
@@ -211,6 +249,8 @@ impl Server {
         for worker in self.workers {
             let _ = worker.join();
         }
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let _ = self.sampler_thread.join();
     }
 }
 
@@ -235,6 +275,98 @@ fn accept_loop(
         }
     }
     // Dropping `tx` here disconnects the workers once the queue drains.
+}
+
+/// Builds the service's time-series sampler: the aggregate HTTP series
+/// (request/error counters, whole-service latency histogram), cache
+/// hit/miss readings, and the solver-level defaults (decode failures,
+/// MC silent corruptions/trials, arbiter mismatches). Enabled from the
+/// start — one frame per `sample_interval_ms` is a handful of atomic
+/// loads.
+fn build_sampler(
+    config: &ServiceConfig,
+    metrics: &Metrics,
+    cache: &Arc<SingleFlightCache<Arc<Vec<u8>>>>,
+) -> Sampler {
+    let sampler = Sampler::new(
+        DEFAULT_CAPACITY,
+        Duration::from_millis(config.sample_interval_ms.max(10)),
+    );
+    sampler.track_counter("requests", metrics.sampled_requests());
+    sampler.track_counter("errors_5xx", metrics.sampled_errors());
+    sampler.track_histogram("request_duration_us", metrics.sampled_latency());
+    let hits = Arc::clone(cache);
+    sampler.track_fn("cache_hits", move || hits.stats().hits as f64);
+    let misses = Arc::clone(cache);
+    sampler.track_fn("cache_misses", move || misses.stats().misses as f64);
+    track_solver_defaults(&sampler);
+    sampler.set_enabled(true);
+    sampler
+}
+
+/// The service's default SLO rules — evaluated by the sampler thread,
+/// counted in `rsmem_slo_breaches_total{rule}`.
+fn default_slo_rules() -> Vec<SloRule> {
+    vec![
+        SloRule {
+            name: "latency_p99",
+            kind: RuleKind::QuantileAbove {
+                series: "request_duration_us",
+                q: 0.99,
+            },
+            window: 5,
+            threshold: 100_000.0, // 100 ms, in µs
+        },
+        SloRule {
+            name: "error_rate",
+            kind: RuleKind::RateAbove {
+                series: "errors_5xx",
+            },
+            window: 5,
+            threshold: 1.0, // 5xx responses per second
+        },
+        SloRule {
+            name: "cache_hit_ratio",
+            kind: RuleKind::HitRatioBelow {
+                hits: "cache_hits",
+                misses: "cache_misses",
+            },
+            window: 10,
+            threshold: 0.1,
+        },
+        SloRule {
+            name: "decode_failure_rate",
+            kind: RuleKind::RateAbove {
+                series: "decode_failures",
+            },
+            window: 5,
+            threshold: 5.0,
+        },
+        SloRule {
+            name: "mc_silent_rate",
+            kind: RuleKind::RateAbove {
+                series: "mc_silent",
+            },
+            window: 5,
+            threshold: 0.5,
+        },
+    ]
+}
+
+/// The background sampling thread: one registry snapshot per interval,
+/// SLO evaluation after each new frame, shutdown checked at ≤ 250 ms
+/// granularity so `Server::shutdown` never waits a full interval.
+fn sampler_loop(ctx: &Ctx) {
+    loop {
+        if ctx.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        if ctx.sampler.maybe_sample() {
+            ctx.watchdog.evaluate(&ctx.sampler);
+        }
+        let pause = (ctx.sampler.interval() / 4).min(Duration::from_millis(250));
+        thread::sleep(pause.max(Duration::from_millis(1)));
+    }
 }
 
 /// Answers `503 Service Unavailable` on the acceptor thread — cheap
@@ -283,6 +415,16 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
                 .and_then(parse_trace_id)
                 .unwrap_or_else(next_trace_id);
             let _trace = trace_scope(trace);
+            if request.method == "GET" && request.path == "/v1/stream/metrics" {
+                // Streaming responses bypass the one-shot Response shape:
+                // the handler owns the socket and writes chunked frames
+                // until the client leaves, the frame budget is spent, or
+                // the server shuts down.
+                let status = stream_metrics(reader.into_inner(), ctx, &request, trace);
+                ctx.metrics
+                    .record_request("stream_metrics", status, started.elapsed());
+                return;
+            }
             let mut span = rsmem_obs::span("service.http", "request");
             span.record("method", request.method.as_str());
             span.record("path", request.path.as_str());
@@ -326,11 +468,26 @@ fn route(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
                 Value::object(vec![("status", Value::String("ok".into()))]).encode(),
             ),
         ),
-        ("GET", "/metrics") => ("metrics", Response::text(200, render_metrics(ctx))),
+        ("GET", "/metrics") => {
+            let exemplars = matches!(request.query_param("exemplars"), Some("1" | "true"));
+            (
+                "metrics",
+                Response::text(200, render_metrics_opts(ctx, exemplars)),
+            )
+        }
         ("GET", "/debug/profile") => ("profile", handle_profile(request)),
         ("GET", "/debug/flightrecorder") => ("flightrecorder", handle_flightrecorder(request)),
+        ("GET", "/debug/metrics/history") => ("metrics_history", handle_metrics_history(ctx)),
         ("GET", "/v1/analyze")
-        | ("POST", "/healthz" | "/metrics" | "/debug/profile" | "/debug/flightrecorder") => (
+        | (
+            "POST",
+            "/healthz"
+            | "/metrics"
+            | "/debug/profile"
+            | "/debug/flightrecorder"
+            | "/debug/metrics/history"
+            | "/v1/stream/metrics",
+        ) => (
             "other",
             Response::json(405, error_body("method not allowed for this route")),
         ),
@@ -339,16 +496,104 @@ fn route(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
 }
 
 fn render_metrics(ctx: &Ctx) -> String {
-    let mut text = ctx
-        .metrics
-        .render(ctx.cache.stats(), ctx.cache.len(), ctx.cache.capacity());
+    render_metrics_opts(ctx, false)
+}
+
+fn render_metrics_opts(ctx: &Ctx, exemplars: bool) -> String {
+    let (stats, len, capacity) = (ctx.cache.stats(), ctx.cache.len(), ctx.cache.capacity());
+    let mut text = if exemplars {
+        ctx.metrics.render_with_exemplars(stats, len, capacity)
+    } else {
+        ctx.metrics.render(stats, len, capacity)
+    };
     // Solver-level series (rsmem_solver_*, rsmem_arbiter_*) follow the
     // HTTP series in the same exposition.
-    text.push_str(&rsmem_obs::global().render());
+    let registry = rsmem_obs::global();
+    text.push_str(&if exemplars {
+        registry.render_with_exemplars()
+    } else {
+        registry.render()
+    });
     // Profiler summary series (rsmem_profile_span_us) aggregated per
     // span name across tree positions.
     text.push_str(&rsmem_obs::profile::snapshot().render_prometheus());
     text
+}
+
+/// Adds the watchdog's currently-breached rule names to a frame or
+/// history document under `"breaches"`.
+fn with_breaches(mut doc: Value, watchdog: &Watchdog) -> Value {
+    let breaches = Value::Array(
+        watchdog
+            .active()
+            .into_iter()
+            .map(|name| Value::String(name.into()))
+            .collect(),
+    );
+    if let Value::Object(fields) = &mut doc {
+        fields.insert("breaches".into(), breaches);
+    }
+    doc
+}
+
+/// `GET /debug/metrics/history` — the sampler's whole ring as one
+/// canonical `rsmem-metrics/1` document, plus the active SLO breaches.
+fn handle_metrics_history(ctx: &Ctx) -> Response {
+    let doc = with_breaches(ctx.sampler.history_json(), &ctx.watchdog);
+    Response::json(200, doc.encode())
+}
+
+/// `GET /v1/stream/metrics` — newline-delimited `rsmem-metrics/1`
+/// frames over chunked transfer encoding, one per `?interval_ms=`
+/// (default: the sampler's interval, min 10 ms), until `?frames=N`
+/// frames have been written (`0`, the default, streams until the client
+/// hangs up or the server shuts down). Each write forces a fresh sample
+/// and a watchdog pass, so a streaming client observes breaches at its
+/// own cadence. Returns the status to record.
+fn stream_metrics(mut stream: TcpStream, ctx: &Ctx, request: &Request, trace: u64) -> u16 {
+    let interval = request
+        .query_param("interval_ms")
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .map_or_else(|| ctx.sampler.interval(), Duration::from_millis)
+        .max(Duration::from_millis(10));
+    let frames: u64 = request
+        .query_param("frames")
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(0);
+    let headers = vec![("X-Rsmem-Trace-Id".to_owned(), format_trace_id(trace))];
+    if http::write_chunked_head(&mut stream, 200, "application/x-ndjson", &headers).is_err() {
+        return 200; // client left before the head: nothing to do
+    }
+    let mut written = 0u64;
+    loop {
+        ctx.sampler.sample_now();
+        ctx.watchdog.evaluate(&ctx.sampler);
+        let Some(frame) = ctx.sampler.latest_json() else {
+            break;
+        };
+        let mut line = with_breaches(frame, &ctx.watchdog).encode();
+        line.push('\n');
+        if http::write_chunk(&mut stream, line.as_bytes()).is_err() {
+            return 200; // client hung up mid-stream: normal termination
+        }
+        written += 1;
+        if frames != 0 && written >= frames {
+            break;
+        }
+        // Sleep in short slices so shutdown is observed promptly.
+        let mut remaining = interval;
+        while !remaining.is_zero() {
+            if ctx.shutting_down.load(Ordering::SeqCst) {
+                let _ = http::finish_chunked(&mut stream);
+                return 200;
+            }
+            let slice = remaining.min(Duration::from_millis(50));
+            thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+    let _ = http::finish_chunked(&mut stream);
+    200
 }
 
 /// `GET /debug/profile` — the aggregated call tree as canonical JSON.
@@ -602,9 +847,15 @@ mod tests {
     }
 
     fn test_ctx() -> Ctx {
+        let cache = Arc::new(SingleFlightCache::new(8));
+        let metrics = Metrics::new();
+        let sampler = build_sampler(&ServiceConfig::default(), &metrics, &cache);
         Ctx {
-            cache: SingleFlightCache::new(8),
-            metrics: Metrics::new(),
+            cache,
+            metrics,
+            sampler,
+            watchdog: Watchdog::new(default_slo_rules()),
+            shutting_down: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -620,6 +871,53 @@ mod tests {
         post.method = "POST".into();
         post.body = b"{not json".to_vec();
         assert_eq!(route(&post, &ctx).1.status, 400);
+    }
+
+    #[test]
+    fn metrics_history_returns_a_frames_document() {
+        let ctx = test_ctx();
+        ctx.sampler.sample_now();
+        ctx.sampler.sample_now();
+        let (endpoint, response) = route(&get("/debug/metrics/history"), &ctx);
+        assert_eq!(endpoint, "metrics_history");
+        assert_eq!(response.status, 200);
+        let doc = json::parse(&String::from_utf8(response.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some("rsmem-metrics/1")
+        );
+        assert_eq!(
+            doc.get("frames").and_then(Value::as_array).unwrap().len(),
+            2
+        );
+        assert!(doc.get("breaches").and_then(Value::as_array).is_some());
+        // The aggregate series the sampler tracks are present per frame.
+        let frame = &doc.get("frames").and_then(Value::as_array).unwrap()[0];
+        assert!(frame.get("scalars").unwrap().get("requests").is_some());
+        assert!(frame
+            .get("quantiles")
+            .unwrap()
+            .get("request_duration_us")
+            .is_some());
+    }
+
+    #[test]
+    fn metrics_exemplars_flag_is_opt_in() {
+        let ctx = test_ctx();
+        // An observation under a live trace gives the request-duration
+        // histogram an exemplar to render.
+        let _trace = trace_scope(0x5EED);
+        ctx.metrics
+            .record_request("analyze", 200, Duration::from_micros(300));
+        let (_, plain) = route(&get("/metrics"), &ctx);
+        let (_, annotated) = route(&get("/metrics?exemplars=1"), &ctx);
+        let plain = String::from_utf8(plain.body).unwrap();
+        let annotated = String::from_utf8(annotated.body).unwrap();
+        assert!(!plain.contains("# {trace_id="), "{plain}");
+        assert!(
+            annotated.contains("# {trace_id=\"0000000000005eed\"}"),
+            "{annotated}"
+        );
     }
 
     #[test]

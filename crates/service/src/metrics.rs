@@ -11,7 +11,7 @@
 //! `crate::render_metrics`.
 
 use crate::cache::CacheStats;
-use rsmem_obs::metrics::{Counter, Gauge, Registry};
+use rsmem_obs::metrics::{Counter, Gauge, Histogram, Registry};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -35,6 +35,12 @@ pub struct Metrics {
     cache_evictions: Counter,
     cache_entries: Gauge,
     cache_capacity: Gauge,
+    /// Aggregate (label-free) handles for the time-series sampler.
+    /// Standalone — not registered — so `/metrics` keeps its byte-stable
+    /// shape while the sampler reads whole-service totals cheaply.
+    sampled_requests: Counter,
+    sampled_errors: Counter,
+    sampled_latency: Histogram,
 }
 
 impl Metrics {
@@ -66,6 +72,9 @@ impl Metrics {
             cache_evictions,
             cache_entries,
             cache_capacity,
+            sampled_requests: Counter::standalone(),
+            sampled_errors: Counter::standalone(),
+            sampled_latency: Histogram::with_bounds(&LATENCY_BUCKETS_US),
         }
     }
 
@@ -86,6 +95,27 @@ impl Metrics {
                 &LATENCY_BUCKETS_US,
             )
             .observe(us as f64);
+        self.sampled_requests.inc();
+        if status >= 500 {
+            self.sampled_errors.inc();
+        }
+        self.sampled_latency.observe(us as f64);
+    }
+
+    /// The aggregate request counter the time-series sampler tracks.
+    pub fn sampled_requests(&self) -> Counter {
+        self.sampled_requests.clone()
+    }
+
+    /// The aggregate 5xx counter the time-series sampler tracks.
+    pub fn sampled_errors(&self) -> Counter {
+        self.sampled_errors.clone()
+    }
+
+    /// The aggregate latency histogram the time-series sampler tracks
+    /// (all endpoints, [`LATENCY_BUCKETS_US`] bounds).
+    pub fn sampled_latency(&self) -> Histogram {
+        self.sampled_latency.clone()
     }
 
     /// Marks a request as started; the guard decrements on drop.
@@ -126,6 +156,25 @@ impl Metrics {
     /// in-flight, cache statistics) are refreshed into their registry
     /// handles just before rendering.
     pub fn render(&self, cache: CacheStats, cache_len: usize, cache_capacity: usize) -> String {
+        self.refresh(cache, cache_len, cache_capacity);
+        self.registry.render()
+    }
+
+    /// Like [`Metrics::render`] with OpenMetrics-style exemplar
+    /// annotations on histogram bucket lines (the trace ID of the most
+    /// recent max-bucket observation) — behind `/metrics?exemplars=1`
+    /// so the default exposition stays byte-stable.
+    pub fn render_with_exemplars(
+        &self,
+        cache: CacheStats,
+        cache_len: usize,
+        cache_capacity: usize,
+    ) -> String {
+        self.refresh(cache, cache_len, cache_capacity);
+        self.registry.render_with_exemplars()
+    }
+
+    fn refresh(&self, cache: CacheStats, cache_len: usize, cache_capacity: usize) {
         self.uptime
             .set(i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX));
         self.inflight_gauge.set(self.inflight());
@@ -137,7 +186,6 @@ impl Metrics {
             .set(i64::try_from(cache_len).unwrap_or(i64::MAX));
         self.cache_capacity
             .set(i64::try_from(cache_capacity).unwrap_or(i64::MAX));
-        self.registry.render()
     }
 }
 

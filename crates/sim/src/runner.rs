@@ -189,6 +189,9 @@ where
         metrics.correct.add(counts.correct as u64);
         metrics.silent.add(counts.silent as u64);
         metrics.detected.add(counts.detected as u64);
+        // Shard completion is also the campaign's time-series sampling
+        // point — the freshly-published counters land in the next frame.
+        rsmem_obs::timeseries::tick();
         counts
     };
 

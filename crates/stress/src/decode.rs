@@ -386,6 +386,9 @@ pub fn run(
                 budget as u64,
                 &[("divergences", report.divergences.len() as u64)],
             );
+            // Piggy-back the time-series sampler on the same rate-limited
+            // cadence the progress reporter already uses.
+            rsmem_obs::timeseries::tick();
         }
         let idx = i % CODES.len();
         let (n, k, m, b) = CODES[idx];
@@ -494,6 +497,7 @@ fn run_exhaustive(report: &mut DecodeReport, budget: usize, max_divergences: usi
                             budget as u64,
                             &[("divergences", report.divergences.len() as u64)],
                         );
+                        rsmem_obs::timeseries::tick();
                     }
                     let mut word = clean.clone();
                     let mut f = fc;

@@ -45,6 +45,31 @@ rm -f /tmp/rsmem_sweep_events.jsonl
 echo "==> profiler smoke (fig7 regeneration under the self-profiler)"
 target/release/rsmem-cli profile sweep fig7 >/dev/null
 
+echo "==> observability smoke (metrics history, chunked stream, live dashboard)"
+target/release/rsmem-cli serve --addr 127.0.0.1:0 --sample-interval-ms 100 \
+  2>/tmp/rsmem_serve_announce.txt &
+SERVE_PID=$!
+ADDR=""
+i=0
+while [ "$i" -lt 50 ]; do
+  ADDR=$(sed -n 's/.*listening on //p' /tmp/rsmem_serve_announce.txt | head -n 1)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "daemon never announced its address"; kill "$SERVE_PID"; exit 1; }
+curl -sf "http://$ADDR/healthz" >/dev/null
+# The history document and the streamed frames are strict canonical JSON.
+curl -sf "http://$ADDR/debug/metrics/history" | target/release/rsmem-cli check-jsonl
+STREAM_LINES=$(curl -sfN "http://$ADDR/v1/stream/metrics?interval_ms=100&frames=2" | wc -l)
+[ "$STREAM_LINES" -ge 2 ] || { echo "metrics stream delivered $STREAM_LINES frames, wanted 2"; kill "$SERVE_PID"; exit 1; }
+# The live dashboard's raw mode must pipe cleanly into check-jsonl.
+target/release/rsmem-cli top --url "$ADDR" --interval 100 --frames 2 --raw \
+  | target/release/rsmem-cli check-jsonl
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+rm -f /tmp/rsmem_serve_announce.txt
+
 echo "==> bench self-compare smoke (the regression gate must pass a run against itself)"
 target/release/rsmem-cli bench --quick --out /tmp/rsmem_bench_a.json >/dev/null
 target/release/rsmem-cli bench --compare /tmp/rsmem_bench_a.json /tmp/rsmem_bench_a.json
